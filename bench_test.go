@@ -1,0 +1,178 @@
+package deep15pf_test
+
+// One benchmark per table and figure of the paper, plus kernel
+// micro-benchmarks. Figure-level benchmarks wrap the harness generators in
+// quick mode (each iteration regenerates the full experiment); kernel
+// benchmarks measure the substrate the way DeepBench measures MKL/cuDNN.
+//
+// Regenerate everything textually with: go run ./cmd/repro
+
+import (
+	"testing"
+
+	"deep15pf/internal/cluster"
+	"deep15pf/internal/harness"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+func benchOpts() harness.Options { return harness.Options{Quick: true, Seed: 42} }
+
+// ---- Tables and figures ----
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Table1(benchOpts())
+	}
+}
+
+func BenchmarkTable2ArchSpecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Table2(benchOpts())
+	}
+}
+
+func BenchmarkFig5SingleNodeBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig5(benchOpts())
+	}
+}
+
+func BenchmarkFig6StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig6(benchOpts())
+	}
+}
+
+func BenchmarkFig7WeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig7(benchOpts())
+	}
+}
+
+func BenchmarkFullSystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.FullSystem(benchOpts())
+	}
+}
+
+func BenchmarkFig8TimeToTrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig8(benchOpts())
+	}
+}
+
+func BenchmarkHEPScience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.HEPScience(benchOpts())
+	}
+}
+
+func BenchmarkClimateScience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.ClimateScience(benchOpts())
+	}
+}
+
+func BenchmarkResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Resilience(benchOpts())
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Ablations(benchOpts())
+	}
+}
+
+// ---- Kernel micro-benchmarks (DeepBench-style, §II-A) ----
+
+func BenchmarkGemmSquare256(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	n := 256
+	x := make([]float32, n*n)
+	y := make([]float32, n*n)
+	c := make([]float32, n*n)
+	for i := range x {
+		x[i] = float32(rng.Norm())
+		y[i] = float32(rng.Norm())
+	}
+	b.SetBytes(int64(3 * n * n * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(false, false, n, n, n, 1, x, y, 0, c)
+	}
+	b.ReportMetric(float64(tensor.GemmFLOPs(n, n, n))*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkGemmTallSkinny mirrors the deep-learning GEMM shape the paper's
+// §II-A highlights: conv2 of the HEP network lowered by im2col at batch 1
+// (M=128 filters, K=1152, N=spatial).
+func BenchmarkGemmTallSkinny(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	m, k, n := 128, 1152, 784
+	w := make([]float32, m*k)
+	col := make([]float32, k*n)
+	out := make([]float32, m*n)
+	for i := range w {
+		w[i] = float32(rng.Norm())
+	}
+	for i := range col {
+		col[i] = float32(rng.Norm())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(false, false, m, n, k, 1, w, col, 0, out)
+	}
+	b.ReportMetric(float64(tensor.GemmFLOPs(m, n, k))*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkHEPConvLayer measures one mid-network HEP convolution
+// (128→128 3x3 on 28x28), the layer family that dominates Fig 5a.
+func BenchmarkHEPConvLayer(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	conv := nn.NewConv2D("conv4", 128, 128, 3, 1, 1, rng)
+	x := tensor.New(1, 128, 28, 28)
+	rng.FillNorm(x, 0, 1)
+	flops := conv.FLOPs([]int{128, 28, 28})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+	b.ReportMetric(float64(flops.Fwd)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkHEPForwardBackward measures a full training step of the scaled
+// HEP network (the unit of Fig 5a's iteration time).
+func BenchmarkHEPForwardBackward(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	cfg := hep.ModelConfig{Name: "bench", ImageSize: 32, Filters: 16, ConvUnits: 4, Classes: 2}
+	net := hep.BuildNet(cfg, rng)
+	x := tensor.New(4, 3, 32, 32)
+	rng.FillNorm(x, 0, 1)
+	labels := []int{0, 1, 0, 1}
+	flops := net.FLOPsPerSample().Total() * 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		logits := net.Forward(x, true)
+		_, grad := nn.SoftmaxCrossEntropy(logits, labels)
+		net.Backward(grad)
+	}
+	b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkClusterSimIteration measures the discrete-event simulator's own
+// cost per simulated training iteration at full machine scale.
+func BenchmarkClusterSimIteration(b *testing.B) {
+	m := cluster.CoriPhaseII()
+	p := cluster.HEPProfile()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.Simulate(m, p, cluster.RunConfig{
+			Nodes: 9594, Groups: 9, BatchPerGroup: 1066, Iterations: 10, Seed: uint64(i),
+		})
+	}
+}

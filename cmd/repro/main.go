@@ -1,0 +1,82 @@
+// Command repro regenerates the paper's tables and figures. Each
+// experiment prints a report pairing the published value with our measured
+// (real kernels, real training) or simulated (cluster model) value.
+//
+// Usage:
+//
+//	repro                 # every experiment, quick scale
+//	repro -exp fig6       # one experiment
+//	repro -full           # larger configurations (slower)
+//	repro -o EXPERIMENTS.md
+//
+// Experiments: table1 table2 fig5 fig6 fig7 fullsystem fig8 hepscience
+// climscience resilience ablations all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deep15pf/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1 table2 fig5 fig6 fig7 fullsystem fig8 hepscience climscience resilience ablations all)")
+	full := flag.Bool("full", false, "use larger (slower) configurations")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	out := flag.String("o", "", "also write the report to this file")
+	flag.Parse()
+
+	opts := harness.Options{Quick: !*full, Seed: *seed}
+
+	gens := map[string]func(harness.Options) harness.Report{
+		"table1":      harness.Table1,
+		"table2":      harness.Table2,
+		"fig5":        harness.Fig5,
+		"fig6":        harness.Fig6,
+		"fig7":        harness.Fig7,
+		"fullsystem":  harness.FullSystem,
+		"fig8":        harness.Fig8,
+		"hepscience":  harness.HEPScience,
+		"climscience": harness.ClimateScience,
+		"resilience":  harness.Resilience,
+		"ablations":   harness.Ablations,
+	}
+
+	var body string
+	start := time.Now()
+	if *exp == "all" {
+		body = harness.All(opts)
+	} else if gen, ok := gens[*exp]; ok {
+		body = gen(opts).String()
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s all\n",
+			*exp, strings.Join(keys(gens), " "))
+		os.Exit(2)
+	}
+
+	header := fmt.Sprintf("# Reproduction report — Deep Learning at 15PF (SC'17)\n\n"+
+		"Mode: quick=%v seed=%d host=single-node Go implementation; generated in %.0f s.\n\n",
+		opts.Quick, opts.Seed, time.Since(start).Seconds())
+	// Assemble after generation so the elapsed time is accurate.
+	report := header + body
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}
+
+func keys(m map[string]func(harness.Options) harness.Report) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Command scalesim runs the Cori Phase II cluster model: strong scaling
+// (Fig 6), weak scaling (Fig 7), the full-system configurations (§VI-B3)
+// and the resilience experiment (§VIII-A).
+//
+// Usage:
+//
+//	scalesim -exp strong -net hep -groups 4
+//	scalesim -exp weak -net climate -groups 8
+//	scalesim -exp full
+//	scalesim -exp failure
+//	scalesim -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deep15pf/internal/cluster"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: strong | weak | full | failure | curve | all")
+	netName := flag.String("net", "both", "network: hep | climate | both")
+	groups := flag.Int("groups", 0, "restrict to one group count (0 = sweep 1,2,4[,8])")
+	iters := flag.Int("iters", 12, "simulated iterations per configuration")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	m := cluster.CoriPhaseII()
+	profiles := map[string]cluster.NetProfile{}
+	if *netName == "hep" || *netName == "both" {
+		profiles["hep"] = cluster.HEPProfile()
+	}
+	if *netName == "climate" || *netName == "both" {
+		profiles["climate"] = cluster.ClimateProfile()
+	}
+	if len(profiles) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown -net %q\n", *netName)
+		os.Exit(2)
+	}
+
+	for name, p := range profiles {
+		fmt.Printf("=== %s: %.1f GF/sample (exec %.1f), model %.2f MiB, %d trainable layers ===\n",
+			name, p.FlopsPerSample/1e9, p.ExecPerSample/1e9,
+			float64(p.TotalModelBytes)/(1<<20), p.NumTrainableLayers())
+		if *exp == "curve" || *exp == "all" {
+			fmt.Println("-- single-node efficiency curve --")
+			for _, b := range []float64{1, 2, 4, 8, 16, 2048} {
+				fmt.Printf("  batch %-5g eff %.4f rate %6.2f TF/s\n", b, p.Eff.At(b), p.NodeFlopRate(m, b)/1e12)
+			}
+		}
+		groupSweep := []int{1, 2, 4}
+		if *groups > 0 {
+			groupSweep = []int{*groups}
+		}
+		if *exp == "strong" || *exp == "all" {
+			fmt.Println("-- strong scaling (Fig 6): batch 2048 per group --")
+			nodes := []int{1, 64, 128, 256, 512, 1024}
+			for _, g := range groupSweep {
+				pts := cluster.StrongScaling(m, p, nodes, g, 2048, *iters, *seed)
+				printCurve(labelFor(g), pts)
+			}
+		}
+		if *exp == "weak" || *exp == "all" {
+			fmt.Println("-- weak scaling (Fig 7): batch 8 per node --")
+			nodes := []int{1, 256, 512, 1024, 2048}
+			ws := groupSweep
+			if *groups == 0 {
+				ws = []int{1, 2, 4, 8}
+			}
+			for _, g := range ws {
+				pts := cluster.WeakScaling(m, p, nodes, g, 8, *iters, *seed)
+				printCurve(labelFor(g), pts)
+			}
+		}
+		if *exp == "full" || *exp == "all" {
+			fmt.Println("-- full system (§VI-B3) --")
+			var fr cluster.FullSystemResult
+			if name == "hep" {
+				fr = cluster.FullSystem(m, p, 9594, 9, 1066, 2*(*iters), 0, *seed)
+			} else {
+				fr = cluster.FullSystem(m, p, 9608, 8, 9608, *iters, 10, *seed)
+			}
+			fmt.Println("  " + fr.String())
+		}
+		if *exp == "failure" || *exp == "all" {
+			fmt.Println("-- failure injection (§VIII-A): one node dies mid-run --")
+			for _, g := range []int{1, 4} {
+				cfg := cluster.RunConfig{
+					Nodes: 1024, Groups: g, BatchPerGroup: 2048, Iterations: *iters,
+					Seed:    *seed,
+					Failure: &cluster.FailureSpec{Group: 0, StartIter: *iters / 2, Dead: true},
+				}
+				r := cluster.Simulate(m, p, cfg)
+				healthy := cluster.Simulate(m, p, cluster.RunConfig{
+					Nodes: 1024, Groups: g, BatchPerGroup: 2048, Iterations: *iters, Seed: *seed,
+				})
+				fmt.Printf("  groups=%d: completed %d/%d images (%.0f%% of healthy run), halted=%v\n",
+					g, r.TotalImages, healthy.TotalImages,
+					100*float64(r.TotalImages)/float64(healthy.TotalImages), r.Halted)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func labelFor(g int) string {
+	if g == 1 {
+		return "sync      "
+	}
+	return fmt.Sprintf("hybrid g=%d", g)
+}
+
+func printCurve(label string, pts []cluster.ScalePoint) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s: ", label)
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "%5d:%6.0fx ", pt.Nodes, pt.Speedup)
+	}
+	fmt.Println(b.String())
+}

@@ -1,0 +1,14 @@
+// Package deep15pf reproduces "Deep Learning at 15PF: Supervised and
+// Semi-Supervised Classification for Scientific Data" (Kurth et al.,
+// SC 2017) as a from-scratch Go system: a neural-network stack with exact
+// FLOP accounting (internal/nn, internal/tensor), the two scientific
+// applications (internal/hep, internal/climate), the hybrid synchronous/
+// asynchronous distributed training architecture with per-layer parameter
+// servers (internal/core, internal/comm, internal/ps), and a calibrated
+// discrete-event model of the Cori Phase II machine for the scaling study
+// (internal/cluster, internal/sim).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and bench_test.go for one benchmark per table
+// and figure.
+package deep15pf

@@ -1,0 +1,44 @@
+// HEP science example (§VII-A): train the classifier on synthetic
+// collision events and compare its signal efficiency against the paper's
+// cut-based baseline at the baseline's false-positive rate.
+//
+//	go run ./examples/hep
+package main
+
+import (
+	"fmt"
+
+	"deep15pf/internal/core"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/tensor"
+)
+
+func main() {
+	rng := tensor.NewRNG(11)
+	gen := hep.DefaultGenConfig()
+	renderer := hep.NewRenderer(16)
+	train := hep.GenerateDataset(gen, renderer, 512, 0.5, rng)
+	test := hep.GenerateDataset(gen, renderer, 1024, 0.5, rng)
+
+	// The cut-based reference analysis: selections on jet multiplicity
+	// and H_T, the high-level physics features of the paper's [5].
+	cuts := hep.DefaultBaseline()
+	tpr, fpr := cuts.Evaluate(test.Events, test.Labels)
+	fmt.Printf("baseline cuts: TPR %.1f%% at FPR %.2f%%\n", 100*tpr, 100*fpr)
+
+	model := hep.ModelConfig{Name: "hep-example", ImageSize: 16, Filters: 8, ConvUnits: 3, Classes: 2}
+	problem := hep.NewTrainingProblem(train, model, 13)
+	res := core.TrainSync(problem, core.Config{
+		Groups: 1, WorkersPerGroup: 1, GroupBatch: 32, Iterations: 90,
+		Solver: opt.NewAdam(2e-3), Seed: 3,
+	})
+	fmt.Printf("trained %d iterations, final loss %.4f\n", len(res.Stats), res.FinalLoss)
+
+	rep := problem.NewReplica()
+	core.InstallWeights(rep, res.FinalWeights)
+	scores := hep.ScoreDataset(rep, test, 64)
+	sci := hep.CompareToBaseline(cuts, test.Events, scores, test.Labels)
+	fmt.Println("comparison:", sci)
+	fmt.Println("(paper: baseline 42% @ 0.02% FPR; CNN 72% — a 1.7x improvement)")
+}

@@ -1,0 +1,107 @@
+package climate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderASCII draws a Fig 9-style overlay: the TMQ (integrated water vapor)
+// channel of a sample as character shades, ground-truth boxes as '#'
+// outlines and predicted boxes as '*' outlines. It is the text analogue of
+// the paper's Fig 9 ("Black bounding boxes show ground truth; Red boxes are
+// predictions by the network").
+func RenderASCII(s *Sample, dets []Detection, width int) string {
+	size := s.Field.Shape[1]
+	if width <= 0 || width > size {
+		width = size
+	}
+	scale := float64(size) / float64(width)
+	height := width / 2 // terminal characters are ~2x taller than wide
+
+	// Downsample TMQ by box averaging.
+	tmq := s.Field.Data[ChTMQ*size*size : (ChTMQ+1)*size*size]
+	img := make([][]float64, height)
+	minV, maxV := 1e30, -1e30
+	for r := 0; r < height; r++ {
+		img[r] = make([]float64, width)
+		for c := 0; c < width; c++ {
+			y0 := int(float64(r) * float64(size) / float64(height))
+			y1 := int(float64(r+1) * float64(size) / float64(height))
+			x0 := int(float64(c) * scale)
+			x1 := int(float64(c+1) * scale)
+			var sum float64
+			cnt := 0
+			for y := y0; y < y1 && y < size; y++ {
+				for x := x0; x < x1 && x < size; x++ {
+					sum += float64(tmq[y*size+x])
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				img[r][c] = sum / float64(cnt)
+			}
+			if img[r][c] < minV {
+				minV = img[r][c]
+			}
+			if img[r][c] > maxV {
+				maxV = img[r][c]
+			}
+		}
+	}
+	shades := []byte(" .:-=+oO@")
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = make([]byte, width)
+		for c := range canvas[r] {
+			v := (img[r][c] - minV) / (maxV - minV + 1e-12)
+			canvas[r][c] = shades[int(v*float64(len(shades)-1)+0.5)]
+		}
+	}
+	drawBox := func(b Box, ch byte) {
+		c0 := int(b.X / scale)
+		c1 := int((b.X + b.W) / scale)
+		r0 := int(b.Y / float64(size) * float64(height))
+		r1 := int((b.Y + b.H) / float64(size) * float64(height))
+		for c := c0; c <= c1; c++ {
+			if c < 0 || c >= width {
+				continue
+			}
+			if r0 >= 0 && r0 < height {
+				canvas[r0][c] = ch
+			}
+			if r1 >= 0 && r1 < height {
+				canvas[r1][c] = ch
+			}
+		}
+		for r := r0; r <= r1; r++ {
+			if r < 0 || r >= height {
+				continue
+			}
+			if c0 >= 0 && c0 < width {
+				canvas[r][c0] = ch
+			}
+			if c1 >= 0 && c1 < width {
+				canvas[r][c1] = ch
+			}
+		}
+	}
+	for _, b := range s.Boxes {
+		drawBox(b, '#')
+	}
+	for _, d := range dets {
+		drawBox(d.Box, '*')
+	}
+	var sb strings.Builder
+	sb.WriteString("TMQ field  |  '#' ground truth  '*' predictions\n")
+	for r := 0; r < height; r++ {
+		sb.Write(canvas[r])
+		sb.WriteByte('\n')
+	}
+	for _, b := range s.Boxes {
+		fmt.Fprintf(&sb, "  truth: %-3s at (%.0f,%.0f) %vx%v\n", b.Class, b.X, b.Y, int(b.W), int(b.H))
+	}
+	for _, d := range dets {
+		fmt.Fprintf(&sb, "  pred:  %-3s at (%.0f,%.0f) %vx%v conf %.2f\n", d.Class, d.X, d.Y, int(d.W), int(d.H), d.Confidence)
+	}
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+// Package climate implements the paper's semi-supervised application: a
+// synthetic multi-channel climate-field generator standing in for the CAM5
+// dataset, the shared-encoder architecture of §III-B (strided-convolution
+// encoder feeding a per-cell confidence/class/box regression head and a
+// deconvolutional decoder that reconstructs the input from the coarse
+// features), its multi-term objective, and bounding-box evaluation metrics
+// for the Fig 9 science result.
+package climate
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventClass labels the extreme-weather pattern types the generator injects
+// and the detector classifies — the paper's known classes (§VII-B).
+type EventClass int
+
+// Weather pattern classes.
+const (
+	TropicalCyclone EventClass = iota
+	ExtratropicalCyclone
+	AtmosphericRiver
+	NumClasses
+)
+
+// String implements fmt.Stringer.
+func (c EventClass) String() string {
+	switch c {
+	case TropicalCyclone:
+		return "TC"
+	case ExtratropicalCyclone:
+		return "ETC"
+	case AtmosphericRiver:
+		return "AR"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Box is an axis-aligned bounding box in pixel coordinates; (X, Y) is the
+// bottom-left corner (the paper's §III-B parameterisation).
+type Box struct {
+	X, Y, W, H float64
+	Class      EventClass
+}
+
+// Detection is a predicted box with its confidence score.
+type Detection struct {
+	Box
+	Confidence float64
+}
+
+// IoU returns the intersection-over-union of two boxes (0 for disjoint or
+// degenerate boxes).
+func IoU(a, b Box) float64 {
+	if a.W <= 0 || a.H <= 0 || b.W <= 0 || b.H <= 0 {
+		return 0
+	}
+	x1 := maxf(a.X, b.X)
+	y1 := maxf(a.Y, b.Y)
+	x2 := minf(a.X+a.W, b.X+b.W)
+	y2 := minf(a.Y+a.H, b.Y+b.H)
+	if x2 <= x1 || y2 <= y1 {
+		return 0
+	}
+	inter := (x2 - x1) * (y2 - y1)
+	union := a.W*a.H + b.W*b.H - inter
+	return inter / union
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NMS performs greedy non-maximum suppression: detections are consumed in
+// descending confidence, dropping any box overlapping an already-kept box
+// of the same class above iouThresh.
+func NMS(dets []Detection, iouThresh float64) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Confidence > sorted[j].Confidence })
+	var kept []Detection
+	for _, d := range sorted {
+		drop := false
+		for _, k := range kept {
+			if k.Class == d.Class && IoU(k.Box, d.Box) > iouThresh {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// MatchResult summarises detection quality on one or more images.
+type MatchResult struct {
+	TruePositives, FalsePositives, FalseNegatives int
+	MeanIoU                                       float64 // over matched pairs
+}
+
+// Precision returns TP/(TP+FP), zero when no detections.
+func (m MatchResult) Precision() float64 {
+	d := m.TruePositives + m.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), zero when no ground truth.
+func (m MatchResult) Recall() float64 {
+	d := m.TruePositives + m.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// Add accumulates another result (weighted by match count for MeanIoU).
+func (m MatchResult) Add(o MatchResult) MatchResult {
+	tp := m.TruePositives + o.TruePositives
+	out := MatchResult{
+		TruePositives:  tp,
+		FalsePositives: m.FalsePositives + o.FalsePositives,
+		FalseNegatives: m.FalseNegatives + o.FalseNegatives,
+	}
+	if tp > 0 {
+		out.MeanIoU = (m.MeanIoU*float64(m.TruePositives) + o.MeanIoU*float64(o.TruePositives)) / float64(tp)
+	}
+	return out
+}
+
+// Match greedily matches detections to ground truth at the given IoU
+// threshold, requiring class agreement. Each truth box matches at most one
+// detection (highest-confidence first).
+func Match(dets []Detection, truth []Box, iouThresh float64) MatchResult {
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Confidence > sorted[j].Confidence })
+	used := make([]bool, len(truth))
+	var res MatchResult
+	var iouSum float64
+	for _, d := range sorted {
+		best := -1
+		bestIoU := iouThresh
+		for ti, tb := range truth {
+			if used[ti] || tb.Class != d.Class {
+				continue
+			}
+			if iou := IoU(d.Box, tb); iou >= bestIoU {
+				bestIoU = iou
+				best = ti
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			res.TruePositives++
+			iouSum += bestIoU
+		} else {
+			res.FalsePositives++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			res.FalseNegatives++
+		}
+	}
+	if res.TruePositives > 0 {
+		res.MeanIoU = iouSum / float64(res.TruePositives)
+	}
+	return res
+}

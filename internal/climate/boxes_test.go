@@ -1,0 +1,145 @@
+package climate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deep15pf/internal/tensor"
+)
+
+func TestIoUKnownValues(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 10, H: 10}
+	if IoU(a, a) != 1 {
+		t.Fatal("self IoU must be 1")
+	}
+	b := Box{X: 5, Y: 0, W: 10, H: 10} // half horizontal overlap
+	want := 50.0 / 150.0
+	if math.Abs(IoU(a, b)-want) > 1e-12 {
+		t.Fatalf("IoU = %v, want %v", IoU(a, b), want)
+	}
+	c := Box{X: 20, Y: 20, W: 5, H: 5}
+	if IoU(a, c) != 0 {
+		t.Fatal("disjoint IoU must be 0")
+	}
+	if IoU(a, Box{X: 0, Y: 0, W: 0, H: 5}) != 0 {
+		t.Fatal("degenerate IoU must be 0")
+	}
+}
+
+// Properties: IoU is symmetric and bounded in [0,1].
+func TestIoUProperties(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := tensor.NewRNG(uint64(seed) + 3)
+		rb := func() Box {
+			return Box{
+				X: rng.Float64() * 50, Y: rng.Float64() * 50,
+				W: rng.Float64() * 30, H: rng.Float64() * 30,
+			}
+		}
+		a, b := rb(), rb()
+		ab, ba := IoU(a, b), IoU(b, a)
+		if math.Abs(ab-ba) > 1e-12 {
+			return false
+		}
+		return ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMSSuppressesDuplicates(t *testing.T) {
+	dets := []Detection{
+		{Box: Box{X: 0, Y: 0, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.9},
+		{Box: Box{X: 1, Y: 1, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.8},
+		{Box: Box{X: 40, Y: 40, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.7},
+	}
+	kept := NMS(dets, 0.5)
+	if len(kept) != 2 {
+		t.Fatalf("NMS kept %d, want 2", len(kept))
+	}
+	if kept[0].Confidence != 0.9 {
+		t.Fatal("NMS must keep the highest-confidence box")
+	}
+}
+
+func TestNMSKeepsDifferentClasses(t *testing.T) {
+	dets := []Detection{
+		{Box: Box{X: 0, Y: 0, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.9},
+		{Box: Box{X: 0, Y: 0, W: 10, H: 10, Class: AtmosphericRiver}, Confidence: 0.8},
+	}
+	if kept := NMS(dets, 0.5); len(kept) != 2 {
+		t.Fatalf("overlapping boxes of different classes must survive, got %d", len(kept))
+	}
+}
+
+func TestMatchScoring(t *testing.T) {
+	truth := []Box{
+		{X: 0, Y: 0, W: 10, H: 10, Class: TropicalCyclone},
+		{X: 50, Y: 50, W: 20, H: 20, Class: AtmosphericRiver},
+	}
+	dets := []Detection{
+		{Box: Box{X: 1, Y: 1, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.95}, // TP
+		{Box: Box{X: 80, Y: 0, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.9}, // FP
+	}
+	res := Match(dets, truth, 0.5)
+	if res.TruePositives != 1 || res.FalsePositives != 1 || res.FalseNegatives != 1 {
+		t.Fatalf("match = %+v", res)
+	}
+	if math.Abs(res.Precision()-0.5) > 1e-12 || math.Abs(res.Recall()-0.5) > 1e-12 {
+		t.Fatalf("P=%v R=%v", res.Precision(), res.Recall())
+	}
+	if res.MeanIoU <= 0.5 {
+		t.Fatalf("mean IoU = %v", res.MeanIoU)
+	}
+}
+
+func TestMatchClassMismatchIsFP(t *testing.T) {
+	truth := []Box{{X: 0, Y: 0, W: 10, H: 10, Class: TropicalCyclone}}
+	dets := []Detection{{Box: Box{X: 0, Y: 0, W: 10, H: 10, Class: AtmosphericRiver}, Confidence: 0.9}}
+	res := Match(dets, truth, 0.5)
+	if res.TruePositives != 0 || res.FalsePositives != 1 || res.FalseNegatives != 1 {
+		t.Fatalf("class mismatch: %+v", res)
+	}
+}
+
+func TestMatchOneDetectionPerTruth(t *testing.T) {
+	truth := []Box{{X: 0, Y: 0, W: 10, H: 10, Class: TropicalCyclone}}
+	dets := []Detection{
+		{Box: Box{X: 0, Y: 0, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.9},
+		{Box: Box{X: 1, Y: 0, W: 10, H: 10, Class: TropicalCyclone}, Confidence: 0.8},
+	}
+	res := Match(dets, truth, 0.5)
+	if res.TruePositives != 1 || res.FalsePositives != 1 {
+		t.Fatalf("double match: %+v", res)
+	}
+}
+
+func TestMatchResultAdd(t *testing.T) {
+	a := MatchResult{TruePositives: 1, FalsePositives: 2, FalseNegatives: 3, MeanIoU: 0.6}
+	b := MatchResult{TruePositives: 3, FalsePositives: 0, FalseNegatives: 1, MeanIoU: 0.8}
+	c := a.Add(b)
+	if c.TruePositives != 4 || c.FalsePositives != 2 || c.FalseNegatives != 4 {
+		t.Fatalf("Add = %+v", c)
+	}
+	if math.Abs(c.MeanIoU-0.75) > 1e-12 { // (0.6·1 + 0.8·3)/4
+		t.Fatalf("MeanIoU = %v", c.MeanIoU)
+	}
+}
+
+func TestPrecisionRecallEdgeCases(t *testing.T) {
+	var m MatchResult
+	if m.Precision() != 0 || m.Recall() != 0 {
+		t.Fatal("empty result must not NaN")
+	}
+}
+
+func TestEventClassString(t *testing.T) {
+	if TropicalCyclone.String() != "TC" || AtmosphericRiver.String() != "AR" || ExtratropicalCyclone.String() != "ETC" {
+		t.Fatal("class names wrong")
+	}
+	if EventClass(9).String() == "" {
+		t.Fatal("unknown class must render")
+	}
+}

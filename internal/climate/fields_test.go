@@ -1,0 +1,168 @@
+package climate
+
+import (
+	"math"
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+func TestGenerateFieldShape(t *testing.T) {
+	cfg := DefaultGenConfig(64)
+	rng := tensor.NewRNG(1)
+	s := cfg.Generate(rng)
+	if s.Field.Shape[0] != NumChannels || s.Field.Shape[1] != 64 || s.Field.Shape[2] != 64 {
+		t.Fatalf("field shape %v", s.Field.Shape)
+	}
+	if NumChannels != 16 {
+		t.Fatalf("paper specifies 16 channels, have %d", NumChannels)
+	}
+}
+
+func TestBoxesInsideImage(t *testing.T) {
+	cfg := DefaultGenConfig(96)
+	rng := tensor.NewRNG(2)
+	for i := 0; i < 30; i++ {
+		s := cfg.Generate(rng)
+		for _, b := range s.Boxes {
+			if b.W <= 0 || b.H <= 0 {
+				t.Fatalf("degenerate box %+v", b)
+			}
+			cx, cy := b.X+b.W/2, b.Y+b.H/2
+			if cx < 0 || cx >= 96 || cy < 0 || cy >= 96 {
+				t.Fatalf("box center outside image: %+v", b)
+			}
+		}
+	}
+}
+
+func TestTCSignature(t *testing.T) {
+	// A tropical cyclone must produce a local PSL minimum and TMQ maximum
+	// near its center, and rotating winds around it.
+	cfg := DefaultGenConfig(128)
+	cfg.MeanTC = 0
+	cfg.MeanETC = 0
+	cfg.ARProb = 0
+	cfg.NoiseStd = 0
+	rng := tensor.NewRNG(3)
+	s := cfg.Generate(rng)
+	box := cfg.addCyclone(s.Field, rng, 64, 64, true)
+	if box.Class != TropicalCyclone {
+		t.Fatal("wrong class")
+	}
+	size := 128
+	get := func(ch, x, y int) float64 { return float64(s.Field.Data[ch*size*size+y*size+x]) }
+	if get(ChPSL, 64, 64) >= get(ChPSL, 10, 10) {
+		t.Fatalf("PSL at center %v should be below far field %v", get(ChPSL, 64, 64), get(ChPSL, 10, 10))
+	}
+	if get(ChTMQ, 64, 64) <= get(ChTMQ, 10, 10) {
+		t.Fatal("TMQ should peak at the center")
+	}
+	// Cyclonic rotation: tangential wind on the +x side should be +v.
+	if get(ChV850, 72, 64) <= 0 {
+		t.Fatalf("V850 east of center = %v, want positive (counter-clockwise)", get(ChV850, 72, 64))
+	}
+	if get(ChV850, 56, 64) >= 0 {
+		t.Fatal("V850 west of center should be negative")
+	}
+}
+
+func TestARIsElongated(t *testing.T) {
+	cfg := DefaultGenConfig(128)
+	cfg.NoiseStd = 0
+	rng := tensor.NewRNG(4)
+	field := tensor.New(NumChannels, 128, 128)
+	box := cfg.addRiver(field, rng, 20, 20)
+	if box.Class != AtmosphericRiver {
+		t.Fatal("wrong class")
+	}
+	longSide := math.Max(box.W, box.H)
+	shortSide := math.Min(box.W, box.H)
+	if longSide < 1.2*shortSide {
+		t.Fatalf("AR box %vx%v not elongated", box.W, box.H)
+	}
+}
+
+func TestETCLargerThanTC(t *testing.T) {
+	cfg := DefaultGenConfig(256)
+	rng := tensor.NewRNG(5)
+	var tcArea, etcArea float64
+	for i := 0; i < 20; i++ {
+		f1 := tensor.New(NumChannels, 256, 256)
+		tc := cfg.addCyclone(f1, rng, 128, 128, true)
+		etc := cfg.addCyclone(f1, rng, 128, 128, false)
+		tcArea += tc.W * tc.H
+		etcArea += etc.W * etc.H
+	}
+	if etcArea <= tcArea {
+		t.Fatal("extratropical cyclones should be larger on average")
+	}
+}
+
+func TestBackgroundLatitudeGradient(t *testing.T) {
+	cfg := DefaultGenConfig(64)
+	cfg.MeanTC, cfg.MeanETC, cfg.ARProb = 0, 0, 0
+	cfg.NoiseStd = 0
+	rng := tensor.NewRNG(6)
+	s := cfg.Generate(rng)
+	size := 64
+	ts := s.Field.Data[ChTS*size*size : (ChTS+1)*size*size]
+	var equator, pole float64
+	for x := 0; x < size; x++ {
+		equator += float64(ts[(size/2)*size+x])
+		pole += float64(ts[0*size+x])
+	}
+	if equator <= pole {
+		t.Fatal("surface temperature should peak at the equator")
+	}
+}
+
+func TestGenerateDatasetAndBatch(t *testing.T) {
+	cfg := DefaultGenConfig(32)
+	rng := tensor.NewRNG(7)
+	ds := GenerateDataset(cfg, 5, rng)
+	if len(ds.Samples) != 5 {
+		t.Fatal("dataset size")
+	}
+	x, boxes := ds.Batch([]int{3, 0})
+	if x.Shape[0] != 2 || x.Shape[1] != NumChannels {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	if len(boxes) != 2 {
+		t.Fatal("boxes not gathered")
+	}
+	per := NumChannels * 32 * 32
+	for i := 0; i < per; i++ {
+		if x.Data[i] != ds.Samples[3].Field.Data[i] {
+			t.Fatal("batch gathered wrong sample")
+		}
+	}
+}
+
+func TestEventSeparation(t *testing.T) {
+	cfg := DefaultGenConfig(128)
+	cfg.MeanTC = 3
+	rng := tensor.NewRNG(8)
+	minSep := cfg.MinSepFrac * 128
+	for trial := 0; trial < 20; trial++ {
+		s := cfg.Generate(rng)
+		// Cyclone boxes are centred on their placement anchor, so the
+		// placement separation constraint is directly observable on them.
+		// (AR boxes are centred on the filament midpoint, not the anchor.)
+		var cyclones []Box
+		for _, b := range s.Boxes {
+			if b.Class != AtmosphericRiver {
+				cyclones = append(cyclones, b)
+			}
+		}
+		for i := 0; i < len(cyclones); i++ {
+			for j := i + 1; j < len(cyclones); j++ {
+				a, b := cyclones[i], cyclones[j]
+				d := math.Hypot((a.X+a.W/2)-(b.X+b.W/2), (a.Y+a.H/2)-(b.Y+b.H/2))
+				if d < minSep*0.99 {
+					t.Fatalf("events too close: %v < %v", d, minSep)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package climate
+
+import (
+	"math"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// The objective of §III-B, verbatim from the paper: "simultaneously
+// minimize the confidence of areas without a box, maximize those with a
+// box, maximize the probability of the correct class for areas with a box,
+// minimize the scale and location offset of the predicted box to the real
+// box and minimize the reconstruction error of the autoencoder."
+
+// LossWeights are the relative term weights.
+type LossWeights struct {
+	Obj, NoObj, Class, Coord, Recon float64
+}
+
+// DefaultLossWeights returns the tuned weights used in the reproduction
+// (YOLO-style coordinate emphasis, down-weighted empty cells).
+func DefaultLossWeights() LossWeights {
+	return LossWeights{Obj: 1, NoObj: 0.5, Class: 1, Coord: 5, Recon: 1}
+}
+
+// LossParts is the decomposed objective value.
+type LossParts struct {
+	Obj, NoObj, Class, Coord, Recon float64
+}
+
+// Total returns the weighted sum (weights already applied per part).
+func (l LossParts) Total() float64 {
+	return l.Obj + l.NoObj + l.Class + l.Coord + l.Recon
+}
+
+// Grads carries gradients for each head output; entries are nil when that
+// term was inactive (e.g. Recon for a decoder-less net).
+type Grads struct {
+	Conf, Class, BoxP, Recon *tensor.Tensor
+}
+
+// Loss evaluates the multi-term objective and its gradients. x is the input
+// batch (reconstruction target); boxes are per-sample ground truth; labeled
+// marks which batch entries contribute detection terms (unlabeled samples
+// contribute only reconstruction — the semi-supervised mechanism). A nil
+// labeled slice treats every sample as labeled.
+func (n *Net) Loss(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights) (LossParts, Grads) {
+	batch := out.Conf.Shape[0]
+	if len(boxes) != batch {
+		panic("climate: box list count != batch size")
+	}
+	if labeled != nil && len(labeled) != batch {
+		panic("climate: labeled mask count != batch size")
+	}
+	g := n.GridSize
+	k := int(NumClasses)
+	cells := g * g
+
+	var parts LossParts
+	grads := Grads{
+		Conf:  tensor.New(out.Conf.Shape...),
+		Class: tensor.New(out.Class.Shape...),
+		BoxP:  tensor.New(out.BoxP.Shape...),
+	}
+	nLabeled := 0
+	for s := 0; s < batch; s++ {
+		if labeled == nil || labeled[s] {
+			nLabeled++
+		}
+	}
+	if nLabeled > 0 {
+		invL := 1 / float64(nLabeled)
+		for s := 0; s < batch; s++ {
+			if labeled != nil && !labeled[s] {
+				continue
+			}
+			hasBox, cls, tx, ty, tw, th := n.EncodeTarget(boxes[s])
+			confBase := s * cells
+			classBase := s * k * cells
+			boxBase := s * 4 * cells
+			nBoxCells := 0
+			for _, hb := range hasBox {
+				if hb {
+					nBoxCells++
+				}
+			}
+			invCells := invL / float64(cells)
+			var invBox float64
+			if nBoxCells > 0 {
+				invBox = invL / float64(nBoxCells)
+			}
+			for ci := 0; ci < cells; ci++ {
+				confLogit := out.Conf.Data[confBase+ci]
+				if !hasBox[ci] {
+					l, dg := nn.BCEWithLogits(confLogit, 0)
+					parts.NoObj += w.NoObj * l * invCells
+					grads.Conf.Data[confBase+ci] += float32(w.NoObj*invCells) * dg
+					continue
+				}
+				// Confidence toward 1.
+				l, dg := nn.BCEWithLogits(confLogit, 1)
+				parts.Obj += w.Obj * l * invBox
+				grads.Conf.Data[confBase+ci] += float32(w.Obj*invBox) * dg
+
+				// Class cross-entropy over the K class logits at this cell.
+				logits := make([]float32, k)
+				for c := 0; c < k; c++ {
+					logits[c] = out.Class.Data[classBase+c*cells+ci]
+				}
+				cl, cg := softmaxCE(logits, cls[ci])
+				parts.Class += w.Class * cl * invBox
+				for c := 0; c < k; c++ {
+					grads.Class.Data[classBase+c*cells+ci] += float32(w.Class*invBox) * cg[c]
+				}
+
+				// Box geometry, smooth-L1 per coordinate.
+				targets := [4]float32{tx[ci], ty[ci], tw[ci], th[ci]}
+				for d := 0; d < 4; d++ {
+					pred := out.BoxP.Data[boxBase+d*cells+ci]
+					bl, bg := nn.SmoothL1(pred - targets[d])
+					parts.Coord += w.Coord * bl * invBox
+					grads.BoxP.Data[boxBase+d*cells+ci] += float32(w.Coord*invBox) * bg
+				}
+			}
+		}
+	}
+
+	if out.Recon != nil && w.Recon > 0 {
+		rl, rg := nn.MSELoss(out.Recon, x)
+		parts.Recon = w.Recon * rl
+		tensor.Scale(float32(w.Recon), rg.Data)
+		grads.Recon = rg
+	}
+	return parts, grads
+}
+
+// softmaxCE is a small-k softmax cross-entropy on one cell's logits.
+func softmaxCE(logits []float32, label int) (float64, []float32) {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v - maxv))
+	}
+	logZ := math.Log(sum) + float64(maxv)
+	grad := make([]float32, len(logits))
+	for j, v := range logits {
+		p := float32(math.Exp(float64(v) - logZ))
+		grad[j] = p
+	}
+	grad[label] -= 1
+	return logZ - float64(logits[label]), grad
+}
+
+// TrainStep runs one full forward/backward pass and returns the loss parts.
+// Gradients accumulate into the network parameters; the caller applies a
+// solver step and zeroes gradients.
+func (n *Net) TrainStep(x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights) LossParts {
+	out := n.Forward(x, true)
+	parts, grads := n.Loss(out, x, boxes, labeled, w)
+	n.Backward(out, grads.Conf, grads.Class, grads.BoxP, grads.Recon)
+	return parts
+}
+
+// Detect runs inference and returns per-sample detections after NMS, using
+// the paper's confidence threshold (0.8) by default.
+func (n *Net) Detect(x *tensor.Tensor, confThresh, nmsIoU float64) [][]Detection {
+	out := n.Forward(x, false)
+	batch := x.Shape[0]
+	dets := make([][]Detection, batch)
+	for s := 0; s < batch; s++ {
+		dets[s] = NMS(n.Decode(out, s, confThresh), nmsIoU)
+	}
+	return dets
+}

@@ -1,0 +1,84 @@
+package climate
+
+import (
+	"deep15pf/internal/core"
+	"deep15pf/internal/data"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// TrainingProblem adapts the semi-supervised climate task to the
+// distributed trainer. LabeledFrac controls the semi-supervised split:
+// sample i is treated as labeled iff i < LabeledFrac·len(dataset), so
+// unlabeled samples contribute only the reconstruction term — the paper's
+// mechanism for exploiting data "that might have few/no labeled examples".
+type TrainingProblem struct {
+	DS          *Dataset
+	Model       ModelConfig
+	Weights     LossWeights
+	LabeledFrac float64
+	InitSeed    uint64
+}
+
+// NewTrainingProblem builds the adapter with fully labeled data.
+func NewTrainingProblem(ds *Dataset, model ModelConfig, initSeed uint64) *TrainingProblem {
+	return &TrainingProblem{
+		DS: ds, Model: model, Weights: DefaultLossWeights(),
+		LabeledFrac: 1.0, InitSeed: initSeed,
+	}
+}
+
+// NewReplica implements core.Problem.
+func (p *TrainingProblem) NewReplica() core.Replica {
+	net := BuildNet(p.Model, tensor.NewRNG(p.InitSeed))
+	labeledN := int(p.LabeledFrac * float64(len(p.DS.Samples)))
+	return &climReplica{net: net, ds: p.DS, weights: p.Weights, labeledN: labeledN}
+}
+
+// NewBatchSource implements core.Problem.
+func (p *TrainingProblem) NewBatchSource(seed uint64) core.BatchSource {
+	return &climBatchSource{n: len(p.DS.Samples), rng: tensor.NewRNG(seed)}
+}
+
+type climReplica struct {
+	net      *Net
+	ds       *Dataset
+	weights  LossWeights
+	labeledN int
+}
+
+func (r *climReplica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
+func (r *climReplica) ZeroGrad()                   { r.net.ZeroGrad() }
+
+func (r *climReplica) ComputeGradients(idx []int) float64 {
+	x, boxes := r.ds.Batch(idx)
+	labeled := make([]bool, len(idx))
+	for i, sample := range idx {
+		labeled[i] = sample < r.labeledN
+	}
+	parts := r.net.TrainStep(x, boxes, labeled, r.weights)
+	return parts.Total()
+}
+
+// Net exposes the underlying network of a replica created by this problem
+// (for evaluation after training).
+func (p *TrainingProblem) Net(rep core.Replica) *Net {
+	cr, ok := rep.(*climReplica)
+	if !ok {
+		panic("climate: replica was not created by this problem")
+	}
+	return cr.net
+}
+
+type climBatchSource struct {
+	n   int
+	rng *tensor.RNG
+	b   *data.Batcher
+}
+
+func (s *climBatchSource) Next(size int) []int {
+	if s.b == nil || s.b.BatchSize != size {
+		s.b = data.NewBatcher(s.n, size, s.rng)
+	}
+	return s.b.Next()
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"deep15pf/internal/climate"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// NetProfile is everything the performance model needs to know about a
+// network: per-sample flop counts (taken from the real layer definitions,
+// not hand-entered), per-trainable-layer model bytes (the PS payloads and
+// allreduce message sizes), and the calibrated batch-efficiency curve.
+type NetProfile struct {
+	Name            string
+	FlopsPerSample  float64 // fwd+bwd algorithmic flops
+	ExecPerSample   float64 // fwd+bwd SIMD-lane-padded ("executed") flops
+	LayerBytes      []int64 // model bytes per trainable layer, in layer order
+	TotalModelBytes int64
+	Eff             EffCurve
+}
+
+// NumTrainableLayers returns the per-layer parameter-server count the
+// hybrid architecture dedicates to this network (§III-E: 6 for HEP, 14 for
+// climate).
+func (p NetProfile) NumTrainableLayers() int { return len(p.LayerBytes) }
+
+// HEPProfile derives the profile of the paper's supervised HEP network
+// from the real model definition (224×224×3, Table II).
+//
+// Efficiency calibration anchors: 1.90 TF/s at batch 8 on one node
+// (Fig 5a) and the strong-scaling saturation of the synchronous
+// configuration between 256 and 1024 nodes (Fig 6a), which requires the
+// sharp small-batch knee DeepBench reports for minibatches below ~8.
+func HEPProfile() NetProfile {
+	rng := tensor.NewRNG(0xEC)
+	net := hep.BuildNet(hep.PaperConfig(), rng)
+	return profileFromBreakdown("hep", net.FLOPBreakdown(), EffCurve{Max: 0.43, Knee: 3.71, Pow: 2.4})
+}
+
+// ClimateProfile derives the profile of the semi-supervised climate
+// network (768×768×16, Table II). Anchors: 2.09 TF/s at batch 8 (Fig 5b)
+// and synchronous strong-scaling saturation past 512 nodes (Fig 6b) — a
+// slightly gentler knee than HEP because the huge spatial extent keeps
+// GEMMs fat even at small batch.
+func ClimateProfile() NetProfile {
+	rng := tensor.NewRNG(0xC1)
+	net := climate.BuildNet(climate.PaperConfig(), rng)
+	return profileFromBreakdown("climate", net.FLOPBreakdown(), EffCurve{Max: 0.43, Knee: 2.91, Pow: 3.1})
+}
+
+func profileFromBreakdown(name string, rows []nn.LayerFlop, eff EffCurve) NetProfile {
+	p := NetProfile{Name: name, Eff: eff}
+	for _, r := range rows {
+		p.FlopsPerSample += float64(r.Count.Total())
+		p.ExecPerSample += float64(r.Count.TotalExecuted())
+		if r.Bytes > 0 {
+			p.LayerBytes = append(p.LayerBytes, r.Bytes)
+			p.TotalModelBytes += r.Bytes
+		}
+	}
+	return p
+}
+
+// NodeFlopRate returns the modelled per-node algorithmic flop rate at the
+// given per-node minibatch.
+func (p NetProfile) NodeFlopRate(m MachineSpec, batchPerNode float64) float64 {
+	return m.SustainedPeakFlops() * p.Eff.At(batchPerNode)
+}
+
+// ComputeTime returns the jitter-free time for one node to process
+// batchPerNode samples.
+func (p NetProfile) ComputeTime(m MachineSpec, batchPerNode float64) float64 {
+	if batchPerNode <= 0 {
+		return 0
+	}
+	return batchPerNode * p.FlopsPerSample / p.NodeFlopRate(m, batchPerNode)
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"deep15pf/internal/perf"
+	"deep15pf/internal/sim"
+	"deep15pf/internal/tensor"
+)
+
+// RunConfig describes one simulated training run.
+type RunConfig struct {
+	Nodes         int // compute nodes (parameter servers are extra)
+	Groups        int // 1 = fully synchronous (no PS involved)
+	BatchPerGroup int // samples per group per iteration
+	Iterations    int // iterations per group
+	Seed          uint64
+
+	// SinglePS shares one parameter server across all layers (the
+	// ablation for §III-E's per-layer PS design). Default false =
+	// one dedicated PS per trainable layer, as in the paper.
+	SinglePS bool
+
+	// CheckpointEvery adds a model snapshot to disk every k iterations
+	// (the paper's sustained numbers include this overhead; they
+	// checkpointed once in 10 iterations for climate).
+	CheckpointEvery int
+
+	// Failure optionally degrades one node mid-run (§VIII-A).
+	Failure *FailureSpec
+}
+
+// FailureSpec injects a straggling or dead node.
+type FailureSpec struct {
+	Group     int     // group owning the failing node
+	StartIter int     // group-local iteration when degradation starts
+	Duration  int     // iterations affected (ignored when Dead)
+	Slowdown  float64 // compute multiplier for that node's work
+	Dead      bool    // node never completes: the group halts
+}
+
+// RunResult captures a simulated run.
+type RunResult struct {
+	Config        RunConfig
+	WallTime      float64     // completion time of the last finished iteration
+	TotalImages   int64       // samples processed machine-wide
+	IterDurations [][]float64 // per group, per completed iteration
+	Throughput    float64     // images/second machine-wide
+	FlopRate      float64     // mean algorithmic flop/s machine-wide
+	ExecFlopRate  float64     // mean executed (lane-padded) flop/s
+
+	// §V methodology numbers (aggregated across concurrent groups).
+	PeakFlopRate      float64
+	SustainedFlopRate float64
+	ExecPeak          float64
+	ExecSustained     float64
+
+	PSNodes          int
+	PSMaxUtilization float64
+	Halted           bool // a dead node stopped one or more groups
+}
+
+// Simulate runs the discrete-event model of one training run.
+func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
+	if cfg.Groups < 1 || cfg.Nodes < cfg.Groups {
+		panic(fmt.Sprintf("cluster: invalid config nodes=%d groups=%d", cfg.Nodes, cfg.Groups))
+	}
+	if cfg.BatchPerGroup < 1 || cfg.Iterations < 1 {
+		panic("cluster: batch and iterations must be positive")
+	}
+	s := sim.New()
+	rng := tensor.NewRNG(cfg.Seed + 0x5EED)
+
+	// Parameter servers: one resource per trainable layer (or a single
+	// shared one for the ablation). Only used when Groups > 1.
+	var psRes []*sim.Resource
+	psNodes := 0
+	if cfg.Groups > 1 {
+		if cfg.SinglePS {
+			shared := sim.NewResource(s, "ps")
+			for range p.LayerBytes {
+				psRes = append(psRes, shared)
+			}
+			psNodes = 1
+		} else {
+			for l := range p.LayerBytes {
+				psRes = append(psRes, sim.NewResource(s, fmt.Sprintf("ps-layer%d", l)))
+			}
+			psNodes = len(p.LayerBytes)
+		}
+	}
+
+	groupNodes := cfg.Nodes / cfg.Groups
+	batchPerNode := float64(cfg.BatchPerGroup) / float64(groupNodes)
+	baseCompute := p.ComputeTime(m, batchPerNode)
+
+	durations := make([][]float64, cfg.Groups)
+	halted := false
+
+	// Each group is an independent chain of events; PS resources couple
+	// them through FIFO queueing.
+	var startIter func(g, iter int, tStart float64)
+	finishIter := func(g, iter int, tStart float64) {
+		end := s.Now()
+		durations[g] = append(durations[g], end-tStart)
+		if iter+1 < cfg.Iterations {
+			startIter(g, iter+1, end)
+		}
+	}
+	startIter = func(g, iter int, tStart float64) {
+		// Compute phase: the group barrier waits for the slowest node.
+		compute := baseCompute * maxLogNormal(rng, groupNodes, m.ComputeJitter)
+		if f := cfg.Failure; f != nil && f.Group == g && iter >= f.StartIter {
+			if f.Dead {
+				halted = true
+				return // node never reports: group stalls forever
+			}
+			if iter < f.StartIter+f.Duration && f.Slowdown > 1 {
+				slowed := baseCompute * f.Slowdown
+				if slowed > compute {
+					compute = slowed
+				}
+			}
+		}
+		// Gradient allreduce per trainable layer (§III-D, MLSL).
+		comm := 0.0
+		for _, bytes := range p.LayerBytes {
+			comm += m.AllReduceTime(rng, groupNodes, bytes)
+		}
+		// Solver/update overhead on the synchronous path is folded into
+		// the compute model; checkpointing is explicit.
+		checkpoint := 0.0
+		if cfg.CheckpointEvery > 0 && iter > 0 && iter%cfg.CheckpointEvery == 0 {
+			checkpoint = float64(p.TotalModelBytes) / m.CheckpointBandwidth
+		}
+		readyAt := compute + comm + checkpoint
+
+		if cfg.Groups == 1 {
+			s.Schedule(readyAt, func() { finishIter(g, iter, tStart) })
+			return
+		}
+		// Hybrid: the group root exchanges each layer with its dedicated
+		// PS (§III-E, Fig 4), then broadcasts the new model to the group.
+		// Events run in time order, so the last response to arrive fires
+		// the broadcast at exactly the max response time.
+		s.Schedule(readyAt, func() {
+			pending := len(psRes)
+			for l, res := range psRes {
+				l, res := l, res
+				sendLat := m.PSLatency(rng)
+				s.Schedule(sendLat, func() {
+					done := res.Request(m.PSServiceTime(p.LayerBytes[l]))
+					retLat := m.PSLatency(rng)
+					s.ScheduleAt(done, func() {
+						s.Schedule(retLat, func() {
+							pending--
+							if pending == 0 {
+								bc := m.BroadcastTime(rng, groupNodes, p.TotalModelBytes)
+								s.Schedule(bc, func() { finishIter(g, iter, tStart) })
+							}
+						})
+					})
+				})
+			}
+		})
+	}
+
+	for g := 0; g < cfg.Groups; g++ {
+		g := g
+		s.Schedule(0, func() { startIter(g, 0, 0) })
+	}
+	s.Run()
+
+	res := RunResult{Config: cfg, IterDurations: durations, PSNodes: psNodes, Halted: halted}
+	var totalIters int
+	for g := range durations {
+		totalIters += len(durations[g])
+		// Iterations run back to back, so the group's finish time is the
+		// sum of its iteration durations.
+		if end := sumUpTo(durations[g]); end > res.WallTime {
+			res.WallTime = end
+		}
+	}
+	res.TotalImages = int64(totalIters) * int64(cfg.BatchPerGroup)
+	if res.WallTime > 0 {
+		res.Throughput = float64(res.TotalImages) / res.WallTime
+		res.FlopRate = float64(res.TotalImages) * p.FlopsPerSample / res.WallTime
+		res.ExecFlopRate = float64(res.TotalImages) * p.ExecPerSample / res.WallTime
+	}
+	// §V peak/sustained: per-group iteration rates aggregated over the
+	// concurrently running groups.
+	iterFlops := float64(cfg.BatchPerGroup) * p.FlopsPerSample
+	iterExec := float64(cfg.BatchPerGroup) * p.ExecPerSample
+	for _, d := range durations {
+		if len(d) == 0 {
+			continue
+		}
+		window := 10
+		if window > len(d) {
+			window = len(d)
+		}
+		g := float64(cfg.Groups)
+		if v := perf.PeakRate(d, iterFlops) * g; v > res.PeakFlopRate {
+			res.PeakFlopRate = v
+		}
+		if v := perf.SustainedRate(d, iterFlops, window) * g; v > res.SustainedFlopRate {
+			res.SustainedFlopRate = v
+		}
+		if v := perf.PeakRate(d, iterExec) * g; v > res.ExecPeak {
+			res.ExecPeak = v
+		}
+		if v := perf.SustainedRate(d, iterExec, window) * g; v > res.ExecSustained {
+			res.ExecSustained = v
+		}
+	}
+	horizon := res.WallTime
+	for _, r := range psRes {
+		if u := r.Utilization(horizon); u > res.PSMaxUtilization {
+			res.PSMaxUtilization = u
+		}
+		if cfg.SinglePS {
+			break // all entries alias the same resource
+		}
+	}
+	return res
+}
+
+func sumUpTo(d []float64) float64 {
+	var s float64
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// MeanIterTime returns the average iteration duration across groups.
+func (r RunResult) MeanIterTime() float64 {
+	var sum float64
+	n := 0
+	for _, d := range r.IterDurations {
+		for _, v := range d {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}

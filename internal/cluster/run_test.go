@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateDeterministic(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	cfg := RunConfig{Nodes: 64, Groups: 4, BatchPerGroup: 256, Iterations: 5, Seed: 7}
+	a := Simulate(m, p, cfg)
+	b := Simulate(m, p, cfg)
+	if a.WallTime != b.WallTime || a.Throughput != b.Throughput {
+		t.Fatal("same seed must reproduce the run exactly")
+	}
+}
+
+func TestSimulateCountsIterations(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	r := Simulate(m, p, RunConfig{Nodes: 16, Groups: 2, BatchPerGroup: 64, Iterations: 7, Seed: 1})
+	if len(r.IterDurations) != 2 {
+		t.Fatalf("groups = %d", len(r.IterDurations))
+	}
+	for g, d := range r.IterDurations {
+		if len(d) != 7 {
+			t.Fatalf("group %d completed %d iterations, want 7", g, len(d))
+		}
+	}
+	if r.TotalImages != 2*7*64 {
+		t.Fatalf("TotalImages = %d", r.TotalImages)
+	}
+	if r.Throughput <= 0 || r.FlopRate <= 0 {
+		t.Fatal("rates must be positive")
+	}
+}
+
+func TestSyncRunHasNoPS(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	r := Simulate(m, p, RunConfig{Nodes: 16, Groups: 1, BatchPerGroup: 64, Iterations: 3, Seed: 1})
+	if r.PSNodes != 0 {
+		t.Fatalf("sync run allocated %d PS nodes", r.PSNodes)
+	}
+	h := Simulate(m, p, RunConfig{Nodes: 16, Groups: 2, BatchPerGroup: 64, Iterations: 3, Seed: 1})
+	if h.PSNodes != p.NumTrainableLayers() {
+		t.Fatalf("hybrid PS nodes = %d, want %d", h.PSNodes, p.NumTrainableLayers())
+	}
+}
+
+func TestPeakAtLeastSustained(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	r := Simulate(m, p, RunConfig{Nodes: 128, Groups: 4, BatchPerGroup: 512, Iterations: 15, Seed: 3})
+	if r.PeakFlopRate < r.SustainedFlopRate {
+		t.Fatalf("peak %v < sustained %v", r.PeakFlopRate, r.SustainedFlopRate)
+	}
+	if r.ExecPeak < r.PeakFlopRate {
+		t.Fatal("executed rate must dominate algorithmic")
+	}
+}
+
+func TestCheckpointOverheadSlowsRun(t *testing.T) {
+	m := CoriPhaseII()
+	p := ClimateProfile()
+	base := RunConfig{Nodes: 64, Groups: 1, BatchPerGroup: 512, Iterations: 21, Seed: 4}
+	withCkpt := base
+	withCkpt.CheckpointEvery = 10
+	r0 := Simulate(m, p, base)
+	r1 := Simulate(m, p, withCkpt)
+	if r1.WallTime <= r0.WallTime {
+		t.Fatalf("checkpointing must add time: %v vs %v", r1.WallTime, r0.WallTime)
+	}
+}
+
+func TestDeadNodeHaltsSyncRun(t *testing.T) {
+	// §VIII-A: "even a single node failure can cause complete failure of
+	// synchronous runs; hybrid runs are much more resilient since only
+	// one of the compute groups gets affected."
+	m := CoriPhaseII()
+	p := HEPProfile()
+	fail := &FailureSpec{Group: 0, StartIter: 5, Dead: true}
+	sync := Simulate(m, p, RunConfig{Nodes: 64, Groups: 1, BatchPerGroup: 256, Iterations: 10, Seed: 5, Failure: fail})
+	if !sync.Halted {
+		t.Fatal("sync run must halt")
+	}
+	if n := len(sync.IterDurations[0]); n != 5 {
+		t.Fatalf("sync completed %d iterations, want 5 before the failure", n)
+	}
+	hybrid := Simulate(m, p, RunConfig{Nodes: 64, Groups: 4, BatchPerGroup: 256, Iterations: 10, Seed: 5, Failure: fail})
+	if !hybrid.Halted {
+		t.Fatal("failed group must halt")
+	}
+	var healthyIters int
+	for g := 1; g < 4; g++ {
+		healthyIters += len(hybrid.IterDurations[g])
+	}
+	if healthyIters != 3*10 {
+		t.Fatalf("healthy groups must finish: %d iterations", healthyIters)
+	}
+	// Hybrid completes 35/40 group-iterations; sync completes 5/10.
+	if hybrid.TotalImages <= sync.TotalImages*3 {
+		t.Fatalf("hybrid should retain most throughput: %d vs %d", hybrid.TotalImages, sync.TotalImages)
+	}
+}
+
+func TestStragglerSlowdownStretchesIterations(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	fail := &FailureSpec{Group: 0, StartIter: 2, Duration: 3, Slowdown: 10}
+	r := Simulate(m, p, RunConfig{Nodes: 32, Groups: 1, BatchPerGroup: 256, Iterations: 8, Seed: 6, Failure: fail})
+	d := r.IterDurations[0]
+	if len(d) != 8 {
+		t.Fatalf("run must complete, got %d iterations", len(d))
+	}
+	healthy := (d[0] + d[1]) / 2
+	slowed := (d[2] + d[3] + d[4]) / 3
+	recovered := (d[6] + d[7]) / 2
+	if slowed < 5*healthy {
+		t.Fatalf("straggler barely visible: %v vs %v", slowed, healthy)
+	}
+	if recovered > 2*healthy {
+		t.Fatalf("run did not recover: %v vs %v", recovered, healthy)
+	}
+}
+
+func TestSinglePSAblationSaturates(t *testing.T) {
+	// §III-E: per-layer parameter servers exist "to reduce the chances of
+	// PS saturation". One shared PS serving every layer of many groups
+	// must show far higher utilisation and lower throughput.
+	m := CoriPhaseII()
+	p := HEPProfile()
+	base := RunConfig{Nodes: 512, Groups: 8, BatchPerGroup: 512, Iterations: 8, Seed: 7}
+	perLayer := Simulate(m, p, base)
+	shared := base
+	shared.SinglePS = true
+	single := Simulate(m, p, shared)
+	if single.PSNodes != 1 || perLayer.PSNodes != 6 {
+		t.Fatalf("PS nodes: %d vs %d", single.PSNodes, perLayer.PSNodes)
+	}
+	if single.PSMaxUtilization <= perLayer.PSMaxUtilization {
+		t.Fatalf("shared PS should be hotter: %.2f vs %.2f",
+			single.PSMaxUtilization, perLayer.PSMaxUtilization)
+	}
+	if single.Throughput >= perLayer.Throughput {
+		t.Fatalf("shared PS should not be faster: %.0f vs %.0f img/s",
+			single.Throughput, perLayer.Throughput)
+	}
+}
+
+func TestMeanIterTime(t *testing.T) {
+	r := RunResult{IterDurations: [][]float64{{1, 3}, {2}}}
+	if got := r.MeanIterTime(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	empty := RunResult{IterDurations: [][]float64{{}}}
+	if !math.IsInf(empty.MeanIterTime(), 1) {
+		t.Fatal("empty run must be +inf")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	mustPanic := func(cfg RunConfig) {
+		defer func() { _ = recover() }()
+		Simulate(m, p, cfg)
+		t.Fatalf("expected panic for %+v", cfg)
+	}
+	mustPanic(RunConfig{Nodes: 2, Groups: 4, BatchPerGroup: 8, Iterations: 1})
+	mustPanic(RunConfig{Nodes: 4, Groups: 0, BatchPerGroup: 8, Iterations: 1})
+	mustPanic(RunConfig{Nodes: 4, Groups: 1, BatchPerGroup: 0, Iterations: 1})
+}

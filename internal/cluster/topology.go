@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+
+	"deep15pf/internal/tensor"
+)
+
+// Topology models the paper's Fig 3: Cori's Aries dragonfly network is
+// organised into *electrical groups* (pairs of cabinets with all-to-all
+// electrical links; optical links between groups). The paper's "ideal
+// placement" puts each compute group inside as few electrical groups as
+// possible, so intra-group allreduce traffic stays on the cheap electrical
+// network, and parameter servers sit near their groups.
+type Topology struct {
+	ElectricalGroups int // electrical groups in the machine
+	NodesPerGroup    int // nodes per electrical group
+	// InterGroupPenalty multiplies hop latency for collectives whose
+	// members span multiple electrical groups (optical hops + global-link
+	// contention).
+	InterGroupPenalty float64
+}
+
+// CoriTopology returns the Cori Phase II layout: 9688 KNL nodes across
+// ~68 electrical groups (two-cabinet groups of ~384 nodes, §IV's dragonfly).
+func CoriTopology() Topology {
+	return Topology{
+		ElectricalGroups:  26,
+		NodesPerGroup:     384,
+		InterGroupPenalty: 1.8,
+	}
+}
+
+// TotalNodes returns the machine capacity.
+func (t Topology) TotalNodes() int { return t.ElectricalGroups * t.NodesPerGroup }
+
+// Placement assigns each compute group a set of electrical groups.
+type Placement struct {
+	// SpanOf[g] is the number of electrical groups compute group g
+	// touches; 1 is ideal.
+	SpanOf []int
+}
+
+// LatencyFactor returns the hop-latency multiplier for compute group g
+// under this placement: 1.0 when the group fits inside one electrical
+// group, growing with the number of optical-domain crossings.
+func (p Placement) LatencyFactor(g int, t Topology) float64 {
+	span := p.SpanOf[g]
+	if span <= 1 {
+		return 1
+	}
+	// Each extra electrical group adds a fraction of the full penalty:
+	// traffic on the tree crosses optical links in proportion to how much
+	// of the group lives remotely.
+	frac := float64(span-1) / float64(span)
+	return 1 + (t.InterGroupPenalty-1)*frac
+}
+
+// MeanLatencyFactor averages the factor over compute groups.
+func (p Placement) MeanLatencyFactor(t Topology) float64 {
+	if len(p.SpanOf) == 0 {
+		return 1
+	}
+	var sum float64
+	for g := range p.SpanOf {
+		sum += p.LatencyFactor(g, t)
+	}
+	return sum / float64(len(p.SpanOf))
+}
+
+// PlaceAligned packs compute groups into contiguous electrical groups —
+// the paper's Fig 3 placement. Compute groups smaller than an electrical
+// group share one; larger ones span ceil(size/NodesPerGroup).
+func (t Topology) PlaceAligned(computeGroups, nodesPerComputeGroup int) (Placement, error) {
+	if computeGroups*nodesPerComputeGroup > t.TotalNodes() {
+		return Placement{}, fmt.Errorf("cluster: %d nodes requested, machine has %d",
+			computeGroups*nodesPerComputeGroup, t.TotalNodes())
+	}
+	p := Placement{SpanOf: make([]int, computeGroups)}
+	span := (nodesPerComputeGroup + t.NodesPerGroup - 1) / t.NodesPerGroup
+	for g := range p.SpanOf {
+		p.SpanOf[g] = span
+	}
+	return p, nil
+}
+
+// PlaceScattered assigns nodes to compute groups uniformly at random
+// across the machine — the placement a batch scheduler produces without
+// topology awareness. Each compute group's span is the number of distinct
+// electrical groups its nodes land in.
+func (t Topology) PlaceScattered(computeGroups, nodesPerComputeGroup int, rng *tensor.RNG) (Placement, error) {
+	total := computeGroups * nodesPerComputeGroup
+	if total > t.TotalNodes() {
+		return Placement{}, fmt.Errorf("cluster: %d nodes requested, machine has %d", total, t.TotalNodes())
+	}
+	// Sample node slots without replacement via a partial shuffle.
+	slots := rng.Perm(t.TotalNodes())[:total]
+	p := Placement{SpanOf: make([]int, computeGroups)}
+	for g := 0; g < computeGroups; g++ {
+		seen := make(map[int]bool)
+		for i := 0; i < nodesPerComputeGroup; i++ {
+			eg := slots[g*nodesPerComputeGroup+i] / t.NodesPerGroup
+			seen[eg] = true
+		}
+		p.SpanOf[g] = len(seen)
+	}
+	return p, nil
+}
+
+// WithPlacement returns a machine spec whose hop latency reflects the
+// mean placement quality — the knob Fig 3's topological placement turns.
+func (m MachineSpec) WithPlacement(p Placement, t Topology) MachineSpec {
+	out := m
+	out.HopLatency = m.HopLatency * p.MeanLatencyFactor(t)
+	return out
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+func TestCoriTopologyCapacity(t *testing.T) {
+	topo := CoriTopology()
+	// §IV: 9688 compute nodes; the electrical-group layout must cover it.
+	if topo.TotalNodes() < 9688 {
+		t.Fatalf("topology holds %d nodes, Cori has 9688", topo.TotalNodes())
+	}
+}
+
+func TestAlignedPlacementIsIdeal(t *testing.T) {
+	topo := CoriTopology()
+	// Compute groups that fit an electrical group have span 1 → factor 1.
+	p, err := topo.PlaceAligned(9, 384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.MeanLatencyFactor(topo); f != 1 {
+		t.Fatalf("aligned small groups factor = %v, want 1", f)
+	}
+	// A 1066-node compute group (the HEP full-system shape) spans 3
+	// electrical groups of 384.
+	p2, err := topo.PlaceAligned(9, 1066)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.SpanOf[0] != 3 {
+		t.Fatalf("1066-node group span = %d, want 3", p2.SpanOf[0])
+	}
+	if f := p2.MeanLatencyFactor(topo); f <= 1 || f > topo.InterGroupPenalty {
+		t.Fatalf("factor %v out of (1, penalty]", f)
+	}
+}
+
+func TestScatteredPlacementWorseThanAligned(t *testing.T) {
+	topo := CoriTopology()
+	rng := tensor.NewRNG(1)
+	aligned, err := topo.PlaceAligned(8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scattered, err := topo.PlaceScattered(8, 256, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := aligned.MeanLatencyFactor(topo)
+	fs := scattered.MeanLatencyFactor(topo)
+	if fs <= fa {
+		t.Fatalf("scattered placement should cost more: %v vs %v", fs, fa)
+	}
+	// 256 random nodes over 26 electrical groups touch nearly all of them.
+	if scattered.SpanOf[0] < 10 {
+		t.Fatalf("scattered span suspiciously small: %d", scattered.SpanOf[0])
+	}
+}
+
+func TestPlacementCapacityValidation(t *testing.T) {
+	topo := CoriTopology()
+	if _, err := topo.PlaceAligned(100, 1000); err == nil {
+		t.Fatal("oversubscription must error")
+	}
+	if _, err := topo.PlaceScattered(100, 1000, tensor.NewRNG(2)); err == nil {
+		t.Fatal("oversubscription must error")
+	}
+}
+
+func TestWithPlacementSlowsCollectives(t *testing.T) {
+	// The Fig 3 claim, end to end: the same training run with scattered
+	// placement is slower than with aligned placement, because every
+	// allreduce tree step pays optical-domain latency.
+	topo := CoriTopology()
+	rng := tensor.NewRNG(3)
+	aligned, _ := topo.PlaceAligned(1, 1024)
+	scattered, _ := topo.PlaceScattered(1, 1024, rng)
+
+	base := CoriPhaseII()
+	p := HEPProfile()
+	cfg := RunConfig{Nodes: 1024, Groups: 1, BatchPerGroup: 8192, Iterations: 10, Seed: 7}
+	ra := Simulate(base.WithPlacement(aligned, topo), p, cfg)
+	rs := Simulate(base.WithPlacement(scattered, topo), p, cfg)
+	if rs.Throughput >= ra.Throughput {
+		t.Fatalf("scattered placement should reduce throughput: %v vs %v", rs.Throughput, ra.Throughput)
+	}
+}
+
+func TestLatencyFactorBounds(t *testing.T) {
+	topo := CoriTopology()
+	p := Placement{SpanOf: []int{1, 2, 26}}
+	if p.LatencyFactor(0, topo) != 1 {
+		t.Fatal("span 1 must be free")
+	}
+	f2 := p.LatencyFactor(1, topo)
+	f26 := p.LatencyFactor(2, topo)
+	if !(f2 > 1 && f26 > f2 && f26 <= topo.InterGroupPenalty) {
+		t.Fatalf("factors out of order: %v %v", f2, f26)
+	}
+	empty := Placement{}
+	if empty.MeanLatencyFactor(topo) != 1 {
+		t.Fatal("empty placement must be neutral")
+	}
+}

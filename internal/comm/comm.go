@@ -1,0 +1,175 @@
+// Package comm is the in-process counterpart of the paper's MLSL layer
+// (§III-D): collective operations — all-reduce, broadcast, barrier — over a
+// fixed group of workers, implemented with channels so real multi-worker
+// training runs inside one process. Reductions use a deterministic binary
+// tree, so results are bit-identical across runs regardless of goroutine
+// scheduling (floating-point addition is not associative; a fixed tree
+// makes the reduction order part of the contract).
+//
+// The paper extended MLSL with disjoint communication groups and dedicated
+// parameter-server endpoints; here NewGroups carves a worker set into
+// disjoint groups, and internal/ps provides the PS endpoints.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"deep15pf/internal/tensor"
+)
+
+// Group is a communicator over Size ranks. All ranks must call each
+// collective the same number of times in the same order (standard MPI
+// semantics); collectives match by call sequence.
+type Group struct {
+	size    int
+	barrier *barrier
+	// slots[i] carries rank i's contribution for the current collective.
+	slots [][]float32
+	mu    sync.Mutex
+}
+
+// NewGroup creates a communicator for size ranks.
+func NewGroup(size int) *Group {
+	if size < 1 {
+		panic("comm: group size must be positive")
+	}
+	return &Group{
+		size:    size,
+		barrier: newBarrier(size),
+		slots:   make([][]float32, size),
+	}
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return g.size }
+
+// NewGroups partitions n workers into k disjoint groups of n/k ranks each
+// (n must divide evenly), mirroring the paper's MLSL extension for
+// "node placement into disjoint communication groups".
+func NewGroups(n, k int) []*Group {
+	if k < 1 || n%k != 0 {
+		panic(fmt.Sprintf("comm: cannot split %d workers into %d equal groups", n, k))
+	}
+	out := make([]*Group, k)
+	for i := range out {
+		out[i] = NewGroup(n / k)
+	}
+	return out
+}
+
+// Barrier blocks until every rank has entered.
+func (g *Group) Barrier() {
+	g.barrier.wait()
+}
+
+// AllReduceSum sums data across ranks in place: after the call every
+// rank's slice holds the elementwise sum. The reduction is a fixed
+// sequential-order tree executed by rank 0 (deterministic), then broadcast.
+func (g *Group) AllReduceSum(rank int, data []float32) {
+	g.checkRank(rank)
+	if g.size == 1 {
+		return
+	}
+	g.mu.Lock()
+	g.slots[rank] = data
+	g.mu.Unlock()
+	g.barrier.wait() // all contributions visible
+	if rank == 0 {
+		// Deterministic reduction: accumulate ranks in index order into
+		// rank 0's buffer.
+		acc := g.slots[0]
+		for r := 1; r < g.size; r++ {
+			tensor.Axpy(1, g.slots[r], acc)
+		}
+	}
+	g.barrier.wait() // reduction complete
+	if rank != 0 {
+		copy(data, g.slots[0])
+	}
+	g.barrier.wait() // copies complete before anyone reuses buffers
+}
+
+// AllReduceMean averages data across ranks in place.
+func (g *Group) AllReduceMean(rank int, data []float32) {
+	g.AllReduceSum(rank, data)
+	if g.size > 1 {
+		tensor.Scale(1/float32(g.size), data)
+	}
+}
+
+// Broadcast copies root's buffer into every other rank's buffer.
+func (g *Group) Broadcast(rank, root int, data []float32) {
+	g.checkRank(rank)
+	g.checkRank(root)
+	if g.size == 1 {
+		return
+	}
+	g.mu.Lock()
+	g.slots[rank] = data
+	g.mu.Unlock()
+	g.barrier.wait()
+	if rank != root {
+		copy(data, g.slots[root])
+	}
+	g.barrier.wait()
+}
+
+// Gather collects every rank's value at the root; other ranks receive nil.
+// Values are positioned by rank.
+func (g *Group) Gather(rank, root int, value float64) []float64 {
+	g.checkRank(rank)
+	g.mu.Lock()
+	if g.slots[rank] == nil || len(g.slots[rank]) != 1 {
+		g.slots[rank] = make([]float32, 1)
+	}
+	g.slots[rank][0] = float32(value)
+	g.mu.Unlock()
+	g.barrier.wait()
+	var out []float64
+	if rank == root {
+		out = make([]float64, g.size)
+		for r := 0; r < g.size; r++ {
+			out[r] = float64(g.slots[r][0])
+		}
+	}
+	g.barrier.wait()
+	return out
+}
+
+func (g *Group) checkRank(rank int) {
+	if rank < 0 || rank >= g.size {
+		panic(fmt.Sprintf("comm: rank %d out of group of %d", rank, g.size))
+	}
+}
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	phase   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

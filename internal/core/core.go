@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution (§III-E): the
+// hybrid distributed training architecture. Workers form compute groups;
+// within a group data-parallel workers synchronise gradients with
+// all-reduce; across groups updates flow asynchronously through dedicated
+// per-layer parameter servers. The group count is the knob that trades
+// statistical efficiency (staleness) against hardware efficiency
+// (stragglers, small-batch throughput), tuned jointly with momentum per
+// Mitliagkas et al. (the paper's [31]).
+//
+// Three execution modes are provided:
+//
+//   - TrainSync: fully synchronous data parallelism (1 logical group, no
+//     parameter servers) — the paper's baseline configuration;
+//   - TrainHybrid: G groups × W workers as real goroutines against real
+//     ps.Fleet servers (asynchrony from actual concurrency);
+//   - TrainScheduled: the same group-level update sequence executed in an
+//     externally supplied completion order — used to couple real SGD
+//     dynamics to the cluster simulator's timeline for the Fig 8
+//     time-to-train study.
+package core
+
+import (
+	"fmt"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/opt"
+)
+
+// Replica is one worker's complete training state: a model plus whatever
+// data access it needs to compute gradients on sample indices.
+type Replica interface {
+	// TrainableLayers returns the parameterised layers in a fixed order
+	// (the per-layer PS pairing).
+	TrainableLayers() []nn.Layer
+	// ZeroGrad clears gradient accumulators.
+	ZeroGrad()
+	// ComputeGradients runs forward/backward over the dataset samples
+	// idx, accumulating *mean* gradients (normalised by len(idx)) into
+	// the layer parameters, and returns the mean loss.
+	ComputeGradients(idx []int) float64
+}
+
+// BatchSource yields batch index sets (typically epoch-shuffled).
+type BatchSource interface {
+	Next(size int) []int
+}
+
+// Problem binds a model family to a dataset.
+type Problem interface {
+	// NewReplica builds a model replica. Every call must produce an
+	// identically initialised model (replicas start in lockstep).
+	NewReplica() Replica
+	// NewBatchSource returns an independent index stream; distinct seeds
+	// give distinct streams.
+	NewBatchSource(seed uint64) BatchSource
+}
+
+// Config parameterises a training run.
+type Config struct {
+	Groups          int // compute groups (1 = synchronous)
+	WorkersPerGroup int // data-parallel workers within each group
+	GroupBatch      int // samples per group per iteration
+	Iterations      int // iterations per group
+	Solver          opt.Solver
+	Seed            uint64
+}
+
+func (c Config) validate() {
+	if c.Groups < 1 || c.WorkersPerGroup < 1 {
+		panic(fmt.Sprintf("core: invalid groups=%d workers=%d", c.Groups, c.WorkersPerGroup))
+	}
+	if c.GroupBatch < 1 || c.GroupBatch%c.WorkersPerGroup != 0 {
+		panic(fmt.Sprintf("core: group batch %d must divide evenly over %d workers", c.GroupBatch, c.WorkersPerGroup))
+	}
+	if c.Iterations < 1 {
+		panic("core: iterations must be positive")
+	}
+	if c.Solver == nil {
+		panic("core: solver required")
+	}
+}
+
+// IterStat records one completed group iteration.
+type IterStat struct {
+	Seq       int     // global completion order
+	Group     int     // owning group
+	Iter      int     // group-local iteration index
+	Loss      float64 // mean loss over the group batch
+	Staleness float64 // mean PS staleness across layers (0 for sync)
+	Time      float64 // simulated completion time (TrainScheduled only)
+}
+
+// Result summarises a run.
+type Result struct {
+	Stats         []IterStat
+	MeanStaleness float64
+	FinalLoss     float64 // mean loss over the last completed round of groups
+	// FinalWeights is the trained model: per trainable layer, per
+	// parameter blob (the PS master for hybrid runs, the lockstep replica
+	// state for sync runs). Install into a fresh replica with
+	// InstallWeights for evaluation.
+	FinalWeights [][][]float32
+}
+
+// ExtractWeights copies a layer set's current parameter values into the
+// Result.FinalWeights wire format.
+func ExtractWeights(layers []nn.Layer) [][][]float32 {
+	out := make([][][]float32, len(layers))
+	for i, l := range layers {
+		for _, p := range l.Params() {
+			out[i] = append(out[i], append([]float32(nil), p.W.Data...))
+		}
+	}
+	return out
+}
+
+// InstallWeights loads trained weights into a replica (e.g. a fresh one
+// built for evaluation).
+func InstallWeights(rep Replica, weights [][][]float32) {
+	installWeights(rep.TrainableLayers(), weights)
+}
+
+func finalize(stats []IterStat, groups int) Result {
+	res := Result{Stats: stats}
+	var staleSum float64
+	for _, s := range stats {
+		staleSum += s.Staleness
+	}
+	if len(stats) > 0 {
+		res.MeanStaleness = staleSum / float64(len(stats))
+		tail := groups
+		if tail > len(stats) {
+			tail = len(stats)
+		}
+		var lossSum float64
+		for _, s := range stats[len(stats)-tail:] {
+			lossSum += s.Loss
+		}
+		res.FinalLoss = lossSum / float64(tail)
+	}
+	return res
+}
+
+// layerGrads packages a replica's accumulated per-layer gradients in the
+// wire format the parameter servers take.
+func layerGrads(layers []nn.Layer) [][][]float32 {
+	out := make([][][]float32, len(layers))
+	for i, l := range layers {
+		for _, p := range l.Params() {
+			out[i] = append(out[i], p.Grad.Data)
+		}
+	}
+	return out
+}
+
+// installWeights copies parameter-server weight blobs into a replica.
+func installWeights(layers []nn.Layer, weights [][][]float32) {
+	if len(weights) != len(layers) {
+		panic("core: weight set count mismatch")
+	}
+	for i, l := range layers {
+		params := l.Params()
+		if len(weights[i]) != len(params) {
+			panic("core: weight blob count mismatch")
+		}
+		for j, p := range params {
+			copy(p.W.Data, weights[i][j])
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"deep15pf/internal/comm"
+	"deep15pf/internal/data"
+	"deep15pf/internal/ps"
+)
+
+// TrainHybrid runs the paper's hybrid architecture with real concurrency:
+// cfg.Groups compute groups, each of cfg.WorkersPerGroup goroutine workers.
+// Within a group gradients are all-reduced synchronously; the group root
+// then exchanges each layer with its dedicated parameter server (ps.Fleet)
+// and broadcasts the fresh model back to its group (§III-E, Figs 2–4).
+// Groups never synchronise with each other — asynchrony and staleness are
+// real, produced by goroutine scheduling.
+func TrainHybrid(p Problem, cfg Config) Result {
+	cfg.validate()
+
+	// The PS fleet owns the master model: one server per trainable layer,
+	// initialised from a template replica, solver state server-side.
+	template := p.NewReplica()
+	fleet := ps.NewFleet(template.TrainableLayers(), cfg.Solver)
+
+	var seq atomic.Int64
+	type rec struct {
+		stat IterStat
+	}
+	recCh := make(chan rec, cfg.Groups*cfg.Iterations)
+
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			runGroup(p, cfg, g, fleet, func(stat IterStat) {
+				stat.Seq = int(seq.Add(1)) - 1
+				recCh <- rec{stat}
+			})
+		}(g)
+	}
+	wg.Wait()
+	close(recCh)
+
+	stats := make([]IterStat, 0, cfg.Groups*cfg.Iterations)
+	for r := range recCh {
+		stats = append(stats, r.stat)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Seq < stats[j].Seq })
+	res := finalize(stats, cfg.Groups)
+	res.FinalWeights = fleetWeights(fleet)
+	return res
+}
+
+// fleetWeights snapshots the PS masters (the trained model).
+func fleetWeights(fleet *ps.Fleet) [][][]float32 {
+	out := make([][][]float32, len(fleet.Servers))
+	for i, s := range fleet.Servers {
+		out[i] = s.Weights()
+	}
+	return out
+}
+
+// runGroup executes one compute group's synchronous inner loop and its
+// asynchronous PS exchanges. record is called once per completed iteration
+// with the group-batch mean loss and staleness.
+func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterStat)) {
+	w := cfg.WorkersPerGroup
+	src := p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
+	batches := make([][]int, cfg.Iterations)
+	for i := range batches {
+		batches[i] = append([]int(nil), src.Next(cfg.GroupBatch)...)
+	}
+
+	replicas := make([]Replica, w)
+	for r := range replicas {
+		replicas[r] = p.NewReplica()
+	}
+	group := comm.NewGroup(w)
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < w; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			rep := replicas[rank]
+			layers := rep.TrainableLayers()
+
+			// Initial model fetch: the root reads the master, everyone
+			// installs it so the group starts on the PS state.
+			if rank == 0 {
+				resps := fleet.FetchAll(g)
+				weights := make([][][]float32, len(resps))
+				for i, r := range resps {
+					weights[i] = r.Weights
+				}
+				installWeights(layers, weights)
+			}
+			group.Barrier()
+			for _, l := range layers {
+				for _, prm := range l.Params() {
+					group.Broadcast(rank, 0, prm.W.Data)
+				}
+			}
+
+			for it := 0; it < cfg.Iterations; it++ {
+				shard := data.Split(len(batches[it]), w)[rank]
+				idx := batches[it][shard[0]:shard[1]]
+				rep.ZeroGrad()
+				loss := rep.ComputeGradients(idx)
+				for _, l := range layers {
+					for _, prm := range l.Params() {
+						group.AllReduceMean(rank, prm.Grad.Data)
+					}
+				}
+				lossAll := group.Gather(rank, 0, loss)
+
+				// Root ↔ per-layer parameter servers (asynchronous with
+				// respect to every other group).
+				if rank == 0 {
+					resps := fleet.UpdateAll(g, layerGrads(layers))
+					weights := make([][][]float32, len(resps))
+					var stale float64
+					for i, r := range resps {
+						weights[i] = r.Weights
+						stale += float64(r.Staleness)
+					}
+					installWeights(layers, weights)
+					var lossSum float64
+					for _, v := range lossAll {
+						lossSum += v
+					}
+					record(IterStat{
+						Group:     g,
+						Iter:      it,
+						Loss:      lossSum / float64(len(lossAll)),
+						Staleness: stale / float64(len(resps)),
+					})
+				}
+				// Broadcast the fresh model to the group.
+				for _, l := range layers {
+					for _, prm := range l.Params() {
+						group.Broadcast(rank, 0, prm.W.Data)
+					}
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+}

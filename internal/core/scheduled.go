@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"deep15pf/internal/ps"
+)
+
+// ScheduledEvent places one group iteration at a simulated completion time.
+// Schedules come from the cluster model (internal/cluster), which knows
+// what each group's iteration costs at the target node count — this is how
+// the Fig 8 time-to-train study couples real SGD dynamics to Cori-scale
+// hardware timing.
+type ScheduledEvent struct {
+	Group int
+	Time  float64 // seconds on the simulated cluster clock
+}
+
+// BuildSchedule converts per-group iteration durations (from
+// cluster.RunResult.IterDurations) into a merged, time-ordered schedule.
+func BuildSchedule(iterDurations [][]float64) []ScheduledEvent {
+	var events []ScheduledEvent
+	for g, durs := range iterDurations {
+		t := 0.0
+		for _, d := range durs {
+			t += d
+			events = append(events, ScheduledEvent{Group: g, Time: t})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	return events
+}
+
+// TrainScheduled executes group updates sequentially in the order given by
+// schedule. Each group holds one logical replica computing the group-mean
+// gradient on its full batch (statistically identical to W workers plus
+// all-reduce); the PS fleet applies updates in schedule order, so the
+// staleness process matches what the simulated cluster would produce. The
+// result's IterStat.Time carries the simulated clock.
+func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
+	cfg.validate()
+	template := p.NewReplica()
+	fleet := ps.NewFleet(template.TrainableLayers(), cfg.Solver)
+
+	replicas := make([]Replica, cfg.Groups)
+	sources := make([]BatchSource, cfg.Groups)
+	iters := make([]int, cfg.Groups)
+	for g := range replicas {
+		replicas[g] = p.NewReplica()
+		sources[g] = p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
+		// Start every group from the master model.
+		resps := fleet.FetchAll(g)
+		weights := make([][][]float32, len(resps))
+		for i, r := range resps {
+			weights[i] = r.Weights
+		}
+		installWeights(replicas[g].TrainableLayers(), weights)
+	}
+
+	stats := make([]IterStat, 0, len(schedule))
+	for seqNo, ev := range schedule {
+		if ev.Group < 0 || ev.Group >= cfg.Groups {
+			panic(fmt.Sprintf("core: schedule references group %d of %d", ev.Group, cfg.Groups))
+		}
+		g := ev.Group
+		if iters[g] >= cfg.Iterations {
+			continue // schedule longer than requested training
+		}
+		rep := replicas[g]
+		idx := sources[g].Next(cfg.GroupBatch)
+		rep.ZeroGrad()
+		loss := rep.ComputeGradients(idx)
+		layers := rep.TrainableLayers()
+		resps := fleet.UpdateAll(g, layerGrads(layers))
+		weights := make([][][]float32, len(resps))
+		var stale float64
+		for i, r := range resps {
+			weights[i] = r.Weights
+			stale += float64(r.Staleness)
+		}
+		installWeights(layers, weights)
+		stats = append(stats, IterStat{
+			Seq:       seqNo,
+			Group:     g,
+			Iter:      iters[g],
+			Loss:      loss,
+			Staleness: stale / float64(len(resps)),
+			Time:      ev.Time,
+		})
+		iters[g]++
+	}
+	res := finalize(stats, cfg.Groups)
+	res.FinalWeights = fleetWeights(fleet)
+	return res
+}
+
+// TimeToLoss scans a scheduled result for the first simulated time at
+// which the running mean loss (over the trailing `smooth` updates) drops
+// to target. Returns +Inf-like ok=false when never reached. This is the
+// paper's Fig 8 figure of merit ("wall-clock time speedups with respect to
+// a loss of 0.05").
+func TimeToLoss(res Result, target float64, smooth int) (float64, bool) {
+	if smooth < 1 {
+		smooth = 1
+	}
+	window := make([]float64, 0, smooth)
+	var sum float64
+	for _, s := range res.Stats {
+		window = append(window, s.Loss)
+		sum += s.Loss
+		if len(window) > smooth {
+			sum -= window[0]
+			window = window[1:]
+		}
+		if len(window) == smooth && sum/float64(smooth) <= target {
+			return s.Time, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+
+	"deep15pf/internal/comm"
+	"deep15pf/internal/data"
+)
+
+// TrainSync runs fully synchronous data-parallel training (the paper's
+// baseline, Fig 1 left): cfg.WorkersPerGroup workers split each batch,
+// all-reduce mean gradients, and apply identical solver steps to their
+// replicas, which therefore stay in lockstep. cfg.Groups must be 1.
+func TrainSync(p Problem, cfg Config) Result {
+	cfg.validate()
+	if cfg.Groups != 1 {
+		panic("core: TrainSync requires Groups == 1")
+	}
+	w := cfg.WorkersPerGroup
+
+	// Pre-draw every iteration's batch so workers agree without racing
+	// on the source.
+	src := p.NewBatchSource(cfg.Seed)
+	batches := make([][]int, cfg.Iterations)
+	for i := range batches {
+		batches[i] = append([]int(nil), src.Next(cfg.GroupBatch)...)
+	}
+
+	replicas := make([]Replica, w)
+	for r := range replicas {
+		replicas[r] = p.NewReplica()
+	}
+	group := comm.NewGroup(w)
+	losses := make([]float64, cfg.Iterations)
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < w; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			rep := replicas[rank]
+			layers := rep.TrainableLayers()
+			solver := cfg.Solver.Clone()
+			for it := 0; it < cfg.Iterations; it++ {
+				shard := data.Split(len(batches[it]), w)[rank]
+				idx := batches[it][shard[0]:shard[1]]
+				rep.ZeroGrad()
+				loss := rep.ComputeGradients(idx)
+				// Mean over workers of per-shard means = batch mean
+				// (shards are equal-sized by construction).
+				for _, l := range layers {
+					for _, prm := range l.Params() {
+						group.AllReduceMean(rank, prm.Grad.Data)
+					}
+				}
+				if all := group.Gather(rank, 0, loss); all != nil {
+					var sum float64
+					for _, v := range all {
+						sum += v
+					}
+					losses[it] = sum / float64(len(all))
+				}
+				// Identical state + identical gradients → identical
+				// steps: replicas remain bitwise synchronised.
+				for _, l := range layers {
+					solver.Step(l.Params())
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	stats := make([]IterStat, cfg.Iterations)
+	for it := range stats {
+		stats[it] = IterStat{Seq: it, Group: 0, Iter: it, Loss: losses[it]}
+	}
+	res := finalize(stats, 1)
+	// Replicas are in lockstep; rank 0's weights are the trained model.
+	res.FinalWeights = ExtractWeights(replicas[0].TrainableLayers())
+	return res
+}

@@ -1,0 +1,150 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Shard file format (little endian):
+//
+//	magic   uint32  'D15P'
+//	version uint32  1
+//	count   uint32  samples in shard
+//	featLen uint32  float32 features per sample
+//	labLen  uint32  int32 labels per sample
+//	payload count·featLen float32, then count·labLen int32
+//
+// This substitutes for the paper's HDF5 input path; like theirs it is a
+// single-threaded reader (the paper calls out non-threaded HDF5 as an I/O
+// bottleneck), so measured read times are honest.
+const (
+	shardMagic   = 0x44313550 // "D15P"
+	shardVersion = 1
+	headerBytes  = 20
+)
+
+// WriteShard writes samples to path. features is count×featLen, labels is
+// count×labLen (labLen may be zero).
+func WriteShard(path string, count, featLen, labLen int, features []float32, labels []int32) error {
+	if len(features) != count*featLen {
+		return fmt.Errorf("data: feature payload %d != %d×%d", len(features), count, featLen)
+	}
+	if len(labels) != count*labLen {
+		return fmt.Errorf("data: label payload %d != %d×%d", len(labels), count, labLen)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(hdr[0:], shardMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], shardVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(count))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(featLen))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(labLen))
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(features))
+	for i, v := range features {
+		binary.LittleEndian.PutUint32(buf[4*i:], floatBits(v))
+	}
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	lbuf := make([]byte, 4*len(labels))
+	for i, v := range labels {
+		binary.LittleEndian.PutUint32(lbuf[4*i:], uint32(v))
+	}
+	if _, err := f.Write(lbuf); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ShardReader reads samples back by index.
+type ShardReader struct {
+	f                      *os.File
+	Count, FeatLen, LabLen int
+}
+
+// OpenShard opens a shard file and validates its header.
+func OpenShard(path string) (*ShardReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerBytes)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("data: short shard header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
+		f.Close()
+		return nil, fmt.Errorf("data: %s is not a shard file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
+		f.Close()
+		return nil, fmt.Errorf("data: unsupported shard version %d", v)
+	}
+	return &ShardReader{
+		f:       f,
+		Count:   int(binary.LittleEndian.Uint32(hdr[8:])),
+		FeatLen: int(binary.LittleEndian.Uint32(hdr[12:])),
+		LabLen:  int(binary.LittleEndian.Uint32(hdr[16:])),
+	}, nil
+}
+
+// Close releases the underlying file.
+func (r *ShardReader) Close() error { return r.f.Close() }
+
+// ReadSample reads sample i's features (and labels if labels is non-nil)
+// into the provided slices.
+func (r *ShardReader) ReadSample(i int, features []float32, labels []int32) error {
+	if i < 0 || i >= r.Count {
+		return fmt.Errorf("data: sample %d out of range [0,%d)", i, r.Count)
+	}
+	if len(features) != r.FeatLen {
+		return fmt.Errorf("data: feature buffer %d != %d", len(features), r.FeatLen)
+	}
+	buf := make([]byte, 4*r.FeatLen)
+	off := int64(headerBytes) + int64(i)*int64(4*r.FeatLen)
+	if _, err := r.f.ReadAt(buf, off); err != nil {
+		return err
+	}
+	for j := range features {
+		features[j] = bitsFloat(binary.LittleEndian.Uint32(buf[4*j:]))
+	}
+	if labels != nil && r.LabLen > 0 {
+		if len(labels) != r.LabLen {
+			return fmt.Errorf("data: label buffer %d != %d", len(labels), r.LabLen)
+		}
+		lbuf := make([]byte, 4*r.LabLen)
+		loff := int64(headerBytes) + int64(r.Count)*int64(4*r.FeatLen) + int64(i)*int64(4*r.LabLen)
+		if _, err := r.f.ReadAt(lbuf, loff); err != nil {
+			return err
+		}
+		for j := range labels {
+			labels[j] = int32(binary.LittleEndian.Uint32(lbuf[4*j:]))
+		}
+	}
+	return nil
+}
+
+// ReadBatch reads the indexed samples into a contiguous feature buffer of
+// len(idx)·FeatLen floats and, if labels is non-nil, len(idx)·LabLen labels.
+func (r *ShardReader) ReadBatch(idx []int, features []float32, labels []int32) error {
+	for bi, i := range idx {
+		var lab []int32
+		if labels != nil {
+			lab = labels[bi*r.LabLen : (bi+1)*r.LabLen]
+		}
+		if err := r.ReadSample(i, features[bi*r.FeatLen:(bi+1)*r.FeatLen], lab); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package hep implements the paper's supervised high-energy-physics
+// application: a synthetic stand-in for the Pythia+Delphes event sample
+// (signal = new massive supersymmetric particles decaying to many jets,
+// background = prevalent QCD multijet production), rendering of events to
+// 3-channel calorimeter images, the cut-based baseline selections the paper
+// benchmarks against (its [5]), the convolutional classifier of §III-A, and
+// ROC metrics for the §VII-A science result.
+//
+// The substitution preserves what makes the physics task hard: a steeply
+// falling background whose tail overlaps the signal in the scalar features
+// (jet count, H_T) that cut-based selections use, while the signal carries
+// spatial structure — decay products clustered around two back-to-back
+// parent axes — that only an image model can exploit.
+package hep
+
+import (
+	"math"
+
+	"deep15pf/internal/tensor"
+)
+
+// Jet is one reconstructed jet: transverse momentum (GeV), pseudorapidity,
+// azimuth, electromagnetic energy fraction and associated track count.
+type Jet struct {
+	Pt      float64
+	Eta     float64
+	Phi     float64
+	EMFrac  float64
+	NTracks int
+}
+
+// Event is one collision event.
+type Event struct {
+	Jets     []Jet
+	IsSignal bool
+}
+
+// HT returns the scalar sum of jet transverse momenta above ptMin — the
+// workhorse variable of multi-jet searches.
+func (e *Event) HT(ptMin float64) float64 {
+	var ht float64
+	for _, j := range e.Jets {
+		if j.Pt >= ptMin {
+			ht += j.Pt
+		}
+	}
+	return ht
+}
+
+// NJets returns the number of jets above ptMin.
+func (e *Event) NJets(ptMin float64) int {
+	n := 0
+	for _, j := range e.Jets {
+		if j.Pt >= ptMin {
+			n++
+		}
+	}
+	return n
+}
+
+// GenConfig parameterises the synthetic event generator.
+type GenConfig struct {
+	// Background (QCD multijet) shape.
+	BgMeanJets   float64 // Poisson mean of extra jets beyond the dijet core
+	BgJetPtScale float64 // exponential pT scale (GeV)
+	BgEtaSpread  float64 // jet pseudorapidity spread
+
+	// Signal (pair-produced massive particle → many clustered jets).
+	SigJetsPerParent float64 // Poisson mean of extra jets per parent beyond 3
+	SigJetPtScale    float64
+	SigAxisEta       float64 // parent axis pseudorapidity spread
+	SigClusterSpread float64 // jet spread around the parent axis (η–φ)
+
+	// Preselection applied to both classes, mimicking the paper's
+	// filtering of the sample to "those more challenging to discriminate".
+	PreselMinJets int
+	PreselJetPt   float64
+	PreselMinHT   float64
+}
+
+// DefaultGenConfig returns the tuned generator used throughout the
+// reproduction. With these settings the cut-based baseline reaches a
+// TPR of roughly 0.4 at sub-percent FPR (the paper's benchmark operating
+// point scaled to our statistics) while the CNN can exceed it.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		BgMeanJets:   2.5,
+		BgJetPtScale: 120,
+		BgEtaSpread:  1.8,
+
+		SigJetsPerParent: 1.5,
+		SigJetPtScale:    150,
+		SigAxisEta:       0.7,
+		SigClusterSpread: 0.45,
+
+		PreselMinJets: 4,
+		PreselJetPt:   40,
+		PreselMinHT:   350,
+	}
+}
+
+const (
+	etaMax   = 4.5 // calorimeter acceptance rendered to images
+	trackEta = 2.5 // inner-detector acceptance for the track channel
+)
+
+func wrapPhi(phi float64) float64 {
+	for phi > math.Pi {
+		phi -= 2 * math.Pi
+	}
+	for phi < -math.Pi {
+		phi += 2 * math.Pi
+	}
+	return phi
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (c GenConfig) newJet(rng *tensor.RNG, pt, eta, phi float64) Jet {
+	j := Jet{
+		Pt:     pt,
+		Eta:    clamp(eta, -etaMax, etaMax),
+		Phi:    wrapPhi(phi),
+		EMFrac: clamp(0.2+0.5*rng.Float64()+0.1*rng.Norm(), 0.05, 0.95),
+	}
+	if math.Abs(j.Eta) < trackEta {
+		j.NTracks = rng.Poisson(pt / 8)
+	}
+	return j
+}
+
+// genBackground draws one QCD multijet event: a hard dijet core plus a
+// falling number of softer jets, spread widely in pseudorapidity.
+func (c GenConfig) genBackground(rng *tensor.RNG) Event {
+	n := 2 + rng.Poisson(c.BgMeanJets)
+	jets := make([]Jet, 0, n)
+	// Dijet core: back-to-back in phi.
+	phi0 := (2*rng.Float64() - 1) * math.Pi
+	lead := 60 + rng.Exp(c.BgJetPtScale)
+	jets = append(jets,
+		c.newJet(rng, lead, c.BgEtaSpread*rng.Norm(), phi0),
+		c.newJet(rng, lead*(0.7+0.25*rng.Float64()), c.BgEtaSpread*rng.Norm(), phi0+math.Pi+0.3*rng.Norm()),
+	)
+	for i := 2; i < n; i++ {
+		pt := 25 + rng.Exp(c.BgJetPtScale*0.45)
+		jets = append(jets, c.newJet(rng, pt, c.BgEtaSpread*rng.Norm(), (2*rng.Float64()-1)*math.Pi))
+	}
+	return Event{Jets: jets}
+}
+
+// genSignal draws one signal event: two back-to-back parent particles, each
+// decaying to several jets clustered around its flight axis.
+func (c GenConfig) genSignal(rng *tensor.RNG) Event {
+	phi0 := (2*rng.Float64() - 1) * math.Pi
+	axes := [2]struct{ eta, phi float64 }{
+		{c.SigAxisEta * rng.Norm(), phi0},
+		{c.SigAxisEta * rng.Norm(), phi0 + math.Pi + 0.25*rng.Norm()},
+	}
+	var jets []Jet
+	for _, ax := range axes {
+		n := 3 + rng.Poisson(c.SigJetsPerParent)
+		for i := 0; i < n; i++ {
+			pt := 35 + rng.Exp(c.SigJetPtScale)
+			jets = append(jets, c.newJet(rng,
+				pt,
+				ax.eta+c.SigClusterSpread*rng.Norm(),
+				ax.phi+c.SigClusterSpread*rng.Norm()))
+		}
+	}
+	return Event{Jets: jets, IsSignal: true}
+}
+
+// passPresel applies the physics preselection.
+func (c GenConfig) passPresel(e *Event) bool {
+	return e.NJets(c.PreselJetPt) >= c.PreselMinJets && e.HT(c.PreselJetPt) >= c.PreselMinHT
+}
+
+// Generate draws one preselected event of the requested class, re-drawing
+// until the preselection passes (background acceptance is low by design —
+// the retained background is the hard tail that mimics signal in scalar
+// variables).
+func (c GenConfig) Generate(rng *tensor.RNG, signal bool) Event {
+	for {
+		var e Event
+		if signal {
+			e = c.genSignal(rng)
+		} else {
+			e = c.genBackground(rng)
+		}
+		if c.passPresel(&e) {
+			return e
+		}
+	}
+}
+
+// GenerateEvents draws n preselected events with the given signal fraction.
+// Labels are 1 for signal, 0 for background.
+func (c GenConfig) GenerateEvents(n int, signalFrac float64, rng *tensor.RNG) ([]Event, []int) {
+	events := make([]Event, n)
+	labels := make([]int, n)
+	for i := range events {
+		signal := rng.Float64() < signalFrac
+		events[i] = c.Generate(rng, signal)
+		if signal {
+			labels[i] = 1
+		}
+	}
+	return events, labels
+}

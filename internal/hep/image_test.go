@@ -1,0 +1,140 @@
+package hep
+
+import (
+	"math"
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+func TestRenderDepositsEnergy(t *testing.T) {
+	r := NewRenderer(32)
+	r.Noise = 0
+	rng := tensor.NewRNG(1)
+	e := Event{Jets: []Jet{{Pt: 100, Eta: 0, Phi: 0, EMFrac: 0.5, NTracks: 10}}}
+	img := make([]float32, r.SampleFloats())
+	r.Render(&e, rng, img)
+	var total float64
+	for _, v := range img {
+		if v < 0 {
+			t.Fatalf("negative pixel %v", v)
+		}
+		total += float64(v)
+	}
+	if total <= 0 {
+		t.Fatal("render deposited nothing")
+	}
+	// Peak should be near the jet position: eta=0 → row 16, phi=0 → col 16.
+	s := 32
+	ecal := img[:s*s]
+	var maxIdx int
+	var maxV float32
+	for i, v := range ecal {
+		if v > maxV {
+			maxV, maxIdx = v, i
+		}
+	}
+	px, py := maxIdx/s, maxIdx%s
+	if px < 14 || px > 17 || py < 14 || py > 17 {
+		t.Fatalf("energy peak at (%d,%d), want near (16,16)", px, py)
+	}
+}
+
+func TestRenderPhiWraparound(t *testing.T) {
+	r := NewRenderer(32)
+	r.Noise = 0
+	rng := tensor.NewRNG(2)
+	// Jet at phi = π (the seam): energy must appear on both edges.
+	e := Event{Jets: []Jet{{Pt: 200, Eta: 0, Phi: math.Pi - 1e-6, EMFrac: 0.5}}}
+	img := make([]float32, r.SampleFloats())
+	r.Render(&e, rng, img)
+	s := 32
+	ecal := img[:s*s]
+	row := 16
+	lowEdge := ecal[row*s+0]
+	highEdge := ecal[row*s+s-1]
+	if lowEdge <= 0 || highEdge <= 0 {
+		t.Fatalf("seam jet must wrap: edges %v %v", lowEdge, highEdge)
+	}
+}
+
+func TestRenderTrackChannelRespectsAcceptance(t *testing.T) {
+	r := NewRenderer(32)
+	r.Noise = 0
+	rng := tensor.NewRNG(3)
+	// Forward jet outside tracker acceptance: no track deposit anywhere.
+	e := Event{Jets: []Jet{{Pt: 100, Eta: 4.0, Phi: 0, EMFrac: 0.5, NTracks: 0}}}
+	img := make([]float32, r.SampleFloats())
+	r.Render(&e, rng, img)
+	s := 32
+	trk := img[2*s*s:]
+	for i, v := range trk {
+		if v != 0 {
+			t.Fatalf("track deposit at %d for forward jet", i)
+		}
+	}
+}
+
+func TestGenerateDatasetShapes(t *testing.T) {
+	cfg := DefaultGenConfig()
+	r := NewRenderer(16)
+	rng := tensor.NewRNG(4)
+	ds := GenerateDataset(cfg, r, 10, 0.5, rng)
+	if ds.Images.Shape[0] != 10 || ds.Images.Shape[1] != 3 || ds.Images.Shape[2] != 16 {
+		t.Fatalf("dataset shape %v", ds.Images.Shape)
+	}
+	if len(ds.Labels) != 10 || len(ds.Events) != 10 {
+		t.Fatal("label/event count mismatch")
+	}
+}
+
+func TestDatasetBatchGather(t *testing.T) {
+	cfg := DefaultGenConfig()
+	r := NewRenderer(8)
+	rng := tensor.NewRNG(5)
+	ds := GenerateDataset(cfg, r, 6, 0.5, rng)
+	x, labels := ds.Batch([]int{4, 1})
+	if x.Shape[0] != 2 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	per := 3 * 8 * 8
+	for i := 0; i < per; i++ {
+		if x.Data[i] != ds.Images.Data[4*per+i] {
+			t.Fatal("batch gather wrong sample order")
+		}
+	}
+	if labels[0] != ds.Labels[4] || labels[1] != ds.Labels[1] {
+		t.Fatal("batch labels wrong")
+	}
+}
+
+func TestImagesAreClassSeparable(t *testing.T) {
+	// Mean total deposited energy should differ between classes — the
+	// minimal condition for the CNN task to be learnable.
+	cfg := DefaultGenConfig()
+	r := NewRenderer(16)
+	rng := tensor.NewRNG(6)
+	ds := GenerateDataset(cfg, r, 200, 0.5, rng)
+	per := r.SampleFloats()
+	var sig, bg float64
+	var nSig, nBg int
+	for i := 0; i < 200; i++ {
+		var sum float64
+		for _, v := range ds.Images.Data[i*per : (i+1)*per] {
+			sum += float64(v)
+		}
+		if ds.Labels[i] == 1 {
+			sig += sum
+			nSig++
+		} else {
+			bg += sum
+			nBg++
+		}
+	}
+	if nSig == 0 || nBg == 0 {
+		t.Skip("degenerate class split")
+	}
+	if sig/float64(nSig) <= bg/float64(nBg) {
+		t.Fatalf("signal images should carry more energy: %v vs %v", sig/float64(nSig), bg/float64(nBg))
+	}
+}

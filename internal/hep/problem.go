@@ -1,0 +1,93 @@
+package hep
+
+import (
+	"deep15pf/internal/core"
+	"deep15pf/internal/data"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// TrainingProblem adapts the HEP classification task to the distributed
+// trainer (core.Problem): replicas share one in-memory dataset and are
+// initialised from a common seed so every worker starts bitwise identical.
+type TrainingProblem struct {
+	DS       *Dataset
+	Model    ModelConfig
+	InitSeed uint64
+}
+
+// NewTrainingProblem builds the adapter.
+func NewTrainingProblem(ds *Dataset, model ModelConfig, initSeed uint64) *TrainingProblem {
+	return &TrainingProblem{DS: ds, Model: model, InitSeed: initSeed}
+}
+
+// NewReplica implements core.Problem.
+func (p *TrainingProblem) NewReplica() core.Replica {
+	net := BuildNet(p.Model, tensor.NewRNG(p.InitSeed))
+	return &replica{net: net, ds: p.DS}
+}
+
+// NewBatchSource implements core.Problem.
+func (p *TrainingProblem) NewBatchSource(seed uint64) core.BatchSource {
+	return &batchSource{n: p.DS.Images.Shape[0], rng: tensor.NewRNG(seed)}
+}
+
+type replica struct {
+	net *nn.Network
+	ds  *Dataset
+}
+
+func (r *replica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
+func (r *replica) ZeroGrad()                   { r.net.ZeroGrad() }
+
+func (r *replica) ComputeGradients(idx []int) float64 {
+	x, labels := r.ds.Batch(idx)
+	logits := r.net.Forward(x, true)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	r.net.Backward(grad)
+	return loss
+}
+
+// Scores runs inference over the whole dataset and returns P(signal).
+func (r *replica) Scores(batch int) []float64 {
+	n := r.ds.Images.Shape[0]
+	out := make([]float64, 0, n)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, _ := r.ds.Batch(idx)
+		out = append(out, SignalScore(r.net.Forward(x, false))...)
+	}
+	return out
+}
+
+// ScoreDataset evaluates a trained replica (from core training) on a
+// dataset, returning P(signal) per sample. rep must come from
+// NewReplica().
+func ScoreDataset(rep core.Replica, ds *Dataset, batch int) []float64 {
+	hr, ok := rep.(*replica)
+	if !ok {
+		panic("hep: replica was not created by this problem")
+	}
+	eval := &replica{net: hr.net, ds: ds}
+	return eval.Scores(batch)
+}
+
+type batchSource struct {
+	n   int
+	rng *tensor.RNG
+	b   *data.Batcher
+}
+
+func (s *batchSource) Next(size int) []int {
+	if s.b == nil || s.b.BatchSize != size {
+		s.b = data.NewBatcher(s.n, size, s.rng)
+	}
+	return s.b.Next()
+}

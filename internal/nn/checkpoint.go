@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Model checkpointing. The paper snapshots the trained model to the
+// filesystem during training ("in some iterations, a checkpointing is
+// performed to save the current trained model", §V; the climate sustained
+// rate includes one snapshot per 10 iterations). Format (little endian):
+//
+//	magic  uint32 'D15W'
+//	count  uint32 parameter blobs
+//	per blob: nameLen uint32, name bytes, numel uint32, float32 data
+const checkpointMagic = 0x44313557 // "D15W"
+
+// SaveWeights writes every parameter's current values to w.
+func SaveWeights(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(params)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	for _, p := range params {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(p.Name)))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(scratch[:], uint32(p.W.Len()))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return err
+		}
+		for _, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+			if _, err := bw.Write(scratch[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameter values from r into params, validating
+// names and sizes so a checkpoint cannot silently load into the wrong
+// architecture.
+func LoadWeights(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("nn: short checkpoint header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint file")
+	}
+	if n := binary.LittleEndian.Uint32(hdr[4:]); int(n) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d blobs, model has %d", n, len(params))
+	}
+	var scratch [4]byte
+	for _, p := range params {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return err
+		}
+		nameLen := binary.LittleEndian.Uint32(scratch[:])
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint blob %q does not match parameter %q", name, p.Name)
+		}
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return err
+		}
+		if n := binary.LittleEndian.Uint32(scratch[:]); int(n) != p.W.Len() {
+			return fmt.Errorf("nn: %s has %d elements in checkpoint, %d in model", p.Name, n, p.W.Len())
+		}
+		for i := range p.W.Data {
+			if _, err := io.ReadFull(br, scratch[:]); err != nil {
+				return err
+			}
+			p.W.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:]))
+		}
+	}
+	return nil
+}
+
+// SaveFile checkpoints params to path.
+func SaveFile(path string, params []*Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveWeights(f, params); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores params from path.
+func LoadFile(path string, params []*Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadWeights(f, params)
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := tinyNet(rng)
+	dst := tinyNet(tensor.NewRNG(2)) // different init
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].W.Data {
+			if sp[i].W.Data[j] != dp[i].W.Data[j] {
+				t.Fatalf("%s[%d] not restored", sp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := tinyNet(rng)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveFile(path, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyNet(tensor.NewRNG(4))
+	if err := LoadFile(path, other.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if net.Params()[0].W.Data[0] != other.Params()[0].W.Data[0] {
+		t.Fatal("file round trip failed")
+	}
+}
+
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net := tinyNet(rng)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// A different architecture: fewer parameters.
+	small := NewNetwork("small", 2, 8, 8)
+	small.Add(NewConv2D("conv1", 2, 4, 3, 1, 1, rng))
+	if err := LoadWeights(&buf, small.Params()); err == nil {
+		t.Fatal("blob-count mismatch must error")
+	}
+	// Same blob count, different names.
+	var buf2 bytes.Buffer
+	renamed := NewNetwork("renamed", 2, 8, 8)
+	renamed.Add(NewConv2D("convX", 2, 4, 3, 1, 1, rng))
+	if err := SaveWeights(&buf2, renamed.Params()); err != nil {
+		t.Fatal(err)
+	}
+	target := NewNetwork("target", 2, 8, 8)
+	target.Add(NewConv2D("convY", 2, 4, 3, 1, 1, rng))
+	if err := LoadWeights(&buf2, target.Params()); err == nil {
+		t.Fatal("name mismatch must error")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	net := tinyNet(rng)
+	if err := LoadWeights(bytes.NewReader([]byte("garbage")), net.Params()); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if err := LoadWeights(bytes.NewReader(nil), net.Params()); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := tinyNet(rng)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := LoadWeights(bytes.NewReader(trunc), net.Params()); err == nil {
+		t.Fatal("truncated checkpoint must error")
+	}
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+
+	"deep15pf/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution lowered to im2col + GEMM, the same strategy
+// as the MKL 2017 direct-convolution primitives the paper builds on. Weights
+// are stored [OutC, InC·KH·KW] so the forward pass of every output channel
+// is one row of a single GEMM.
+type Conv2D struct {
+	LayerName    string
+	InC, OutC    int
+	KH, KW       int
+	Stride, Pad  int
+	Weight, Bias *Param
+	lastX        *tensor.Tensor
+	inH, inW     int
+	colBuf       []float32
+	noBias       bool
+}
+
+// NewConv2D constructs a convolution layer with He-initialised weights.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		LayerName: name,
+		InC:       inC, OutC: outC,
+		KH: k, KW: k,
+		Stride: stride, Pad: pad,
+	}
+	c.Weight = &Param{
+		Name: name + ".weight",
+		W:    tensor.New(outC, inC*k*k),
+		Grad: tensor.New(outC, inC*k*k),
+	}
+	c.Bias = &Param{
+		Name: name + ".bias",
+		W:    tensor.New(outC),
+		Grad: tensor.New(outC),
+	}
+	HeInit(c.Weight.W, inC*k*k, rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.LayerName }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.noBias {
+		return []*Param{c.Weight}
+	}
+	return []*Param{c.Weight, c.Bias}
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects [C=%d,H,W] input shape, got %v", c.LayerName, c.InC, in))
+	}
+	oh := tensor.ConvOut(in[1], c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(in[2], c.KW, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s output collapses for input %v", c.LayerName, in))
+	}
+	return []int{c.OutC, oh, ow}
+}
+
+// Forward implements Layer. x is [N, InC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s got input shape %v, want [N,%d,H,W]", c.LayerName, x.Shape, c.InC))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
+	k := c.InC * c.KH * c.KW
+	cols := oh * ow
+	if cap(c.colBuf) < k*cols {
+		c.colBuf = make([]float32, k*cols)
+	}
+	col := c.colBuf[:k*cols]
+	out := tensor.New(n, c.OutC, oh, ow)
+	inStride := c.InC * h * w
+	outStride := c.OutC * cols
+	for s := 0; s < n; s++ {
+		img := x.Data[s*inStride : (s+1)*inStride]
+		tensor.Im2col(img, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, col)
+		y := out.Data[s*outStride : (s+1)*outStride]
+		tensor.Gemm(false, false, c.OutC, cols, k, 1, c.Weight.W.Data, col, 0, y)
+		if !c.noBias {
+			for f := 0; f < c.OutC; f++ {
+				b := c.Bias.W.Data[f]
+				if b == 0 {
+					continue
+				}
+				row := y[f*cols : (f+1)*cols]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	}
+	c.lastX, c.inH, c.inW = x, h, w
+	return out
+}
+
+// Backward implements Layer. dout is [N, OutC, OH, OW]; returns dx with the
+// input's shape. The im2col matrix is recomputed per sample (caching it for
+// the whole batch would cost N·K·OH·OW floats — hundreds of MB at paper
+// sizes), trading flops for memory exactly as Caffe does.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	x := c.lastX
+	if x == nil {
+		panic("nn: " + c.LayerName + " Backward before Forward")
+	}
+	n, h, w := x.Shape[0], c.inH, c.inW
+	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
+	k := c.InC * c.KH * c.KW
+	cols := oh * ow
+	col := c.colBuf[:k*cols]
+	dcol := make([]float32, k*cols)
+	dx := tensor.New(x.Shape...)
+	inStride := c.InC * h * w
+	outStride := c.OutC * cols
+	for s := 0; s < n; s++ {
+		dy := dout.Data[s*outStride : (s+1)*outStride]
+		// dW += dy · colᵀ
+		img := x.Data[s*inStride : (s+1)*inStride]
+		tensor.Im2col(img, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, col)
+		tensor.Gemm(false, true, c.OutC, k, cols, 1, dy, col, 1, c.Weight.Grad.Data)
+		// db += row sums of dy
+		if !c.noBias {
+			for f := 0; f < c.OutC; f++ {
+				row := dy[f*cols : (f+1)*cols]
+				var sum float32
+				for _, v := range row {
+					sum += v
+				}
+				c.Bias.Grad.Data[f] += sum
+			}
+		}
+		// dx = col2im(Wᵀ · dy)
+		tensor.Gemm(true, false, k, cols, c.OutC, 1, c.Weight.W.Data, dy, 0, dcol)
+		tensor.Col2im(dcol, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, dx.Data[s*inStride:(s+1)*inStride])
+	}
+	return dx
+}
+
+// FLOPs implements Layer: forward is one M×N×K GEMM per sample; backward is
+// two (weight gradient and data gradient), the standard 1:2 fwd:bwd ratio.
+func (c *Conv2D) FLOPs(in []int) FlopCount {
+	out := c.OutShape(in)
+	m := c.OutC
+	k := c.InC * c.KH * c.KW
+	cols := out[1] * out[2]
+	fwd := tensor.GemmFLOPs(m, cols, k)
+	// Executed estimate: output channels and spatial columns pad to the
+	// SIMD lane width; the reduction dimension pads on the channel factor.
+	kPad := padTo(c.InC, lane) * int64(c.KH*c.KW)
+	fwdExec := 2 * padTo(m, lane) * padTo(cols, lane) * kPad
+	return FlopCount{Fwd: fwd, Bwd: 2 * fwd, FwdExecuted: fwdExec, BwdExecuted: 2 * fwdExec}
+}

@@ -1,0 +1,109 @@
+// Package nn is the neural-network layer library: convolution (im2col+GEMM),
+// deconvolution implemented with the convolution-transpose trick the paper
+// describes in §III-C, pooling, dense layers, activations, losses, and a
+// sequential network container with exact per-layer FLOP and parameter-byte
+// accounting (the role Intel SDE plays in the paper's §V methodology).
+//
+// Conventions: activations are NCHW float32 tensors; per-sample shapes are
+// []int{C,H,W} (or []int{F} after flattening); gradients accumulate into
+// Param.Grad until Network.ZeroGrad.
+package nn
+
+import (
+	"fmt"
+
+	"deep15pf/internal/tensor"
+)
+
+// Param is one trainable parameter blob (weights or bias) with its gradient
+// accumulator. The distributed layer ships Param.Grad.Data over the wire and
+// installs fresh Param.W.Data received from parameter servers.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NumEl returns the parameter element count.
+func (p *Param) NumEl() int { return p.W.Len() }
+
+// Bytes returns the parameter size in bytes (float32 storage).
+func (p *Param) Bytes() int64 { return int64(p.W.Len()) * 4 }
+
+// FlopCount carries algorithmic and SIMD-padded ("executed") flop counts for
+// one pass over a batch. Algorithmic counts are the textbook 2·M·N·K numbers;
+// Executed pads the GEMM dimensions to the AVX-512 single-precision lane
+// width (16) the way vectorized kernels on KNL execute masked lanes — this is
+// the estimate we report alongside algorithmic flops when reproducing the
+// paper's SDE-based flop rates.
+type FlopCount struct {
+	Fwd, Bwd                 int64
+	FwdExecuted, BwdExecuted int64
+}
+
+// Total returns forward+backward algorithmic flops.
+func (f FlopCount) Total() int64 { return f.Fwd + f.Bwd }
+
+// TotalExecuted returns forward+backward lane-padded flops.
+func (f FlopCount) TotalExecuted() int64 { return f.FwdExecuted + f.BwdExecuted }
+
+// Add returns the elementwise sum of two counts.
+func (f FlopCount) Add(o FlopCount) FlopCount {
+	return FlopCount{
+		Fwd: f.Fwd + o.Fwd, Bwd: f.Bwd + o.Bwd,
+		FwdExecuted: f.FwdExecuted + o.FwdExecuted, BwdExecuted: f.BwdExecuted + o.BwdExecuted,
+	}
+}
+
+// Scale returns the count multiplied by n (e.g. batch size).
+func (f FlopCount) Scale(n int64) FlopCount {
+	return FlopCount{Fwd: f.Fwd * n, Bwd: f.Bwd * n, FwdExecuted: f.FwdExecuted * n, BwdExecuted: f.BwdExecuted * n}
+}
+
+// Layer is one differentiable stage. Forward must be called before Backward;
+// layers cache whatever they need from the forward pass. Backward returns
+// the gradient with respect to the layer input and accumulates parameter
+// gradients into Params().Grad.
+type Layer interface {
+	Name() string
+	// OutShape maps a per-sample input shape to the per-sample output shape.
+	OutShape(in []int) []int
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters; may be empty.
+	Params() []*Param
+	// FLOPs returns per-sample flop counts for the given per-sample input
+	// shape (multiply by batch for a full iteration).
+	FLOPs(in []int) FlopCount
+}
+
+// lane is the AVX-512 single-precision vector width used for the executed
+// flop estimate.
+const lane = 16
+
+func padTo(n, m int) int64 {
+	if n%m == 0 {
+		return int64(n)
+	}
+	return int64((n/m + 1) * m)
+}
+
+func shapeElems(s []int) int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+func checkBatchShape(name string, x *tensor.Tensor, perSample []int) int {
+	if x.Rank() != len(perSample)+1 {
+		panic(fmt.Sprintf("nn: %s expects rank %d input (batch + %v), got shape %v", name, len(perSample)+1, perSample, x.Shape))
+	}
+	for i, d := range perSample {
+		if x.Shape[i+1] != d {
+			panic(fmt.Sprintf("nn: %s expects per-sample shape %v, got %v", name, perSample, x.Shape[1:]))
+		}
+	}
+	return x.Shape[0]
+}

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+
+	"deep15pf/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the paper's HEP loss: softmax over class
+// logits followed by cross-entropy against integer labels. It returns the
+// mean loss over the batch and the gradient with respect to the logits
+// (softmax(x) − onehot(label), divided by batch size).
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	grad := tensor.New(n, k)
+	var loss float64
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*k : (s+1)*k]
+		grow := grad.Data[s*k : (s+1)*k]
+		// log-sum-exp with max subtraction for stability
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logZ := math.Log(sum) + float64(maxv)
+		lab := labels[s]
+		if lab < 0 || lab >= k {
+			panic("nn: label out of range")
+		}
+		loss += logZ - float64(row[lab])
+		invN := 1 / float32(n)
+		for j := range grow {
+			p := float32(math.Exp(float64(row[j]) - logZ))
+			if j == lab {
+				grow[j] = (p - 1) * invN
+			} else {
+				grow[j] = p * invN
+			}
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// SoftmaxProbs returns row-wise softmax probabilities, used at inference
+// time for ROC scans.
+func SoftmaxProbs(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, k)
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*k : (s+1)*k]
+		orow := out.Data[s*k : (s+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			orow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+exp(−x)) with clamping for stability.
+func Sigmoid(x float32) float32 {
+	if x < -30 {
+		return 0
+	}
+	if x > 30 {
+		return 1
+	}
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// BCEWithLogits returns the binary cross-entropy of logit x against target
+// t∈[0,1] and the gradient dLoss/dx = sigmoid(x) − t. The stable form
+// max(x,0) − x·t + log(1+exp(−|x|)) is used.
+func BCEWithLogits(x, t float32) (float64, float32) {
+	ax := float64(x)
+	loss := math.Max(ax, 0) - ax*float64(t) + math.Log1p(math.Exp(-math.Abs(ax)))
+	return loss, Sigmoid(x) - t
+}
+
+// MSELoss returns mean((pred−target)²)/2 and the gradient (pred−target)/n.
+// Used for the climate decoder's reconstruction objective.
+func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic("nn: MSELoss size mismatch")
+	}
+	grad := tensor.New(pred.Shape...)
+	n := float64(pred.Len())
+	var loss float64
+	invN := float32(1 / n)
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += float64(d) * float64(d)
+		grad.Data[i] = d * invN
+	}
+	return loss / (2 * n), grad
+}
+
+// SmoothL1 returns the Huber loss of residual r (δ=1) and its derivative.
+// Used for bounding-box coordinate regression, as in the detection systems
+// ([37]–[39]) the climate architecture adapts.
+func SmoothL1(r float32) (float64, float32) {
+	a := float64(r)
+	if math.Abs(a) < 1 {
+		return 0.5 * a * a, r
+	}
+	if a > 0 {
+		return math.Abs(a) - 0.5, 1
+	}
+	return math.Abs(a) - 0.5, -1
+}

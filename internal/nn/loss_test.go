@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deep15pf/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 2 classes → loss = ln 2.
+	logits := tensor.New(1, 2)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.Abs(loss-math.Ln2) > 1e-6 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	// grad = p - onehot = [0.5-1, 0.5] = [-0.5, 0.5]
+	if math.Abs(float64(grad.Data[0])+0.5) > 1e-6 || math.Abs(float64(grad.Data[1])-0.5) > 1e-6 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradientNumerical(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	logits := tensor.New(3, 4)
+	rng.FillNorm(logits, 0, 2)
+	labels := []int{1, 3, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(logits, labels)
+		return l
+	}
+	gradCheck(t, "softmaxCE", logits.Data, grad.Data, loss, 1)
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	// Huge logits must not overflow.
+	logits := tensor.FromSlice([]float32{1000, -1000}, 1, 2)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss %v", loss)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("confident correct prediction should have ~0 loss, got %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(float64(g)) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+// Property: softmax probabilities are positive and sum to 1 per row.
+func TestSoftmaxProbsProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := tensor.NewRNG(uint64(seed) ^ 0xabcdef)
+		n, k := 1+rng.Intn(4), 2+rng.Intn(5)
+		logits := tensor.New(n, k)
+		rng.FillNorm(logits, 0, 3)
+		p := SoftmaxProbs(logits)
+		for s := 0; s < n; s++ {
+			var sum float64
+			for j := 0; j < k; j++ {
+				v := p.At(s, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += float64(v)
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	// logit 0, target 0.5 → loss = ln 2, grad = 0.
+	loss, grad := BCEWithLogits(0, 0.5)
+	if math.Abs(loss-math.Ln2) > 1e-6 || math.Abs(float64(grad)) > 1e-6 {
+		t.Fatalf("loss=%v grad=%v", loss, grad)
+	}
+	// Extreme logits stay finite.
+	loss, _ = BCEWithLogits(500, 1)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) || loss > 1e-6 {
+		t.Fatalf("confident correct: loss=%v", loss)
+	}
+	loss, _ = BCEWithLogits(-500, 1)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Fatalf("confident wrong must be finite: %v", loss)
+	}
+}
+
+func TestBCEGradientNumerical(t *testing.T) {
+	for _, x := range []float32{-2, -0.5, 0.3, 1.7} {
+		for _, target := range []float32{0, 0.3, 1} {
+			_, grad := BCEWithLogits(x, target)
+			eps := float32(1e-3)
+			lp, _ := BCEWithLogits(x+eps, target)
+			lm, _ := BCEWithLogits(x-eps, target)
+			num := (lp - lm) / (2 * float64(eps))
+			if math.Abs(float64(grad)-num) > 1e-3 {
+				t.Fatalf("BCE grad at x=%v t=%v: %v vs %v", x, target, grad, num)
+			}
+		}
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1, 2}, 2)
+	target := tensor.FromSlice([]float32{0, 0}, 2)
+	loss, grad := MSELoss(pred, target)
+	if math.Abs(loss-1.25) > 1e-6 { // (1+4)/(2*2)
+		t.Fatalf("mse = %v", loss)
+	}
+	if grad.Data[0] != 0.5 || grad.Data[1] != 1 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestMSELossGradientNumerical(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	pred := tensor.New(6)
+	target := tensor.New(6)
+	rng.FillNorm(pred, 0, 1)
+	rng.FillNorm(target, 0, 1)
+	_, grad := MSELoss(pred, target)
+	loss := func() float64 {
+		l, _ := MSELoss(pred, target)
+		return l
+	}
+	gradCheck(t, "mse", pred.Data, grad.Data, loss, 1)
+}
+
+func TestSmoothL1(t *testing.T) {
+	// Quadratic region.
+	l, g := SmoothL1(0.5)
+	if math.Abs(l-0.125) > 1e-6 || g != 0.5 {
+		t.Fatalf("smoothl1(0.5) = %v, %v", l, g)
+	}
+	// Linear region.
+	l, g = SmoothL1(3)
+	if math.Abs(l-2.5) > 1e-6 || g != 1 {
+		t.Fatalf("smoothl1(3) = %v, %v", l, g)
+	}
+	l, g = SmoothL1(-3)
+	if math.Abs(l-2.5) > 1e-6 || g != -1 {
+		t.Fatalf("smoothl1(-3) = %v, %v", l, g)
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	for _, x := range []float32{-100, -1, 0, 1, 100} {
+		s := Sigmoid(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("sigmoid(%v) = %v", x, s)
+		}
+	}
+	if Sigmoid(0) != 0.5 {
+		t.Fatal("sigmoid(0) != 0.5")
+	}
+}

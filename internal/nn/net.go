@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deep15pf/internal/tensor"
+)
+
+// Network is a sequential stack of layers with a fixed per-sample input
+// shape. It provides the accounting surface the rest of the system builds
+// on: parameter enumeration for solvers and parameter servers, per-layer
+// FLOP counts for the performance model, and timed passes for the Fig 5
+// single-node breakdown.
+type Network struct {
+	NetName string
+	InShape []int // per-sample, e.g. [3,224,224]
+	Layers  []Layer
+}
+
+// NewNetwork creates an empty network for the given per-sample input shape.
+func NewNetwork(name string, inShape ...int) *Network {
+	return &Network{NetName: name, InShape: append([]int(nil), inShape...)}
+}
+
+// Add appends layers, validating shape compatibility eagerly so
+// configuration errors surface at construction, not mid-training.
+func (n *Network) Add(layers ...Layer) *Network {
+	for _, l := range layers {
+		shape := n.OutShape()
+		l.OutShape(shape) // panics on incompatibility
+		n.Layers = append(n.Layers, l)
+	}
+	return n
+}
+
+// OutShape returns the per-sample output shape of the current stack.
+func (n *Network) OutShape() []int {
+	shape := n.InShape
+	for _, l := range n.Layers {
+		shape = l.OutShape(shape)
+	}
+	return shape
+}
+
+// Forward runs all layers.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse, accumulating parameter gradients,
+// and returns the gradient with respect to the network input.
+func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// LayerTiming records one layer's measured wall time for a pass.
+type LayerTiming struct {
+	Name     string
+	Fwd, Bwd time.Duration
+}
+
+// ForwardTimed is Forward with per-layer wall-clock measurement.
+func (n *Network) ForwardTimed(x *tensor.Tensor, train bool) (*tensor.Tensor, []LayerTiming) {
+	timings := make([]LayerTiming, len(n.Layers))
+	for i, l := range n.Layers {
+		t0 := time.Now()
+		x = l.Forward(x, train)
+		timings[i] = LayerTiming{Name: l.Name(), Fwd: time.Since(t0)}
+	}
+	return x, timings
+}
+
+// BackwardTimed is Backward with per-layer wall-clock measurement merged
+// into timings (which must come from the matching ForwardTimed call).
+func (n *Network) BackwardTimed(dout *tensor.Tensor, timings []LayerTiming) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		t0 := time.Now()
+		dout = n.Layers[i].Backward(dout)
+		timings[i].Bwd = time.Since(t0)
+	}
+	return dout
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// TrainableLayers returns the layers that own parameters, in order. The
+// hybrid architecture dedicates one parameter server to each of these
+// (paper §III-E: 6 for HEP, 14 for climate).
+func (n *Network) TrainableLayers() []Layer {
+	var ls []Layer
+	for _, l := range n.Layers {
+		if len(l.Params()) > 0 {
+			ls = append(ls, l)
+		}
+	}
+	return ls
+}
+
+// ZeroGrad clears every parameter gradient accumulator.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// ScaleGrad multiplies every gradient by alpha (used to average
+// sample-summed gradients into per-example means).
+func (n *Network) ScaleGrad(alpha float32) {
+	for _, p := range n.Params() {
+		tensor.Scale(alpha, p.Grad.Data)
+	}
+}
+
+// NumParams returns the total trainable element count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.NumEl()
+	}
+	return total
+}
+
+// ParamBytes returns total parameter bytes — the model size exchanged with
+// parameter servers (Table II's "Parameters size" column).
+func (n *Network) ParamBytes() int64 {
+	var total int64
+	for _, p := range n.Params() {
+		total += p.Bytes()
+	}
+	return total
+}
+
+// LayerFlop is one row of the per-layer FLOP breakdown.
+type LayerFlop struct {
+	Name  string
+	Count FlopCount // per sample
+	Bytes int64     // parameter bytes owned by the layer
+}
+
+// FLOPBreakdown returns per-layer per-sample flop counts in layer order.
+func (n *Network) FLOPBreakdown() []LayerFlop {
+	shape := n.InShape
+	rows := make([]LayerFlop, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		var bytes int64
+		for _, p := range l.Params() {
+			bytes += p.Bytes()
+		}
+		rows = append(rows, LayerFlop{Name: l.Name(), Count: l.FLOPs(shape), Bytes: bytes})
+		shape = l.OutShape(shape)
+	}
+	return rows
+}
+
+// FLOPsPerSample returns total fwd+bwd flop counts for one sample.
+func (n *Network) FLOPsPerSample() FlopCount {
+	var total FlopCount
+	for _, row := range n.FLOPBreakdown() {
+		total = total.Add(row.Count)
+	}
+	return total
+}
+
+// CopyWeightsFrom copies parameter values (not gradients) from src, which
+// must have an identical architecture. Used to fan a master model out to
+// worker replicas and to install parameter-server responses.
+func (n *Network) CopyWeightsFrom(src *Network) {
+	dst := n.Params()
+	sp := src.Params()
+	if len(dst) != len(sp) {
+		panic("nn: CopyWeightsFrom architecture mismatch")
+	}
+	for i := range dst {
+		dst[i].W.CopyFrom(sp[i].W)
+	}
+}
+
+// Summary renders a human-readable architecture table.
+func (n *Network) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (input %v)\n", n.NetName, n.InShape)
+	shape := n.InShape
+	for _, l := range n.Layers {
+		out := l.OutShape(shape)
+		var params int
+		for _, p := range l.Params() {
+			params += p.NumEl()
+		}
+		fmt.Fprintf(&b, "  %-18s %v -> %v  params=%d\n", l.Name(), shape, out, params)
+		shape = out
+	}
+	fmt.Fprintf(&b, "  total params %d (%.1f MiB)\n", n.NumParams(), float64(n.ParamBytes())/(1<<20))
+	return b.String()
+}

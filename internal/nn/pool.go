@@ -1,0 +1,177 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deep15pf/internal/tensor"
+)
+
+// MaxPool2D is max pooling with a square kernel. The paper's HEP network
+// uses 2×2 kernels with stride 2 after the first four convolutions.
+type MaxPool2D struct {
+	LayerName string
+	K, Stride int
+	argmax    []int32
+	inShape   []int
+}
+
+// NewMaxPool2D constructs a max-pooling layer.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	return &MaxPool2D{LayerName: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.LayerName }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects [C,H,W], got %v", p.LayerName, in))
+	}
+	return []int{in[0], tensor.ConvOut(in[1], p.K, p.Stride, 0), tensor.ConvOut(in[2], p.K, p.Stride, 0)}
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOut(h, p.K, p.Stride, 0)
+	ow := tensor.ConvOut(w, p.K, p.Stride, 0)
+	out := tensor.New(n, c, oh, ow)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int32, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	p.inShape = []int{n, c, h, w}
+	planes := n * c
+	tensor.ParallelFor(planes, func(lo, hi int) {
+		for pl := lo; pl < hi; pl++ {
+			src := x.Data[pl*h*w : (pl+1)*h*w]
+			dst := out.Data[pl*oh*ow : (pl+1)*oh*ow]
+			amx := p.argmax[pl*oh*ow : (pl+1)*oh*ow]
+			di := 0
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := int32(0)
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						if iy >= h {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							if ix >= w {
+								continue
+							}
+							v := src[iy*w+ix]
+							if v > best {
+								best = v
+								bestIdx = int32(iy*w + ix)
+							}
+						}
+					}
+					dst[di] = best
+					amx[di] = bestIdx
+					di++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward implements Layer: routes gradients to the argmax positions.
+func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: " + p.LayerName + " Backward before Forward")
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	oh, ow := dout.Shape[2], dout.Shape[3]
+	dx := tensor.New(n, c, h, w)
+	planes := n * c
+	for pl := 0; pl < planes; pl++ {
+		dsrc := dout.Data[pl*oh*ow : (pl+1)*oh*ow]
+		ddst := dx.Data[pl*h*w : (pl+1)*h*w]
+		amx := p.argmax[pl*oh*ow : (pl+1)*oh*ow]
+		for i, g := range dsrc {
+			ddst[amx[i]] += g
+		}
+	}
+	return dx
+}
+
+// FLOPs implements Layer. Pooling does comparisons, not flops; we count one
+// op per input tap like SDE counts masked max instructions.
+func (p *MaxPool2D) FLOPs(in []int) FlopCount {
+	out := p.OutShape(in)
+	ops := int64(out[0]*out[1]*out[2]) * int64(p.K*p.K)
+	return FlopCount{Fwd: ops, Bwd: ops / 2, FwdExecuted: ops, BwdExecuted: ops / 2}
+}
+
+// GlobalAvgPool averages each channel plane to a single value, producing a
+// [N, C] activation. The paper's HEP network uses it after the fifth
+// convolution specifically to avoid large dense layers that would be
+// expensive to synchronise (§I contribution list).
+type GlobalAvgPool struct {
+	LayerName string
+	inShape   []int
+}
+
+// NewGlobalAvgPool constructs a global-average-pooling layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{LayerName: name} }
+
+// Name implements Layer.
+func (p *GlobalAvgPool) Name() string { return p.LayerName }
+
+// Params implements Layer.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *GlobalAvgPool) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects [C,H,W], got %v", p.LayerName, in))
+	}
+	return []int{in[0]}
+}
+
+// Forward implements Layer.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for pl := 0; pl < n*c; pl++ {
+		src := x.Data[pl*h*w : (pl+1)*h*w]
+		var sum float32
+		for _, v := range src {
+			sum += v
+		}
+		out.Data[pl] = sum * inv
+	}
+	p.inShape = []int{n, c, h, w}
+	return out
+}
+
+// Backward implements Layer: spreads each gradient uniformly over the plane.
+func (p *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	dx := tensor.New(n, c, h, w)
+	inv := 1 / float32(h*w)
+	for pl := 0; pl < n*c; pl++ {
+		g := dout.Data[pl] * inv
+		dst := dx.Data[pl*h*w : (pl+1)*h*w]
+		for i := range dst {
+			dst[i] = g
+		}
+	}
+	return dx
+}
+
+// FLOPs implements Layer.
+func (p *GlobalAvgPool) FLOPs(in []int) FlopCount {
+	ops := int64(in[0] * in[1] * in[2])
+	return FlopCount{Fwd: ops, Bwd: ops, FwdExecuted: ops, BwdExecuted: ops}
+}

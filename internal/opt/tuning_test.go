@@ -1,0 +1,95 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImplicitMomentum(t *testing.T) {
+	if ImplicitMomentum(1) != 0 {
+		t.Fatal("sync run has no implicit momentum")
+	}
+	if ImplicitMomentum(2) != 0.5 {
+		t.Fatalf("G=2: %v, want 0.5", ImplicitMomentum(2))
+	}
+	if math.Abs(ImplicitMomentum(8)-0.875) > 1e-12 {
+		t.Fatalf("G=8: %v, want 0.875", ImplicitMomentum(8))
+	}
+	if ImplicitMomentum(0) != 0 {
+		t.Fatal("degenerate G must be safe")
+	}
+}
+
+func TestEffectiveMomentumComposition(t *testing.T) {
+	// Explicit 0.4 with G=2 (implicit 0.5): 1 − 0.6·0.5 = 0.7.
+	if got := EffectiveMomentum(0.4, 2); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("effective = %v, want 0.7", got)
+	}
+	// G=1 leaves explicit unchanged.
+	if EffectiveMomentum(0.9, 1) != 0.9 {
+		t.Fatal("sync effective must equal explicit")
+	}
+}
+
+func TestTuneMomentumMatchesTarget(t *testing.T) {
+	// For small G the tuned explicit momentum should reproduce the target
+	// effective momentum exactly.
+	for _, g := range []int{1, 2, 4} {
+		mu := TuneMomentum(0.9, g)
+		eff := EffectiveMomentum(mu, g)
+		if mu > 0 && math.Abs(eff-0.9) > 1e-9 {
+			t.Fatalf("G=%d: effective %v != 0.9 (mu=%v)", g, eff, mu)
+		}
+	}
+}
+
+func TestTuneMomentumZeroAtHighAsynchrony(t *testing.T) {
+	// G=16 gives implicit 0.9375 > 0.9 target: explicit must be 0,
+	// matching the paper's guidance to reduce momentum as groups grow.
+	if mu := TuneMomentum(0.9, 16); mu != 0 {
+		t.Fatalf("mu = %v, want 0", mu)
+	}
+}
+
+func TestTuneMomentumMonotoneInGroups(t *testing.T) {
+	prev := math.Inf(1)
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		mu := TuneMomentum(0.9, g)
+		if mu > prev+1e-12 {
+			t.Fatalf("tuned momentum must not increase with G: G=%d gave %v after %v", g, mu, prev)
+		}
+		prev = mu
+	}
+}
+
+// Property: tuned momentum always lands in [0, 0.95] and effective momentum
+// never exceeds max(target, implicit).
+func TestTuneMomentumBoundsProperty(t *testing.T) {
+	f := func(rawTarget uint8, rawG uint8) bool {
+		target := float64(rawTarget%95) / 100
+		g := 1 + int(rawG%16)
+		mu := TuneMomentum(target, g)
+		if mu < 0 || mu > 0.95 {
+			return false
+		}
+		eff := EffectiveMomentum(mu, g)
+		limit := math.Max(target, ImplicitMomentum(g))
+		return eff <= limit+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentumGridMatchesPaper(t *testing.T) {
+	want := []float64{0.0, 0.4, 0.7}
+	if len(MomentumGrid) != len(want) {
+		t.Fatal("grid size")
+	}
+	for i := range want {
+		if MomentumGrid[i] != want[i] {
+			t.Fatalf("grid = %v", MomentumGrid)
+		}
+	}
+}

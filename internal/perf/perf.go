@@ -1,0 +1,93 @@
+// Package perf implements the paper's §V measurement methodology: flop
+// rates derived from per-iteration wall-clock times, where the *peak* rate
+// comes from the fastest single iteration and the *sustained* rate from the
+// best average over a contiguous window of iterations.
+package perf
+
+import "fmt"
+
+// PeakRate returns the §V peak rate: work divided by the fastest iteration.
+func PeakRate(durations []float64, workPerIter float64) float64 {
+	if len(durations) == 0 {
+		return 0
+	}
+	best := durations[0]
+	for _, d := range durations[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return workPerIter / best
+}
+
+// SustainedRate returns the §V sustained rate: work·w divided by the
+// minimum sum over any contiguous window of w iterations. If fewer than w
+// iterations exist the whole run is the window.
+func SustainedRate(durations []float64, workPerIter float64, w int) float64 {
+	n := len(durations)
+	if n == 0 {
+		return 0
+	}
+	if w <= 0 || w > n {
+		w = n
+	}
+	var sum float64
+	for _, d := range durations[:w] {
+		sum += d
+	}
+	best := sum
+	for i := w; i < n; i++ {
+		sum += durations[i] - durations[i-w]
+		if sum < best {
+			best = sum
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return workPerIter * float64(w) / best
+}
+
+// MeanRate returns total work over total time.
+func MeanRate(durations []float64, workPerIter float64) float64 {
+	var total float64
+	for _, d := range durations {
+		total += d
+	}
+	if total <= 0 {
+		return 0
+	}
+	return workPerIter * float64(len(durations)) / total
+}
+
+// FormatFlops renders a flop rate with a binary-free SI suffix (the paper
+// reports TFLOP/s and PFLOP/s).
+func FormatFlops(rate float64) string {
+	switch {
+	case rate >= 1e15:
+		return fmt.Sprintf("%.2f PFLOP/s", rate/1e15)
+	case rate >= 1e12:
+		return fmt.Sprintf("%.2f TFLOP/s", rate/1e12)
+	case rate >= 1e9:
+		return fmt.Sprintf("%.2f GFLOP/s", rate/1e9)
+	default:
+		return fmt.Sprintf("%.2f MFLOP/s", rate/1e6)
+	}
+}
+
+// Summary holds the §V trio for one run.
+type Summary struct {
+	Peak, Sustained, Mean float64
+}
+
+// Summarize computes all three rates with the given sustained window.
+func Summarize(durations []float64, workPerIter float64, window int) Summary {
+	return Summary{
+		Peak:      PeakRate(durations, workPerIter),
+		Sustained: SustainedRate(durations, workPerIter, window),
+		Mean:      MeanRate(durations, workPerIter),
+	}
+}

@@ -1,0 +1,198 @@
+// Package ps implements the paper's parameter servers (§II-B2, §III-E):
+// each *trainable layer* gets a dedicated server goroutine holding the
+// master copy of that layer's parameters and the solver state for them.
+// Compute groups send layer gradients asynchronously; the server applies
+// updates strictly in arrival order and returns the fresh model, tracking
+// per-update staleness (the number of updates other groups applied between
+// this group's read and its write — the quantity that degrades statistical
+// efficiency as group count grows).
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/opt"
+)
+
+// Response carries the post-update model state back to a group root.
+type Response struct {
+	Weights   [][]float32 // fresh copy, one slice per layer parameter
+	Clock     int64       // server update counter after this update
+	Staleness int         // updates applied since this group's last read
+}
+
+// Server owns one layer's master parameters.
+type Server struct {
+	LayerID int
+
+	mu        sync.Mutex
+	params    []*nn.Param // master storage (decoupled from any replica)
+	solver    opt.Solver
+	clock     int64
+	staleness map[int]int64 // histogram: staleness value → count
+	perGroup  map[int]int64 // groupID → clock at last read
+}
+
+// NewServer builds a server for one layer, copying the initial parameter
+// values from template and cloning fresh solver state.
+func NewServer(layerID int, template []*nn.Param, solver opt.Solver) *Server {
+	master := make([]*nn.Param, len(template))
+	for i, p := range template {
+		master[i] = &nn.Param{
+			Name: p.Name,
+			W:    p.W.Clone(),
+			Grad: p.Grad.Clone(),
+		}
+		master[i].Grad.Zero()
+	}
+	return &Server{
+		LayerID:   layerID,
+		params:    master,
+		solver:    solver.Clone(),
+		staleness: make(map[int]int64),
+		perGroup:  make(map[int]int64),
+	}
+}
+
+// Fetch returns the current model without updating (a group's initial
+// read). It records the read clock for staleness accounting.
+func (s *Server) Fetch(groupID int) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perGroup[groupID] = s.clock
+	return Response{Weights: s.copyWeightsLocked(), Clock: s.clock}
+}
+
+// Update applies the group's layer gradient to the master model ("the PS
+// applies the updates to the model in the order they are received, and
+// sends back the updated model", §II-B2). grads must be positioned like
+// the template params.
+func (s *Server) Update(groupID int, grads [][]float32) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(grads) != len(s.params) {
+		panic(fmt.Sprintf("ps: layer %d got %d grad blobs, want %d", s.LayerID, len(grads), len(s.params)))
+	}
+	stale := s.clock - s.perGroup[groupID]
+	s.staleness[int(stale)]++
+	for i, g := range grads {
+		if len(g) != s.params[i].Grad.Len() {
+			panic(fmt.Sprintf("ps: layer %d param %d size %d, want %d", s.LayerID, i, len(g), s.params[i].Grad.Len()))
+		}
+		copy(s.params[i].Grad.Data, g)
+	}
+	s.solver.Step(s.params)
+	s.clock++
+	s.perGroup[groupID] = s.clock
+	return Response{
+		Weights:   s.copyWeightsLocked(),
+		Clock:     s.clock,
+		Staleness: int(stale),
+	}
+}
+
+// Clock returns the number of updates applied.
+func (s *Server) Clock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
+}
+
+// Weights returns a copy of the current master parameters.
+func (s *Server) Weights() [][]float32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.copyWeightsLocked()
+}
+
+func (s *Server) copyWeightsLocked() [][]float32 {
+	out := make([][]float32, len(s.params))
+	for i, p := range s.params {
+		out[i] = append([]float32(nil), p.W.Data...)
+	}
+	return out
+}
+
+// StalenessHistogram returns a copy of the staleness counts.
+func (s *Server) StalenessHistogram() map[int]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int64, len(s.staleness))
+	for k, v := range s.staleness {
+		out[k] = v
+	}
+	return out
+}
+
+// Fleet is the full set of per-layer servers for one network — the paper's
+// Fig 4 arrangement ("we assign a dedicated parameter server to each
+// trainable layer of the network").
+type Fleet struct {
+	Servers []*Server
+}
+
+// NewFleet creates one server per trainable layer. layers must each own at
+// least one parameter; solver is cloned per server so solver state is
+// layer-local, exactly as in the sharded design.
+func NewFleet(layers []nn.Layer, solver opt.Solver) *Fleet {
+	f := &Fleet{}
+	for i, l := range layers {
+		params := l.Params()
+		if len(params) == 0 {
+			panic(fmt.Sprintf("ps: layer %d (%s) has no parameters", i, l.Name()))
+		}
+		f.Servers = append(f.Servers, NewServer(i, params, solver))
+	}
+	return f
+}
+
+// Size returns the number of parameter servers (6 for the paper's HEP
+// network, 14 for climate).
+func (f *Fleet) Size() int { return len(f.Servers) }
+
+// FetchAll reads every layer's model for a group (initial synchronisation).
+func (f *Fleet) FetchAll(groupID int) []Response {
+	out := make([]Response, len(f.Servers))
+	for i, s := range f.Servers {
+		out[i] = s.Fetch(groupID)
+	}
+	return out
+}
+
+// UpdateAll pushes one gradient set (grads[layer][param]) and returns the
+// per-layer responses. Layers are exchanged concurrently — each with its
+// own dedicated server — mirroring the paper's parallel per-layer PS
+// traffic.
+func (f *Fleet) UpdateAll(groupID int, grads [][][]float32) []Response {
+	if len(grads) != len(f.Servers) {
+		panic(fmt.Sprintf("ps: %d gradient sets for %d servers", len(grads), len(f.Servers)))
+	}
+	out := make([]Response, len(f.Servers))
+	var wg sync.WaitGroup
+	for i := range f.Servers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = f.Servers[i].Update(groupID, grads[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// MeanStaleness aggregates the staleness histograms across servers.
+func (f *Fleet) MeanStaleness() float64 {
+	var sum, n float64
+	for _, s := range f.Servers {
+		for stale, count := range s.StalenessHistogram() {
+			sum += float64(stale) * float64(count)
+			n += float64(count)
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

@@ -1,0 +1,218 @@
+package ps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/tensor"
+)
+
+func layerParams(vals ...float32) []*nn.Param {
+	w := tensor.FromSlice(append([]float32(nil), vals...), len(vals))
+	return []*nn.Param{{Name: "w", W: w, Grad: tensor.New(len(vals))}}
+}
+
+func TestServerCopiesInitialParams(t *testing.T) {
+	tmpl := layerParams(1, 2)
+	s := NewServer(0, tmpl, opt.NewSGD(0.1, 0))
+	tmpl[0].W.Data[0] = 99 // mutating the template must not affect the master
+	w := s.Weights()
+	if w[0][0] != 1 || w[0][1] != 2 {
+		t.Fatalf("master weights %v", w)
+	}
+}
+
+func TestUpdateAppliesSolver(t *testing.T) {
+	s := NewServer(0, layerParams(1), opt.NewSGD(0.5, 0))
+	resp := s.Update(0, [][]float32{{2}})
+	// w = 1 − 0.5·2 = 0.
+	if resp.Weights[0][0] != 0 {
+		t.Fatalf("weights after update = %v", resp.Weights)
+	}
+	if resp.Clock != 1 {
+		t.Fatalf("clock = %d", resp.Clock)
+	}
+}
+
+func TestStalenessSingleGroupIsZero(t *testing.T) {
+	s := NewServer(0, layerParams(0), opt.NewSGD(0.1, 0))
+	s.Fetch(0)
+	for i := 0; i < 5; i++ {
+		resp := s.Update(0, [][]float32{{1}})
+		if resp.Staleness != 0 {
+			t.Fatalf("single group must never be stale, got %d", resp.Staleness)
+		}
+	}
+}
+
+func TestStalenessAlternatingGroups(t *testing.T) {
+	// Two groups alternating perfectly: after warmup each sees exactly
+	// one intervening update → staleness 1 (= G−1).
+	s := NewServer(0, layerParams(0), opt.NewSGD(0.1, 0))
+	s.Fetch(0)
+	s.Fetch(1)
+	s.Update(0, [][]float32{{1}}) // group 1 hasn't read since → its next update is stale
+	for i := 0; i < 6; i++ {
+		g := i % 2
+		resp := s.Update(1-g, [][]float32{{1}})
+		if resp.Staleness != 1 {
+			t.Fatalf("alternating groups: staleness %d, want 1", resp.Staleness)
+		}
+	}
+	hist := s.StalenessHistogram()
+	if hist[1] != 6 {
+		t.Fatalf("histogram %v", hist)
+	}
+}
+
+func TestUpdatesSerializeUnderConcurrency(t *testing.T) {
+	// Many concurrent updates with SGD lr=1 and grad −1 each add exactly
+	// +1: the final weight equals the update count iff updates serialize.
+	s := NewServer(0, layerParams(0), opt.NewSGD(1, 0))
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s.Update(g%4, [][]float32{{-1}})
+		}(i)
+	}
+	wg.Wait()
+	if w := s.Weights()[0][0]; w != n {
+		t.Fatalf("lost updates: w = %v, want %d", w, n)
+	}
+	if s.Clock() != n {
+		t.Fatalf("clock = %d", s.Clock())
+	}
+}
+
+func TestResponseWeightsAreCopies(t *testing.T) {
+	s := NewServer(0, layerParams(5), opt.NewSGD(0.1, 0))
+	resp := s.Fetch(0)
+	resp.Weights[0][0] = -777
+	if s.Weights()[0][0] != 5 {
+		t.Fatal("response must not alias master storage")
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s := NewServer(0, layerParams(1, 2), opt.NewSGD(0.1, 0))
+	mustPanic := func(f func()) {
+		defer func() { _ = recover() }()
+		f()
+		t.Fatal("expected panic")
+	}
+	mustPanic(func() { s.Update(0, [][]float32{{1}, {2}}) }) // wrong blob count
+	mustPanic(func() { s.Update(0, [][]float32{{1}}) })      // wrong blob size
+}
+
+func buildTinyNet(seed uint64) *nn.Network {
+	rng := tensor.NewRNG(seed)
+	n := nn.NewNetwork("t", 1, 4, 4)
+	n.Add(
+		nn.NewConv2D("conv", 1, 2, 3, 1, 1, rng),
+		nn.NewReLU("relu"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewDense("fc", 2, 2, rng),
+	)
+	return n
+}
+
+func TestFleetOneServerPerTrainableLayer(t *testing.T) {
+	net := buildTinyNet(1)
+	f := NewFleet(net.TrainableLayers(), opt.NewSGD(0.1, 0))
+	if f.Size() != 2 {
+		t.Fatalf("fleet size = %d, want 2", f.Size())
+	}
+}
+
+func TestFleetUpdateAllAndStaleness(t *testing.T) {
+	net := buildTinyNet(2)
+	f := NewFleet(net.TrainableLayers(), opt.NewSGD(0.1, 0))
+	f.FetchAll(0)
+	// Build zero gradients shaped like the layers.
+	grads := make([][][]float32, f.Size())
+	for i, l := range net.TrainableLayers() {
+		for _, p := range l.Params() {
+			grads[i] = append(grads[i], make([]float32, p.NumEl()))
+		}
+	}
+	resps := f.UpdateAll(0, grads)
+	if len(resps) != f.Size() {
+		t.Fatal("response count")
+	}
+	for _, r := range resps {
+		if r.Staleness != 0 {
+			t.Fatalf("zero-gradient single group staleness %d", r.Staleness)
+		}
+	}
+	if f.MeanStaleness() != 0 {
+		t.Fatalf("mean staleness %v", f.MeanStaleness())
+	}
+}
+
+func TestFleetMeanStalenessTracksGroups(t *testing.T) {
+	// G groups in strict rotation converge to staleness G−1 — the
+	// asynchrony level the hybrid design trades against hardware
+	// efficiency (§II-B2a).
+	net := buildTinyNet(3)
+	f := NewFleet(net.TrainableLayers(), opt.NewSGD(0.01, 0))
+	const groups = 4
+	grads := make([][][]float32, f.Size())
+	for i, l := range net.TrainableLayers() {
+		for _, p := range l.Params() {
+			grads[i] = append(grads[i], make([]float32, p.NumEl()))
+		}
+	}
+	for g := 0; g < groups; g++ {
+		f.FetchAll(g)
+	}
+	const rounds = 10
+	for r := 0; r < rounds; r++ {
+		for g := 0; g < groups; g++ {
+			f.UpdateAll(g, grads)
+		}
+	}
+	mean := f.MeanStaleness()
+	// Early updates are less stale; the tail is exactly G−1.
+	if mean < 2 || mean > float64(groups-1)+1e-9 {
+		t.Fatalf("mean staleness %v, want near %d", mean, groups-1)
+	}
+	// The final rotation must be exactly G−1 stale.
+	hist := f.Servers[0].StalenessHistogram()
+	if hist[groups-1] == 0 {
+		t.Fatalf("no updates at staleness %d: %v", groups-1, hist)
+	}
+}
+
+func TestFleetRequiresParameterisedLayers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFleet([]nn.Layer{nn.NewReLU("relu")}, opt.NewSGD(0.1, 0))
+}
+
+func TestAdamStateLivesOnServer(t *testing.T) {
+	// A +1 gradient followed by a −1 gradient: with persistent Adam
+	// moment state the second step is heavily damped (the first moment
+	// still mostly points the other way); a stateless implementation
+	// would take a full-size lr step. This proves solver state is
+	// server-side, as the sharded PS design requires.
+	s := NewServer(0, layerParams(0), opt.NewAdam(0.1))
+	r1 := s.Update(0, [][]float32{{1}})
+	w1 := float64(r1.Weights[0][0])
+	if math.Abs(math.Abs(w1)-0.1) > 1e-3 {
+		t.Fatalf("first Adam step %v, want ~lr", w1)
+	}
+	r2 := s.Update(0, [][]float32{{-1}})
+	step2 := math.Abs(float64(r2.Weights[0][0]) - w1)
+	if step2 > 0.05 {
+		t.Fatalf("second step %v not damped — state not persisted server-side", step2)
+	}
+}

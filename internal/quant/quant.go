@@ -1,0 +1,106 @@
+// Package quant implements low-precision gradient compression, the §VIII-A
+// direction the paper flags for future hardware: "training with quantized
+// weights and activations … with various forms of stochastic rounding being
+// of critical importance in convergence". Gradients quantize to int8 with a
+// per-tensor scale before the (simulated or real) wire, cutting parameter-
+// server and allreduce payloads 4x.
+//
+// Two rounding modes are provided because their difference is the point:
+// round-to-nearest silently zeroes every gradient smaller than half the
+// quantisation step, stalling convergence, while stochastic rounding is
+// unbiased (E[dequantize(quantize(x))] = x) and keeps small gradients
+// alive in expectation.
+package quant
+
+import (
+	"math"
+
+	"deep15pf/internal/tensor"
+)
+
+// Quantized is an int8-compressed tensor with its dequantisation scale.
+type Quantized struct {
+	Data  []int8
+	Scale float32 // value = Data[i] * Scale
+}
+
+// Bytes returns the wire size (payload + scale).
+func (q Quantized) Bytes() int { return len(q.Data) + 4 }
+
+// scaleFor returns the per-tensor scale mapping the max magnitude to 127.
+func scaleFor(src []float32) float32 {
+	var maxAbs float32
+	for _, v := range src {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+// Stochastic quantises with stochastic rounding: x/scale rounds up with
+// probability equal to its fractional part, making the estimator unbiased.
+func Stochastic(src []float32, rng *tensor.RNG) Quantized {
+	q := Quantized{Data: make([]int8, len(src)), Scale: scaleFor(src)}
+	inv := 1 / q.Scale
+	for i, v := range src {
+		x := float64(v * inv)
+		lo := math.Floor(x)
+		frac := x - lo
+		r := lo
+		if rng.Float64() < frac {
+			r = lo + 1
+		}
+		q.Data[i] = clampInt8(r)
+	}
+	return q
+}
+
+// Nearest quantises with round-to-nearest (the biased baseline).
+func Nearest(src []float32) Quantized {
+	q := Quantized{Data: make([]int8, len(src)), Scale: scaleFor(src)}
+	inv := 1 / q.Scale
+	for i, v := range src {
+		q.Data[i] = clampInt8(math.Round(float64(v * inv)))
+	}
+	return q
+}
+
+func clampInt8(v float64) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// Dequantize expands q into dst (which must have matching length).
+func Dequantize(q Quantized, dst []float32) {
+	if len(dst) != len(q.Data) {
+		panic("quant: Dequantize length mismatch")
+	}
+	for i, v := range q.Data {
+		dst[i] = float32(v) * q.Scale
+	}
+}
+
+// RoundTrip compresses and immediately decompresses in place — the exact
+// distortion a gradient suffers crossing a quantised wire.
+func RoundTrip(data []float32, rng *tensor.RNG, stochastic bool) {
+	var q Quantized
+	if stochastic {
+		q = Stochastic(data, rng)
+	} else {
+		q = Nearest(data)
+	}
+	Dequantize(q, data)
+}

@@ -1,0 +1,89 @@
+package tensor
+
+// im2col / col2im lowering. A convolution over a C×H×W image with F filters
+// of size KH×KW becomes a (F)×(C·KH·KW) by (C·KH·KW)×(OH·OW) GEMM. col2im is
+// the adjoint scatter used for the data gradient — and, per the paper's
+// §III-C deconvolution trick, for the *forward* pass of deconvolution.
+
+// ConvOut returns the output spatial size for input size in, kernel k,
+// stride s and symmetric padding p.
+func ConvOut(in, k, s, p int) int {
+	return (in+2*p-k)/s + 1
+}
+
+// Im2col expands one C×H×W image (img, len C*H*W) into the column matrix
+// col with shape (C*KH*KW)×(OH*OW), row-major. Out-of-bounds taps are zero.
+func Im2col(img []float32, c, h, w, kh, kw, stride, pad int, col []float32) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	cols := oh * ow
+	if len(col) < c*kh*kw*cols {
+		panic("tensor: Im2col output too small")
+	}
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				dst := col[row*cols : row*cols+cols]
+				row++
+				di := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowOff := chOff + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = img[rowOff+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im scatters the column matrix col (shape (C*KH*KW)×(OH*OW)) back into
+// the C×H×W image img, *accumulating* overlapping contributions. img must be
+// zeroed by the caller if a fresh result is wanted.
+func Col2im(col []float32, c, h, w, kh, kw, stride, pad int, img []float32) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	cols := oh * ow
+	row := 0
+	for ch := 0; ch < c; ch++ {
+		chOff := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				src := col[row*cols : row*cols+cols]
+				row++
+				si := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowOff := chOff + iy*w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kx
+						if ix >= 0 && ix < w {
+							img[rowOff+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvOut(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{224, 3, 1, 1, 224}, // same-padding 3x3
+		{224, 2, 2, 0, 112}, // 2x2 pool
+		{768, 3, 2, 1, 384}, // strided downsample
+		{7, 7, 1, 0, 1},     // global
+		{5, 3, 2, 1, 3},
+	}
+	for _, c := range cases {
+		if got := ConvOut(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestIm2colIdentityKernel(t *testing.T) {
+	// 1x1 kernel stride 1 no pad: col equals the image.
+	img := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	col := make([]float32, 8)
+	Im2col(img, 2, 2, 2, 1, 1, 1, 0, col)
+	for i := range img {
+		if col[i] != img[i] {
+			t.Fatalf("col[%d]=%v, want %v", i, col[i], img[i])
+		}
+	}
+}
+
+func TestIm2colKnownValues(t *testing.T) {
+	// 1 channel 3x3 image, 2x2 kernel, stride 1, no pad → 2x2 output.
+	img := []float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	col := make([]float32, 4*4)
+	Im2col(img, 1, 3, 3, 2, 2, 1, 0, col)
+	want := []float32{
+		1, 2, 4, 5, // tap (0,0)
+		2, 3, 5, 6, // tap (0,1)
+		4, 5, 7, 8, // tap (1,0)
+		5, 6, 8, 9, // tap (1,1)
+	}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Fatalf("col[%d]=%v, want %v\n%v", i, col[i], want[i], col)
+		}
+	}
+}
+
+func TestIm2colPaddingZeros(t *testing.T) {
+	img := []float32{1, 1, 1, 1} // 1ch 2x2
+	oh := ConvOut(2, 3, 1, 1)
+	col := make([]float32, 9*oh*oh)
+	Im2col(img, 1, 2, 2, 3, 3, 1, 1, col)
+	// Tap (0,0) of output position (0,0) reads img[-1,-1] → 0.
+	if col[0] != 0 {
+		t.Fatalf("padded tap should be 0, got %v", col[0])
+	}
+	// Center tap (ky=1,kx=1) of output (0,0) reads img[0,0] = 1.
+	if col[4*oh*oh] != 1 {
+		t.Fatalf("center tap should be 1, got %v", col[4*oh*oh])
+	}
+}
+
+// Property: col2im is the adjoint of im2col — ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩
+// for all x, y. This single identity guarantees the convolution data-gradient
+// (and therefore the deconvolution forward pass) is exactly consistent.
+func TestCol2imAdjointProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := NewRNG(uint64(seed)*2654435761 + 1)
+		c := 1 + r.Intn(3)
+		h := 2 + r.Intn(5)
+		w := 2 + r.Intn(5)
+		k := 1 + r.Intn(3)
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		if h+2*pad < k || w+2*pad < k {
+			return true
+		}
+		oh := ConvOut(h, k, stride, pad)
+		ow := ConvOut(w, k, stride, pad)
+		x := make([]float32, c*h*w)
+		for i := range x {
+			x[i] = float32(r.Norm())
+		}
+		y := make([]float32, c*k*k*oh*ow)
+		for i := range y {
+			y[i] = float32(r.Norm())
+		}
+		cx := make([]float32, len(y))
+		Im2col(x, c, h, w, k, k, stride, pad, cx)
+		xy := make([]float32, len(x))
+		Col2im(y, c, h, w, k, k, stride, pad, xy)
+		lhs := Dot(cx, y)
+		rhs := Dot(x, xy)
+		return math.Abs(lhs-rhs) <= 1e-3*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2imAccumulates(t *testing.T) {
+	// Overlapping 2x2 kernel stride 1 on 3x3: center pixel receives 4 taps.
+	col := make([]float32, 4*4)
+	for i := range col {
+		col[i] = 1
+	}
+	img := make([]float32, 9)
+	Col2im(col, 1, 3, 3, 2, 2, 1, 0, img)
+	if img[4] != 4 { // center of 3x3
+		t.Fatalf("center should accumulate 4 contributions, got %v", img[4])
+	}
+	if img[0] != 1 {
+		t.Fatalf("corner should receive 1 contribution, got %v", img[0])
+	}
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAxpy(t *testing.T) {
+	y := []float32{1, 1}
+	Axpy(2, []float32{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Axpy(1, []float32{1, 1}, y) // alpha==1 fast path
+	if y[0] != 8 || y[1] != 10 {
+		t.Fatalf("Axpy alpha=1 = %v", y)
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	x := []float32{2, 4}
+	Scale(0.5, x)
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("Scale = %v", x)
+	}
+	dst := make([]float32, 2)
+	Add(dst, []float32{1, 2}, []float32{3, 4})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, []float32{1, 2}, []float32{3, 4})
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("Sub = %v", dst)
+	}
+}
+
+func TestDotAndMSE(t *testing.T) {
+	if Dot([]float32{1, 2}, []float32{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	if MeanSquaredError([]float32{0, 0}, []float32{3, 4}) != 12.5 {
+		t.Fatal("MSE wrong")
+	}
+	if MeanSquaredError(nil, nil) != 0 {
+		t.Fatal("empty MSE should be 0")
+	}
+}
+
+func TestAccumulateInto(t *testing.T) {
+	dst := make([]float32, 2)
+	AccumulateInto(dst, []float32{1, 2}, []float32{3, 4}, []float32{5, 6})
+	if dst[0] != 9 || dst[1] != 12 {
+		t.Fatalf("AccumulateInto = %v", dst)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Axpy", func() { Axpy(1, []float32{1}, []float32{1, 2}) })
+	mustPanic("Dot", func() { Dot([]float32{1}, []float32{1, 2}) })
+	mustPanic("Add", func() { Add(make([]float32, 2), []float32{1}, []float32{1, 2}) })
+	mustPanic("MSE", func() { MeanSquaredError([]float32{1}, []float32{1, 2}) })
+}
+
+// Property: accumulation order does not change the result beyond float
+// tolerance, and AccumulateInto equals elementwise sum.
+func TestAccumulatePermutationProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := NewRNG(uint64(seed) + 99)
+		n := 1 + r.Intn(32)
+		parts := make([][]float32, 3)
+		for i := range parts {
+			parts[i] = make([]float32, n)
+			for j := range parts[i] {
+				parts[i][j] = float32(r.Norm())
+			}
+		}
+		a := make([]float32, n)
+		AccumulateInto(a, parts[0], parts[1], parts[2])
+		b := make([]float32, n)
+		AccumulateInto(b, parts[2], parts[0], parts[1])
+		for i := range a {
+			if math.Abs(float64(a[i]-b[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	n := 1000
+	hits := make([]int32, n)
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForEmptyAndSingle(t *testing.T) {
+	called := false
+	ParallelFor(0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("ParallelFor(0) must not call fn")
+	}
+	ParallelFor(1, func(lo, hi int) {
+		if lo != 0 || hi != 1 {
+			t.Fatalf("bad range %d:%d", lo, hi)
+		}
+	})
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	prev := SetWorkers(-3)
+	if Workers() != 1 {
+		t.Fatalf("Workers = %d, want clamp to 1", Workers())
+	}
+	SetWorkers(prev)
+}

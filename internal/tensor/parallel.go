@@ -1,0 +1,64 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps kernel parallelism; defaults to GOMAXPROCS. The paper uses
+// 66 of 68 KNL cores per node (2 reserved for the OS); SetWorkers lets the
+// harness mimic that policy on the host.
+var (
+	workersMu sync.RWMutex
+	workers   = runtime.GOMAXPROCS(0)
+)
+
+// SetWorkers sets the number of goroutines kernel loops may use. n < 1 is
+// clamped to 1. Returns the previous value.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	workersMu.Lock()
+	prev := workers
+	workers = n
+	workersMu.Unlock()
+	return prev
+}
+
+// Workers returns the current kernel parallelism.
+func Workers() int {
+	workersMu.RLock()
+	defer workersMu.RUnlock()
+	return workers
+}
+
+// ParallelFor runs fn(lo,hi) over a partition of [0,n) across the configured
+// worker count. Chunks are contiguous so memory access stays streaming. With
+// one worker (or tiny n) it runs inline, avoiding goroutine overhead.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
