@@ -8,12 +8,14 @@ package deep15pf_test
 // Regenerate everything textually with: go run ./cmd/repro
 
 import (
+	"path/filepath"
 	"testing"
 
 	"deep15pf/internal/cluster"
 	"deep15pf/internal/harness"
 	"deep15pf/internal/hep"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/serve"
 	"deep15pf/internal/tensor"
 )
 
@@ -163,6 +165,55 @@ func BenchmarkHEPForwardBackward(b *testing.B) {
 	}
 	b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 }
+
+// ---- Serving (internal/serve) ----
+
+// benchServeThroughput drives b.N closed-loop requests through a serving
+// stack at the given max batch size, reporting requests/second and p99
+// end-to-end latency — the serving perf trajectory future PRs are measured
+// against (cmd/deepserve runs the same study interactively).
+func benchServeThroughput(b *testing.B, maxBatch int) {
+	cfg := hep.ModelConfig{Name: "bench-serve", ImageSize: 4, Filters: 16, ConvUnits: 2, Classes: 2}
+	rng := tensor.NewRNG(7)
+	net := hep.BuildNet(cfg, rng)
+	path := filepath.Join(b.TempDir(), "bench.d15w")
+	if err := nn.SaveFile(path, net.Params()); err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	serve.RegisterHEP(reg, "bench-serve", cfg)
+	lm, err := reg.Load("bench-serve", path, serve.Float32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := serve.NewServer(lm, serve.Config{MaxBatch: maxBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	inputs := make([]*serve.LoadInput, 64)
+	for i := range inputs {
+		x := tensor.New(3, cfg.ImageSize, cfg.ImageSize)
+		rng.FillNorm(x, 0, 1)
+		inputs[i] = &serve.LoadInput{X: x}
+	}
+	clients := 2 * maxBatch
+	if clients < 8 {
+		clients = 8
+	}
+	b.ResetTimer()
+	res := serve.RunClosedLoop(s, inputs, clients, b.N)
+	if res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	st := s.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(st.P99.Microseconds())/1000, "p99-ms")
+}
+
+func BenchmarkServeThroughputBatch1(b *testing.B)  { benchServeThroughput(b, 1) }
+func BenchmarkServeThroughputBatch8(b *testing.B)  { benchServeThroughput(b, 8) }
+func BenchmarkServeThroughputBatch32(b *testing.B) { benchServeThroughput(b, 32) }
 
 // BenchmarkClusterSimIteration measures the discrete-event simulator's own
 // cost per simulated training iteration at full machine scale.

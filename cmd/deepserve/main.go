@@ -1,0 +1,257 @@
+// Command deepserve is the serving-side counterpart of heptrain: it loads a
+// trained D15W checkpoint through the serve.Registry and drives a
+// closed-loop synthetic load through the dynamically-batching inference
+// server, reporting throughput, tail latency, batch occupancy and served
+// flop rate. With no -checkpoint it first trains a small HEP classifier so
+// the demo is self-contained end to end: train → checkpoint → registry →
+// batched serving.
+//
+// The default run is the batching study: the same load once through a
+// batch-size-1 server (every request runs alone — the no-batching baseline)
+// and once through the dynamic batcher, printing both snapshots and the
+// speedup. Dynamic batching amortises the fixed per-request cost (queue
+// hops, scheduling, per-pass allocations) over the batch; the win is
+// largest for small models at high request rates and shrinks as per-sample
+// compute grows (try -size 16 -filters 8 -units 3).
+//
+// Usage:
+//
+//	deepserve                              # train a demo model, compare batch=1 vs batched
+//	deepserve -requests 50000 -batch 64    # bigger study
+//	deepserve -int8                        # serve the int8 weight/activation path
+//	deepserve -arch hep-small -checkpoint model.d15w
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"deep15pf/internal/core"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/perf"
+	"deep15pf/internal/serve"
+	"deep15pf/internal/tensor"
+)
+
+func main() {
+	arch := flag.String("arch", "", "registered architecture to serve (required with -checkpoint)")
+	checkpoint := flag.String("checkpoint", "", "D15W checkpoint path (empty = train a demo model first)")
+	size := flag.Int("size", 4, "demo model image size (trigger-scale default; batching wins shrink as size grows)")
+	filters := flag.Int("filters", 16, "demo model conv filters")
+	units := flag.Int("units", 2, "demo model conv+pool units")
+	trainEvents := flag.Int("train-events", 512, "demo training events")
+	trainIters := flag.Int("train-iters", 60, "demo training iterations")
+	lr := flag.Float64("lr", 2e-3, "demo training ADAM learning rate")
+	requests := flag.Int("requests", 12000, "requests to drive through each server")
+	clients := flag.Int("clients", 64, "concurrent closed-loop clients")
+	batch := flag.Int("batch", 32, "max dynamic batch size")
+	linger := flag.Duration("linger", 500*time.Microsecond, "max linger of a partial batch (negative = dispatch immediately)")
+	workers := flag.Int("workers", 0, "worker replicas (0 = GOMAXPROCS)")
+	int8Mode := flag.Bool("int8", false, "serve the int8 weight/activation path")
+	compare := flag.Bool("compare", true, "also run the batch-size-1 baseline and report the speedup")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	registry := serve.DefaultRegistry()
+	demoCfg := hep.ModelConfig{Name: "hep-demo", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
+	serve.RegisterHEP(registry, "hep-demo", demoCfg)
+
+	path := *checkpoint
+	archName := *arch
+	if path == "" {
+		if archName != "" && archName != "hep-demo" {
+			fatalf("-arch %q needs -checkpoint (only hep-demo can self-train)", archName)
+		}
+		archName = "hep-demo"
+		path = trainDemo(demoCfg, *trainEvents, *trainIters, *lr, *seed)
+	} else if archName == "" {
+		fatalf("-checkpoint needs -arch; registered: %v", registry.Archs())
+	}
+
+	prec := serve.Float32
+	if *int8Mode {
+		prec = serve.Int8
+	}
+	lm, err := registry.Load(archName, path, prec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("loaded %s (%s): input %v -> output %v, %.2f MiB parameters, %s/sample forward\n\n",
+		lm.ModelArch, lm.Prec, lm.InShape(), lm.OutShape(),
+		float64(lm.ParamBytes())/(1<<20), perf.FormatFlops(float64(lm.FwdFLOPsPerSample())))
+
+	if *int8Mode {
+		reportInt8Agreement(registry, archName, path, lm, *seed)
+	}
+
+	inputs := requestPool(lm, 256, *seed+3)
+	cfg := serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers}
+
+	var base serve.Stats
+	if *compare {
+		fmt.Printf("--- baseline: batch size 1, %d requests, %d clients ---\n", *requests, *clients)
+		base = runLoad(lm, serve.Config{MaxBatch: 1, Workers: *workers}, inputs, *clients, *requests)
+		fmt.Println()
+	}
+
+	fmt.Printf("--- dynamic batching: max batch %d, linger %v, %d requests, %d clients ---\n",
+		*batch, *linger, *requests, *clients)
+	dyn := runLoad(lm, cfg, inputs, *clients, *requests)
+
+	if *compare {
+		speedup := dyn.Throughput / base.Throughput
+		fmt.Printf("\nbatching speedup: %.2fx  (%.0f -> %.0f req/s)  p99 %v -> %v\n",
+			speedup, base.Throughput, dyn.Throughput,
+			base.P99.Round(time.Microsecond), dyn.P99.Round(time.Microsecond))
+		if speedup < 2 {
+			fmt.Println("note: speedup under 2x — per-sample compute dominates at this model size; shrink the model or raise -clients")
+		}
+	}
+}
+
+// trainDemo trains the demo classifier synchronously (quickstart-style),
+// evaluates it on held-out events, and checkpoints it to a temp file.
+func trainDemo(cfg hep.ModelConfig, events, iters int, lr float64, seed uint64) string {
+	rng := tensor.NewRNG(seed)
+	fmt.Printf("training %s: %d events, %d iterations (%dx%dx3 images, %d filters)\n",
+		cfg.Name, events, iters, cfg.ImageSize, cfg.ImageSize, cfg.Filters)
+	r := hep.NewRenderer(cfg.ImageSize)
+	train := hep.GenerateDataset(hep.DefaultGenConfig(), r, events, 0.5, rng)
+	test := hep.GenerateDataset(hep.DefaultGenConfig(), r, events, 0.5, rng)
+
+	problem := hep.NewTrainingProblem(train, cfg, seed+1)
+	res := core.TrainSync(problem, core.Config{
+		Groups: 1, WorkersPerGroup: 1, GroupBatch: 32, Iterations: iters,
+		Solver: opt.NewAdam(lr), Seed: seed,
+	})
+	fmt.Printf("trained: loss %.4f -> %.4f\n", res.Stats[0].Loss, res.FinalLoss)
+
+	rep := problem.NewReplica()
+	core.InstallWeights(rep, res.FinalWeights)
+	scores := hep.ScoreDataset(rep, test, 64)
+	correct := 0
+	for i, s := range scores {
+		if (s > 0.5) == (test.Labels[i] == 1) {
+			correct++
+		}
+	}
+	fmt.Printf("held-out accuracy: %.1f%% over %d events\n", 100*float64(correct)/float64(len(scores)), len(scores))
+
+	path := filepath.Join(os.TempDir(), "deepserve-demo.d15w")
+	if err := nn.SaveFile(path, hep.ReplicaParams(rep)); err != nil {
+		fatalf("checkpoint: %v", err)
+	}
+	fmt.Printf("checkpointed to %s\n\n", path)
+	return path
+}
+
+// requestPool renders n per-sample request tensors: synthetic HEP events
+// for 3-channel models, Gaussian fields otherwise (climate).
+func requestPool(lm *serve.LoadedModel, n int, seed uint64) []*serve.LoadInput {
+	in := lm.InShape()
+	outLen := 1
+	for _, d := range lm.OutShape() {
+		outLen *= d
+	}
+	check := func(y *tensor.Tensor) error {
+		if y.Len() != outLen {
+			return fmt.Errorf("response has %d values, want %d", y.Len(), outLen)
+		}
+		return nil
+	}
+	rng := tensor.NewRNG(seed)
+	inputs := make([]*serve.LoadInput, n)
+	if len(in) == 3 && in[0] == hep.Channels {
+		ds := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(in[1]), n, 0.5, rng)
+		per := in[0] * in[1] * in[2]
+		for i := range inputs {
+			inputs[i] = &serve.LoadInput{X: tensor.FromSlice(ds.Images.Data[i*per:(i+1)*per], in...), Check: check}
+		}
+		return inputs
+	}
+	for i := range inputs {
+		x := tensor.New(in...)
+		rng.FillNorm(x, 0, 1)
+		inputs[i] = &serve.LoadInput{X: x, Check: check}
+	}
+	return inputs
+}
+
+// runLoad starts a server, saturates it with the closed-loop generator, and
+// prints and returns its stats snapshot.
+func runLoad(lm *serve.LoadedModel, cfg serve.Config, inputs []*serve.LoadInput, clients, total int) serve.Stats {
+	s, err := serve.NewServer(lm, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer s.Close()
+	res := serve.RunClosedLoop(s, inputs, clients, total)
+	if res.Err != nil {
+		fatalf("load run: %v", res.Err)
+	}
+	st := s.Stats()
+	fmt.Println(st)
+	return st
+}
+
+// reportInt8Agreement compares int8 logits against the float32 path over
+// the request pool — the convergence-relevance check the paper's §VIII-A
+// quantisation outlook asks for, applied to serving.
+func reportInt8Agreement(registry *serve.Registry, arch, path string, lm8 *serve.LoadedModel, seed uint64) {
+	lm32, err := registry.Load(arch, path, serve.Float32)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r32, err := lm32.NewReplica()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r8, err := lm8.NewReplica()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	inputs := requestPool(lm32, 128, seed+7)
+	in := append([]int{1}, lm32.InShape()...)
+	agree, total := 0, 0
+	var maxDelta float64
+	for _, inp := range inputs {
+		x := tensor.FromSlice(inp.X.Data, in...)
+		y32 := r32.Infer(x)
+		y8 := r8.Infer(x.Clone()) // int8 path round-trips its input in place
+		if argmax(y32.Data) == argmax(y8.Data) {
+			agree++
+		}
+		total++
+		for i := range y32.Data {
+			d := float64(y32.Data[i] - y8.Data[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	fmt.Printf("int8 vs float32: top-1 agreement %.1f%% over %d inputs, max |Δlogit| %.4f\n\n",
+		100*float64(agree)/float64(total), total, maxDelta)
+}
+
+func argmax(v []float32) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "deepserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -4,11 +4,15 @@
 // FLOP accounting (internal/nn, internal/tensor), the two scientific
 // applications (internal/hep, internal/climate), the hybrid synchronous/
 // asynchronous distributed training architecture with per-layer parameter
-// servers (internal/core, internal/comm, internal/ps), and a calibrated
+// servers (internal/core, internal/comm, internal/ps), a calibrated
 // discrete-event model of the Cori Phase II machine for the scaling study
-// (internal/cluster, internal/sim).
+// (internal/cluster, internal/sim), and — on the other side of the
+// train/serve divide — a dynamically-batching inference serving engine
+// over trained checkpoints (internal/serve, cmd/deepserve), with an
+// optional int8 low-precision path built on internal/quant.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-vs-measured record, and bench_test.go for one benchmark per table
-// and figure.
+// paper-vs-measured record and the serving throughput study, and
+// bench_test.go for one benchmark per table and figure plus the serving
+// and kernel benchmarks.
 package deep15pf

@@ -1,0 +1,3 @@
+module deep15pf
+
+go 1.24

@@ -79,6 +79,17 @@ func ScoreDataset(rep core.Replica, ds *Dataset, batch int) []float64 {
 	return eval.Scores(batch)
 }
 
+// ReplicaParams exposes a replica's parameter blobs so a trained model can
+// be checkpointed with nn.SaveFile (and later served through
+// internal/serve). rep must come from NewReplica().
+func ReplicaParams(rep core.Replica) []*nn.Param {
+	hr, ok := rep.(*replica)
+	if !ok {
+		panic("hep: replica was not created by this problem")
+	}
+	return hr.net.Params()
+}
+
 type batchSource struct {
 	n   int
 	rng *tensor.RNG

@@ -19,8 +19,19 @@ type Conv2D struct {
 	lastX        *tensor.Tensor
 	inH, inW     int
 	colBuf       []float32
+	evalBuf      []float32 // batched-GEMM output scratch (inference path)
 	noBias       bool
 }
+
+// evalColBudget caps (in float32s) the lowered column matrix the inference
+// path builds at once. Training lowers per sample to bound memory at paper
+// scale (see Backward); inference instead lowers as many whole samples as
+// fit this budget and multiplies them in a single GEMM, which amortises the
+// small-GEMM inefficiency that dominates per-sample serving cost. 2M floats
+// (8 MiB) covers any realistic serving batch of the small models while
+// degrading gracefully to per-sample lowering at paper scale. It is a
+// variable only so tests can force the chunked path.
+var evalColBudget = 2 << 20
 
 // NewConv2D constructs a convolution layer with He-initialised weights.
 func NewConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
@@ -68,10 +79,15 @@ func (c *Conv2D) OutShape(in []int) []int {
 	return []int{c.OutC, oh, ow}
 }
 
-// Forward implements Layer. x is [N, InC, H, W].
+// Forward implements Layer. x is [N, InC, H, W]. With train=false it takes
+// the batched inference path, which produces bitwise-identical outputs
+// (same per-element accumulation order) without retaining backward state.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: %s got input shape %v, want [N,%d,H,W]", c.LayerName, x.Shape, c.InC))
+	}
+	if !train {
+		return c.forwardEval(x)
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
@@ -104,6 +120,72 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	c.lastX, c.inH, c.inW = x, h, w
+	return out
+}
+
+// forwardEval is the inference fast path: it lowers as many samples as the
+// column budget allows into one wide matrix and multiplies the whole chunk
+// in a single GEMM, then scatters the channel-major GEMM output back to
+// NCHW while applying the bias. Per sample this performs exactly the same
+// floating-point operations in the same order as the training path — only
+// the loop structure changes — so eval and train forward agree bitwise. No
+// backward state is kept: the layer does not retain x, and Backward panics
+// until the next train-mode Forward.
+func (c *Conv2D) forwardEval(x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
+	k := c.InC * c.KH * c.KW
+	cols := oh * ow
+	chunk := evalColBudget / (k * cols)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > n {
+		chunk = n
+	}
+	if cap(c.colBuf) < k*chunk*cols {
+		c.colBuf = make([]float32, k*chunk*cols)
+	}
+	if cap(c.evalBuf) < c.OutC*chunk*cols {
+		c.evalBuf = make([]float32, c.OutC*chunk*cols)
+	}
+	out := tensor.New(n, c.OutC, oh, ow)
+	inStride := c.InC * h * w
+	outStride := c.OutC * cols
+	for s0 := 0; s0 < n; s0 += chunk {
+		m := chunk
+		if m > n-s0 {
+			m = n - s0
+		}
+		mcols := m * cols
+		col := c.colBuf[:k*mcols]
+		for i := 0; i < m; i++ {
+			img := x.Data[(s0+i)*inStride : (s0+i+1)*inStride]
+			tensor.Im2colInto(img, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, col, mcols, i*cols)
+		}
+		y := c.evalBuf[:c.OutC*mcols]
+		tensor.Gemm(false, false, c.OutC, mcols, k, 1, c.Weight.W.Data, col, 0, y)
+		for i := 0; i < m; i++ {
+			dst := out.Data[(s0+i)*outStride : (s0+i+1)*outStride]
+			for f := 0; f < c.OutC; f++ {
+				src := y[f*mcols+i*cols : f*mcols+(i+1)*cols]
+				d := dst[f*cols : (f+1)*cols]
+				var b float32
+				if !c.noBias {
+					b = c.Bias.W.Data[f]
+				}
+				if b == 0 {
+					copy(d, src)
+				} else {
+					for j := range src {
+						d[j] = src[j] + b
+					}
+				}
+			}
+		}
+	}
+	c.lastX = nil
 	return out
 }
 

@@ -27,9 +27,18 @@ func (r *ReLU) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 
-// Forward implements Layer.
+// Forward implements Layer. Eval-mode passes skip the backward mask.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(x.Shape...)
+	if !train {
+		r.mask = r.mask[:0]
+		for i, v := range x.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+		return out
+	}
 	if cap(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
@@ -47,6 +56,9 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != dout.Len() {
+		panic("nn: " + r.LayerName + " Backward without matching train-mode Forward")
+	}
 	dx := tensor.New(dout.Shape...)
 	for i, g := range dout.Data {
 		if r.mask[i] {
@@ -119,7 +131,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			row[j] += d.Bias.W.Data[j]
 		}
 	}
-	d.lastX = flat
+	if train {
+		d.lastX = flat
+	} else {
+		d.lastX = nil // inference: keep no backward state alive
+	}
 	return out
 }
 

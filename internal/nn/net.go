@@ -52,6 +52,33 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x
 }
 
+// Infer is the inference-only forward entry point: every layer runs with
+// train=false and nothing in the pass touches gradient accumulators, so it
+// works on networks whose gradients have been released with
+// ReleaseGradients. Layers still cache forward state in their private
+// buffers, which is why serving replicas are minted per worker rather than
+// shared across goroutines.
+func (n *Network) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return n.Forward(x, false)
+}
+
+// ReleaseGradients frees every parameter's gradient accumulator, halving an
+// inference replica's parameter memory. The network can no longer be
+// trained: Backward will panic, while ZeroGrad and ScaleGrad become no-ops
+// for released parameters.
+func (n *Network) ReleaseGradients() {
+	ReleaseGradients(n.Params())
+}
+
+// ReleaseGradients drops the gradient accumulators of a parameter set. It
+// is the package-level form used by model containers that are not a single
+// Network (e.g. the climate encoder/heads/decoder assembly).
+func ReleaseGradients(params []*Param) {
+	for _, p := range params {
+		p.Grad = nil
+	}
+}
+
 // Backward runs all layers in reverse, accumulating parameter gradients,
 // and returns the gradient with respect to the network input.
 func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
@@ -111,10 +138,13 @@ func (n *Network) TrainableLayers() []Layer {
 	return ls
 }
 
-// ZeroGrad clears every parameter gradient accumulator.
+// ZeroGrad clears every parameter gradient accumulator. Released gradients
+// (see ReleaseGradients) are skipped.
 func (n *Network) ZeroGrad() {
 	for _, p := range n.Params() {
-		p.Grad.Zero()
+		if p.Grad != nil {
+			p.Grad.Zero()
+		}
 	}
 }
 
@@ -122,7 +152,9 @@ func (n *Network) ZeroGrad() {
 // sample-summed gradients into per-example means).
 func (n *Network) ScaleGrad(alpha float32) {
 	for _, p := range n.Params() {
-		tensor.Scale(alpha, p.Grad.Data)
+		if p.Grad != nil {
+			tensor.Scale(alpha, p.Grad.Data)
+		}
 	}
 }
 

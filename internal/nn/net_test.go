@@ -212,3 +212,42 @@ func TestSummaryMentionsAllLayers(t *testing.T) {
 		}
 	}
 }
+
+func TestInferMatchesForwardEval(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	n := tinyNet(rng)
+	x := tensor.New(2, 2, 8, 8)
+	rng.FillNorm(x, 0, 1)
+	want := n.Forward(x, false)
+	got := n.Infer(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatal("Infer diverges from Forward(train=false)")
+		}
+	}
+}
+
+func TestReleaseGradients(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	n := tinyNet(rng)
+	x := tensor.New(1, 2, 8, 8)
+	rng.FillNorm(x, 0, 1)
+	before := n.Infer(x)
+
+	n.ReleaseGradients()
+	for _, p := range n.Params() {
+		if p.Grad != nil {
+			t.Fatalf("%s still holds a gradient accumulator", p.Name)
+		}
+	}
+	// ZeroGrad/ScaleGrad must be safe no-ops on a released network, and
+	// inference must be unaffected.
+	n.ZeroGrad()
+	n.ScaleGrad(0.5)
+	after := n.Infer(x)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("ReleaseGradients changed inference results")
+		}
+	}
+}

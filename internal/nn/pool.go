@@ -35,12 +35,17 @@ func (p *MaxPool2D) OutShape(in []int) []int {
 	return []int{in[0], tensor.ConvOut(in[1], p.K, p.Stride, 0), tensor.ConvOut(in[2], p.K, p.Stride, 0)}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Eval-mode passes skip the argmax bookkeeping
+// Backward routes gradients through.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh := tensor.ConvOut(h, p.K, p.Stride, 0)
 	ow := tensor.ConvOut(w, p.K, p.Stride, 0)
 	out := tensor.New(n, c, oh, ow)
+	if !train {
+		p.forwardEval(x, out, n, c, h, w, oh, ow)
+		return out
+	}
 	if cap(p.argmax) < out.Len() {
 		p.argmax = make([]int32, out.Len())
 	}
@@ -82,6 +87,45 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	})
 	return out
+}
+
+// forwardEval is max pooling without argmax recording: the winning value is
+// identical (same comparison order), only the backward bookkeeping is
+// dropped. Backward panics until the next train-mode Forward.
+func (p *MaxPool2D) forwardEval(x, out *tensor.Tensor, n, c, h, w, oh, ow int) {
+	p.inShape = nil
+	p.argmax = p.argmax[:0]
+	planes := n * c
+	tensor.ParallelFor(planes, func(lo, hi int) {
+		for pl := lo; pl < hi; pl++ {
+			src := x.Data[pl*h*w : (pl+1)*h*w]
+			dst := out.Data[pl*oh*ow : (pl+1)*oh*ow]
+			di := 0
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride + ky
+						if iy >= h {
+							continue
+						}
+						row := src[iy*w : iy*w+w]
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride + kx
+							if ix >= w {
+								continue
+							}
+							if v := row[ix]; v > best {
+								best = v
+							}
+						}
+					}
+					dst[di] = best
+					di++
+				}
+			}
+		}
+	})
 }
 
 // Backward implements Layer: routes gradients to the argmax positions.

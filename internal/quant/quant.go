@@ -104,3 +104,12 @@ func RoundTrip(data []float32, rng *tensor.RNG, stochastic bool) {
 	}
 	Dequantize(q, data)
 }
+
+// RoundTripTensor round-trips a tensor's storage through int8 in place. The
+// serving layer uses it for its low-precision mode: weights round-trip once
+// at checkpoint load and activations round-trip at layer boundaries, so the
+// float pipeline computes exactly what an int8 weight/activation datapath
+// would see (per-tensor scale, stochastic rounding).
+func RoundTripTensor(t *tensor.Tensor, rng *tensor.RNG, stochastic bool) {
+	RoundTrip(t.Data, rng, stochastic)
+}

@@ -154,3 +154,16 @@ func TestQuantizePropertyBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRoundTripTensorMatchesSlice(t *testing.T) {
+	a := tensor.New(4, 8)
+	tensor.NewRNG(21).FillNorm(a, 0, 1)
+	b := a.Clone()
+	RoundTripTensor(a, tensor.NewRNG(99), true)
+	RoundTrip(b.Data, tensor.NewRNG(99), true)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RoundTripTensor disagrees with RoundTrip on the same RNG stream")
+		}
+	}
+}

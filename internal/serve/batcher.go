@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"deep15pf/internal/tensor"
+)
+
+// pending is one queued request: the per-sample input, its enqueue time for
+// end-to-end latency accounting, and a one-slot future the owning worker
+// completes. The buffered channel means workers never block on slow
+// clients.
+type pending struct {
+	x    *tensor.Tensor
+	enq  time.Time
+	done chan result
+}
+
+type result struct {
+	y   *tensor.Tensor
+	err error
+}
+
+// pendingPool recycles request envelopes (and their one-slot channels)
+// across Submits. A pending is returned to the pool only by the submitter,
+// after it has received the result, so a pooled channel is always empty.
+var pendingPool = sync.Pool{New: func() any { return &pending{done: make(chan result, 1)} }}
+
+// batcher owns the serving latency/throughput trade-off. It blocks for the
+// first request of a batch (an idle server adds zero latency), then
+// collects followers until the batch is full or the linger budget is spent,
+// and hands the coalesced batch to the worker pool. Under closed-loop load
+// the queue refills while workers run, so batches fill without ever
+// sleeping the full linger; linger only binds near the arrival-rate floor,
+// where it caps the latency a lone request pays waiting for company.
+//
+// The policy is work-conserving: lingering is only worth it while every
+// worker is busy (the wait costs nothing — no replica could run the batch
+// anyway). The moment the queue drains while a worker sits idle, waiting
+// for stragglers would trade certain idle capacity for hypothetical
+// arrivals, so the batch departs at once. Without this rule a closed-loop
+// population smaller than MaxBatch can never fill a batch and every
+// request would eat the whole linger.
+func (s *Server) batcher() {
+	defer s.batcherWG.Done()
+	maxBatch := s.cfg.MaxBatch
+	linger := s.cfg.MaxLinger
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*pending, 0, maxBatch), first)
+		if maxBatch > 1 {
+			batch = s.collect(batch, maxBatch, linger)
+		}
+		s.dispatch <- batch
+	}
+}
+
+// collect fills batch from the queue until maxBatch, the linger deadline,
+// or — queue drained with a worker idle — the work-conserving early exit.
+// "Queue empty" is only trusted after one scheduling yield: on a loaded
+// machine it usually just means the clients about to submit have not held
+// the CPU since the last batch completed, and departing without the yield
+// collapses every batch to the handful of requests that raced in first.
+func (s *Server) collect(batch []*pending, maxBatch int, linger time.Duration) []*pending {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	yielded := false
+	for len(batch) < maxBatch {
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+			yielded = false
+			continue
+		default:
+		}
+		if linger <= 0 {
+			return batch
+		}
+		if s.idleWorkers.Load() > 0 {
+			// A worker is idle: lingering would waste certain capacity
+			// on hypothetical arrivals. Depart after one grace yield.
+			if yielded {
+				return batch
+			}
+			yielded = true
+			runtime.Gosched()
+			continue
+		}
+		// All workers busy: waiting costs nothing until the deadline.
+		if timer == nil {
+			timer = time.NewTimer(linger)
+		}
+		select {
+		case p, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deep15pf/internal/tensor"
+)
+
+// LoadInput is one request template for the load generator: a per-sample
+// input tensor plus an optional check applied to each response (shape and
+// sanity assertions, typically).
+type LoadInput struct {
+	X     *tensor.Tensor
+	Check func(y *tensor.Tensor) error
+}
+
+// LoadResult summarises one closed-loop load run. Requests counts requests
+// that actually completed (and passed their check) — on an aborted run it
+// is less than the total asked for.
+type LoadResult struct {
+	Requests int
+	Wall     time.Duration
+	// Throughput is completed requests per second over the run.
+	Throughput float64
+	Err        error
+}
+
+// RunClosedLoop drives total requests through s from clients concurrent
+// closed-loop clients (each submits its next request the moment the
+// previous one completes — the standard saturation workload for a
+// throughput study). Clients cycle through inputs; the first Submit error
+// aborts the run. Inputs are only read, so they may be shared views into a
+// dataset tensor.
+func RunClosedLoop(s *Server, inputs []*LoadInput, clients, total int) LoadResult {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > total {
+		clients = total
+	}
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		errOnce   sync.Once
+		runErr    error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				in := inputs[i%len(inputs)]
+				y, err := s.Submit(in.X)
+				if err != nil {
+					errOnce.Do(func() { runErr = err })
+					return
+				}
+				if in.Check != nil {
+					if err := in.Check(y); err != nil {
+						errOnce.Do(func() { runErr = err })
+						return
+					}
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	n := int(completed.Load())
+	res := LoadResult{Requests: n, Wall: wall, Err: runErr}
+	if sec := wall.Seconds(); sec > 0 {
+		res.Throughput = float64(n) / sec
+	}
+	return res
+}

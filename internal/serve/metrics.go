@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deep15pf/internal/perf"
+)
+
+// latWindow bounds the latency reservoir: quantiles are computed over the
+// most recent latWindow completions, while counters cover the server's
+// whole lifetime. 64k samples keeps a long-running server's snapshot cost
+// flat without blunting the tail at demo scale.
+const latWindow = 1 << 16
+
+// metrics is the shared accounting the workers write into. One mutex for
+// everything is deliberate: a record is tens of nanoseconds against an
+// inference that is microseconds at minimum, and per-batch records amortise
+// further.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests int64
+	batches  int64
+	maxBatch int
+	inferSec float64
+	flops    float64
+	peakRate float64 // best flops/sec over a single batch
+	lat      []float64
+	latNext  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), lat: make([]float64, 0, 1024)}
+}
+
+// recordBatch accounts one completed inference batch and its members'
+// end-to-end latencies (seconds).
+func (m *metrics) recordBatch(size int, infer time.Duration, flops float64, lats []float64) {
+	sec := infer.Seconds()
+	m.mu.Lock()
+	m.requests += int64(size)
+	m.batches++
+	if size > m.maxBatch {
+		m.maxBatch = size
+	}
+	m.inferSec += sec
+	m.flops += flops
+	if sec > 0 {
+		if r := flops / sec; r > m.peakRate {
+			m.peakRate = r
+		}
+	}
+	for _, l := range lats {
+		if len(m.lat) < latWindow {
+			m.lat = append(m.lat, l)
+		} else {
+			m.lat[m.latNext] = l
+			m.latNext = (m.latNext + 1) % latWindow
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of a server's serving record.
+type Stats struct {
+	Requests  int64         // completed requests
+	Batches   int64         // inference batches run
+	MeanBatch float64       // requests per batch
+	MaxBatch  int           // largest batch observed
+	Wall      time.Duration // time since the server started
+	// Throughput is completed requests per wall-clock second.
+	Throughput float64
+	// P50/P95/P99 are end-to-end request latencies (queue wait + batch
+	// assembly + inference) over the recent-latency window.
+	P50, P95, P99 time.Duration
+	// InferSeconds is summed worker compute time; over Wall×workers it
+	// gives the pool's duty cycle.
+	InferSeconds float64
+	// FLOPs is the total forward work served; MeanFlopRate divides it by
+	// InferSeconds and PeakFlopRate is the best single batch, mirroring
+	// the mean/peak split of internal/perf's §V methodology.
+	FLOPs        float64
+	MeanFlopRate float64
+	PeakFlopRate float64
+}
+
+// snapshot computes a Stats from the live counters.
+func (m *metrics) snapshot() Stats {
+	m.mu.Lock()
+	s := Stats{
+		Requests:     m.requests,
+		Batches:      m.batches,
+		MaxBatch:     m.maxBatch,
+		Wall:         time.Since(m.start),
+		InferSeconds: m.inferSec,
+		FLOPs:        m.flops,
+		PeakFlopRate: m.peakRate,
+	}
+	lat := append([]float64(nil), m.lat...)
+	m.mu.Unlock()
+
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Requests) / float64(s.Batches)
+	}
+	if w := s.Wall.Seconds(); w > 0 {
+		s.Throughput = float64(s.Requests) / w
+	}
+	if s.InferSeconds > 0 {
+		s.MeanFlopRate = s.FLOPs / s.InferSeconds
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		s.P50 = quantile(lat, 0.50)
+		s.P95 = quantile(lat, 0.95)
+		s.P99 = quantile(lat, 0.99)
+	}
+	return s
+}
+
+// quantile reads the q-th quantile from sorted seconds as a Duration,
+// using the nearest-rank method.
+func quantile(sorted []float64, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return time.Duration(sorted[i] * float64(time.Second))
+}
+
+// String renders the snapshot as a compact multi-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d in %.2fs  (%.0f req/s)\n", s.Requests, s.Wall.Seconds(), s.Throughput)
+	fmt.Fprintf(&b, "batches  %d  mean size %.1f  max %d\n", s.Batches, s.MeanBatch, s.MaxBatch)
+	fmt.Fprintf(&b, "latency  p50 %s  p95 %s  p99 %s\n",
+		s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "compute  %.2fs busy  %s mean  %s peak",
+		s.InferSeconds, perf.FormatFlops(s.MeanFlopRate), perf.FormatFlops(s.PeakFlopRate))
+	return b.String()
+}

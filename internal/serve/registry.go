@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"deep15pf/internal/climate"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/quant"
+	"deep15pf/internal/tensor"
+)
+
+// weightQuantSeed seeds the stochastic weight rounding at checkpoint load.
+// It is fixed so every replica of an int8 model quantises identically —
+// which worker serves a request must not change the answer.
+const weightQuantSeed = 0x8b1d
+
+// Builder constructs a fresh, randomly initialised replica of a named
+// architecture at the requested precision. The initial weights are
+// irrelevant (a checkpoint overwrites them); what matters is that parameter
+// names and sizes reproduce the architecture the checkpoint was trained on,
+// which the D15W loader validates blob by blob.
+type Builder func(prec Precision) Model
+
+// Registry maps architecture names to builders. Checkpoints are loaded *by
+// architecture*: the registry instantiates the named architecture and
+// streams the D15W blob into its parameters, refusing mismatched names or
+// sizes, so a checkpoint cannot silently serve through the wrong network.
+type Registry struct {
+	mu    sync.RWMutex
+	archs map[string]Builder
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{archs: make(map[string]Builder)}
+}
+
+// RegisterArch adds a named architecture. Registering a duplicate name
+// panics: two builders disagreeing about one name is a configuration bug.
+func (r *Registry) RegisterArch(name string, b Builder) {
+	if name == "" || b == nil {
+		panic("serve: RegisterArch needs a name and a builder")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.archs[name]; dup {
+		panic(fmt.Sprintf("serve: architecture %q registered twice", name))
+	}
+	r.archs[name] = b
+}
+
+// Archs lists the registered architecture names, sorted.
+func (r *Registry) Archs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.archs))
+	for n := range r.archs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterHEP registers the supervised HEP classifier (§III-A) at the given
+// scale under name.
+func RegisterHEP(r *Registry, name string, cfg hep.ModelConfig) {
+	r.RegisterArch(name, func(prec Precision) Model {
+		return newNetModel(name, hep.BuildNet(cfg, tensor.NewRNG(0)), prec)
+	})
+}
+
+// RegisterClimate registers the semi-supervised climate detector (§III-B)
+// at the given scale under name. Served inference runs the encoder and the
+// three score heads only — the reconstruction decoder exists to regularise
+// training and is dead weight at serving time — but the replica still
+// carries the decoder parameters so checkpoints from training load intact.
+func RegisterClimate(r *Registry, name string, cfg climate.ModelConfig) {
+	r.RegisterArch(name, func(prec Precision) Model {
+		return newClimateModel(name, climate.BuildNet(cfg, tensor.NewRNG(0)), prec)
+	})
+}
+
+// DefaultRegistry returns a registry with the four stock architectures:
+// hep-paper, hep-small, climate-paper, climate-small.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	RegisterHEP(r, "hep-paper", hep.PaperConfig())
+	RegisterHEP(r, "hep-small", hep.SmallConfig())
+	RegisterClimate(r, "climate-paper", climate.PaperConfig())
+	RegisterClimate(r, "climate-small", climate.SmallConfig())
+	return r
+}
+
+// LoadedModel is a checkpoint bound to an architecture, ready to mint
+// per-worker inference replicas. The checkpoint bytes are cached so replica
+// minting never re-reads the filesystem.
+type LoadedModel struct {
+	ModelArch string
+	Prec      Precision
+
+	build Builder
+	ckpt  []byte
+
+	mu     sync.Mutex
+	cached Model // the validation replica from Load, handed to the first NewReplica
+
+	inShape, outShape []int
+	flopsPerSample    int64
+	paramBytes        int64
+}
+
+// Load reads a D15W checkpoint from path and binds it to the named
+// architecture, validating the fit by instantiating one replica. The
+// returned LoadedModel mints additional replicas on demand.
+func (r *Registry) Load(arch, path string, prec Precision) (*LoadedModel, error) {
+	r.mu.RLock()
+	build, ok := r.archs[arch]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown architecture %q (have %v)", arch, r.Archs())
+	}
+	ckpt, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading checkpoint: %w", err)
+	}
+	m := &LoadedModel{ModelArch: arch, Prec: prec, build: build, ckpt: ckpt}
+	probe, err := m.NewReplica()
+	if err != nil {
+		return nil, err
+	}
+	m.inShape = probe.InShape()
+	m.outShape = probe.OutShape()
+	m.flopsPerSample = probe.FwdFLOPsPerSample()
+	for _, p := range probe.Params() {
+		m.paramBytes += p.Bytes()
+	}
+	m.mu.Lock()
+	m.cached = probe
+	m.mu.Unlock()
+	return m, nil
+}
+
+// NewReplica instantiates the architecture, installs the checkpoint, applies
+// the precision policy, and releases gradient accumulators. Each replica is
+// single-goroutine; the server creates one per worker.
+func (m *LoadedModel) NewReplica() (Model, error) {
+	m.mu.Lock()
+	if c := m.cached; c != nil {
+		m.cached = nil
+		m.mu.Unlock()
+		return c, nil
+	}
+	m.mu.Unlock()
+
+	model := m.build(m.Prec)
+	if err := nn.LoadWeights(bytes.NewReader(m.ckpt), model.Params()); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint does not fit architecture %q: %w", m.ModelArch, err)
+	}
+	if m.Prec == Int8 {
+		rng := tensor.NewRNG(weightQuantSeed)
+		for _, p := range model.Params() {
+			quant.RoundTripTensor(p.W, rng, true)
+		}
+	}
+	nn.ReleaseGradients(model.Params())
+	return model, nil
+}
+
+// InShape returns the per-sample input shape requests must carry.
+func (m *LoadedModel) InShape() []int { return m.inShape }
+
+// OutShape returns the per-sample output shape responses carry.
+func (m *LoadedModel) OutShape() []int { return m.outShape }
+
+// FwdFLOPsPerSample returns the forward flop cost of one sample.
+func (m *LoadedModel) FwdFLOPsPerSample() int64 { return m.flopsPerSample }
+
+// ParamBytes returns the float32 parameter footprint of one replica (the
+// int8 path models precision, not storage; see Precision).
+func (m *LoadedModel) ParamBytes() int64 { return m.paramBytes }
+
+// ---- nn.Network adapter (HEP classifier) ----
+
+type netModel struct {
+	arch string
+	net  *nn.Network
+	prec Precision
+	rng  *tensor.RNG // activation rounding noise (Int8 only)
+}
+
+func newNetModel(arch string, net *nn.Network, prec Precision) *netModel {
+	return &netModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 1)}
+}
+
+func (m *netModel) Arch() string        { return m.arch }
+func (m *netModel) InShape() []int      { return append([]int(nil), m.net.InShape...) }
+func (m *netModel) OutShape() []int     { return m.net.OutShape() }
+func (m *netModel) Params() []*nn.Param { return m.net.Params() }
+func (m *netModel) FwdFLOPsPerSample() int64 {
+	return m.net.FLOPsPerSample().Fwd
+}
+
+func (m *netModel) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if m.prec != Int8 {
+		return m.net.Infer(x)
+	}
+	// Int8 activation path: the input and every parameterised layer's
+	// output round-trip through the int8 codec, so each conv/dense
+	// consumes and produces exactly the values an int8 datapath would.
+	// Activation-only layers (ReLU, pooling) pass int8-representable
+	// values through unchanged, so re-rounding them would be a no-op.
+	quant.RoundTripTensor(x, m.rng, true)
+	for _, l := range m.net.Layers {
+		x = l.Forward(x, false)
+		if len(l.Params()) > 0 {
+			quant.RoundTripTensor(x, m.rng, true)
+		}
+	}
+	return x
+}
+
+// ---- climate.Net adapter (extreme-weather detector) ----
+
+// climateOutChannels is the packed head layout: confidence logit, one
+// channel per event class, four box-geometry channels.
+const climateOutChannels = 1 + int(climate.NumClasses) + 4
+
+type climateModel struct {
+	arch string
+	net  *climate.Net
+	prec Precision
+	rng  *tensor.RNG
+}
+
+func newClimateModel(arch string, net *climate.Net, prec Precision) *climateModel {
+	return &climateModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 2)}
+}
+
+func (m *climateModel) Arch() string        { return m.arch }
+func (m *climateModel) InShape() []int      { return append([]int(nil), m.net.Encoder.InShape...) }
+func (m *climateModel) Params() []*nn.Param { return m.net.Params() }
+
+// OutShape packs the three head outputs on the detection grid into one
+// tensor: channel 0 is the confidence logit, channels 1..NumClasses are
+// class logits, the last four are box geometry (tx, ty, log w, log h).
+func (m *climateModel) OutShape() []int {
+	g := m.net.GridSize
+	return []int{climateOutChannels, g, g}
+}
+
+// FwdFLOPsPerSample counts encoder plus heads — the decoder is skipped at
+// serving time (roughly halving per-request cost for the paper config).
+func (m *climateModel) FwdFLOPsPerSample() int64 {
+	total := m.net.Encoder.FLOPsPerSample().Fwd
+	feat := m.net.Encoder.OutShape()
+	for _, h := range []*nn.Conv2D{m.net.ConfHead, m.net.ClassHead, m.net.BoxHead} {
+		total += h.FLOPs(feat).Fwd
+	}
+	return total
+}
+
+func (m *climateModel) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if m.prec == Int8 {
+		quant.RoundTripTensor(x, m.rng, true)
+	}
+	feat := m.net.Encoder.Forward(x, false)
+	if m.prec == Int8 {
+		quant.RoundTripTensor(feat, m.rng, true)
+	}
+	conf := m.net.ConfHead.Forward(feat, false)
+	class := m.net.ClassHead.Forward(feat, false)
+	box := m.net.BoxHead.Forward(feat, false)
+	if m.prec == Int8 {
+		quant.RoundTripTensor(conf, m.rng, true)
+		quant.RoundTripTensor(class, m.rng, true)
+		quant.RoundTripTensor(box, m.rng, true)
+	}
+
+	n := x.Shape[0]
+	g := m.net.GridSize
+	plane := g * g
+	k := int(climate.NumClasses)
+	out := tensor.New(n, climateOutChannels, g, g)
+	per := climateOutChannels * plane
+	for s := 0; s < n; s++ {
+		dst := out.Data[s*per : (s+1)*per]
+		copy(dst[:plane], conf.Data[s*plane:(s+1)*plane])
+		copy(dst[plane:(1+k)*plane], class.Data[s*k*plane:(s+1)*k*plane])
+		copy(dst[(1+k)*plane:], box.Data[s*4*plane:(s+1)*4*plane])
+	}
+	return out
+}

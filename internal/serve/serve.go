@@ -1,0 +1,78 @@
+// Package serve is the inference side of the train/serve divide: a
+// request-queueing, dynamically-batching serving engine over the trained
+// models this repository produces. Training (internal/core) optimises
+// samples/second at fixed batch shape; serving optimises requests/second
+// at bounded tail latency for requests that arrive one at a time. The
+// classic resolution — the one every production inference system from TF
+// Serving onward uses — is dynamic batching: queue individual requests,
+// coalesce them into a tensor batch under a max-batch-size / max-linger
+// policy, run one forward pass, and scatter the results back to per-request
+// futures.
+//
+// The pieces:
+//
+//   - Registry (registry.go) maps architecture names to builders and loads
+//     D15W checkpoints (internal/nn/checkpoint.go) into inference replicas
+//     of the HEP or climate networks, optionally through the int8
+//     stochastic-rounding path of internal/quant;
+//   - the batcher (batcher.go) owns the request queue and the
+//     latency/throughput trade-off;
+//   - the worker pool (worker.go) runs one model replica per goroutine —
+//     replicas are not shareable because layers cache forward state;
+//   - metrics (metrics.go) tracks p50/p95/p99 end-to-end latency, batch
+//     occupancy, and served flop rates in the style of internal/perf.
+//
+// cmd/deepserve wires a closed-loop load generator to all of it and
+// reproduces the batching throughput study; examples/serving is the
+// smallest end-to-end tour.
+package serve
+
+import (
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// Precision selects the serving datapath.
+type Precision int
+
+const (
+	// Float32 serves with the checkpoint's native float32 weights.
+	Float32 Precision = iota
+	// Int8 round-trips weights (once, at load) and activations (at every
+	// parameterised-layer boundary) through internal/quant's int8
+	// stochastic-rounding codec, so the pipeline computes what an int8
+	// weight/activation datapath would: 4x smaller replica weights at a
+	// small, measurable accuracy cost (cmd/deepserve -int8 reports logit
+	// agreement against the float path).
+	Int8
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	if p == Int8 {
+		return "int8"
+	}
+	return "float32"
+}
+
+// Model is one servable inference replica. Implementations cache forward
+// state between calls (im2col buffers and the like), so a Model instance
+// must only ever be used by a single goroutine; the worker pool mints one
+// replica per worker through LoadedModel.NewReplica.
+type Model interface {
+	// Arch names the architecture the replica instantiates.
+	Arch() string
+	// InShape is the per-sample input shape, e.g. [3,224,224].
+	InShape() []int
+	// OutShape is the per-sample output shape, e.g. [2] class logits.
+	OutShape() []int
+	// Infer runs a forward pass over a [N, InShape...] batch and returns
+	// the [N, OutShape...] outputs. It must not retain x.
+	Infer(x *tensor.Tensor) *tensor.Tensor
+	// Params exposes the parameter blobs (for checkpoint loading).
+	Params() []*nn.Param
+	// FwdFLOPsPerSample is the forward-pass flop cost of one sample, the
+	// unit the metrics use to convert batch timings into served flop
+	// rates.
+	FwdFLOPsPerSample() int64
+}

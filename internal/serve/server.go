@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deep15pf/internal/tensor"
+)
+
+// ErrClosed is returned by Submit after Close has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config parameterises a Server.
+type Config struct {
+	// MaxBatch caps how many requests one forward pass coalesces.
+	// 1 disables batching (every request runs alone — the baseline the
+	// batching study compares against). Default 32.
+	MaxBatch int
+	// MaxLinger bounds how long a partially filled batch waits for
+	// company after its first request arrives. 0 takes the default
+	// (500µs); a negative value disables lingering entirely — dispatch
+	// whatever is queued.
+	MaxLinger time.Duration
+	// Workers is the replica pool size. Each worker owns one model
+	// replica, so memory scales linearly. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth is the request queue capacity; Submit blocks once it
+	// fills (closed-loop backpressure rather than load shedding).
+	// Default 4×MaxBatch×Workers.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxLinger < 0 {
+		c.MaxLinger = 0
+	} else if c.MaxLinger == 0 {
+		c.MaxLinger = 500 * time.Microsecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch * c.Workers
+	}
+	return c
+}
+
+// Server is a running inference service over one loaded model: a request
+// queue, a dynamic batcher, and a pool of replica-owning workers.
+type Server struct {
+	cfg     Config
+	model   *LoadedModel
+	inShape []int
+	inLen   int
+
+	queue    chan *pending
+	dispatch chan []*pending
+	metrics  *metrics
+	// idleWorkers counts replicas waiting for work; the batcher stops
+	// lingering the moment capacity would otherwise sit idle.
+	idleWorkers atomic.Int32
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	batcherWG sync.WaitGroup
+	workerWG  sync.WaitGroup
+}
+
+// NewServer mints cfg.Workers replicas from m and starts the batcher and
+// worker pool. The server is immediately ready for Submit.
+func NewServer(m *LoadedModel, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		model:    m,
+		inShape:  m.InShape(),
+		queue:    make(chan *pending, cfg.QueueDepth),
+		dispatch: make(chan []*pending, cfg.Workers),
+		metrics:  newMetrics(),
+	}
+	s.inLen = 1
+	for _, d := range s.inShape {
+		s.inLen *= d
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		rep, err := m.NewReplica()
+		if err != nil {
+			return nil, err
+		}
+		s.workerWG.Add(1)
+		go s.worker(rep)
+	}
+	s.batcherWG.Add(1)
+	go s.batcher()
+	return s, nil
+}
+
+// Submit runs one sample through the service and blocks until its result is
+// ready (or the queue has room, whichever gates first — a full queue is
+// backpressure, not an error). x must have the model's per-sample input
+// shape and must not be mutated until Submit returns. The returned tensor
+// is owned by the caller and valid indefinitely; it is a capacity-capped
+// view into a per-batch output buffer, so holding it pins that batch's
+// output allocation (MaxBatch·outLen floats at most).
+func (s *Server) Submit(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Len() != s.inLen || !sameShape(x.Shape, s.inShape) {
+		return nil, fmt.Errorf("serve: request shape %v, model wants %v", x.Shape, s.inShape)
+	}
+	p := pendingPool.Get().(*pending)
+	p.x, p.enq = x, time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		p.x = nil
+		pendingPool.Put(p)
+		return nil, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.queue <- p
+	r := <-p.done
+	s.inflight.Done()
+	p.x = nil
+	pendingPool.Put(p)
+	return r.y, r.err
+}
+
+// Stats snapshots the serving record so far.
+func (s *Server) Stats() Stats { return s.metrics.snapshot() }
+
+// Model returns the loaded model this server serves.
+func (s *Server) Model() *LoadedModel { return s.model }
+
+// Close stops accepting requests, waits for every in-flight request to
+// complete, and shuts the batcher and workers down. Safe to call twice.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait() // no submitter is between queue send and done receive
+	close(s.queue)
+	s.batcherWG.Wait()
+	close(s.dispatch)
+	s.workerWG.Wait()
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

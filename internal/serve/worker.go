@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"time"
+
+	"deep15pf/internal/tensor"
+)
+
+// worker owns one model replica for its lifetime (replicas cache forward
+// state, so they are strictly single-goroutine). It assembles each
+// dispatched batch into one tensor, runs a single forward pass, scatters
+// the outputs to the per-request futures, and records metrics once per
+// batch — the amortisation that makes batching pay even before the model
+// sees it.
+func (s *Server) worker(rep Model) {
+	defer s.workerWG.Done()
+	s.idleWorkers.Add(1)
+	outShape := rep.OutShape()
+	outLen := 1
+	for _, d := range outShape {
+		outLen *= d
+	}
+	flopsPerSample := float64(rep.FwdFLOPsPerSample())
+	lats := make([]float64, 0, s.cfg.MaxBatch)
+
+	for batch := range s.dispatch {
+		s.idleWorkers.Add(-1)
+		n := len(batch)
+		x := tensor.New(append([]int{n}, s.inShape...)...)
+		for i, p := range batch {
+			copy(x.Data[i*s.inLen:(i+1)*s.inLen], p.x.Data)
+		}
+		t0 := time.Now()
+		y := rep.Infer(x)
+		infer := time.Since(t0)
+
+		// Responses are views into the batch output (one allocation per
+		// batch, not per request); the worker never touches y again. The
+		// three-index slice caps capacity at the request's own segment so
+		// no caller can reslice into a neighbour's result.
+		done := time.Now()
+		lats = lats[:0]
+		for i, p := range batch {
+			out := tensor.FromSlice(y.Data[i*outLen:(i+1)*outLen:(i+1)*outLen], outShape...)
+			lats = append(lats, done.Sub(p.enq).Seconds())
+			p.done <- result{y: out}
+		}
+		s.metrics.recordBatch(n, infer, flopsPerSample*float64(n), lats)
+		s.idleWorkers.Add(1)
+	}
+}

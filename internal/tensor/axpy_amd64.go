@@ -1,0 +1,42 @@
+//go:build amd64
+
+package tensor
+
+// AVX2 dispatch. Feature detection follows the standard x86 protocol: the
+// OS must have enabled XMM+YMM state saving (OSXSAVE + XCR0 bits 1,2) and
+// the CPU must report AVX2 (leaf 7 EBX bit 5). Plain AVX (leaf 1 ECX bit
+// 28) is required for the VEX encodings, AVX2 for the register-form
+// VBROADCASTSS the kernel uses.
+
+// Implemented in axpy_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// Implemented in axpy_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// Implemented in axpy_amd64.s.
+func axpyAVX2(alpha float32, x, y []float32)
+
+func hasAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+func init() {
+	if hasAVX2() {
+		axpy = axpyAVX2
+	}
+}

@@ -1,0 +1,93 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAVX2(alpha float32, x, y []float32)
+//
+// y[i] += alpha * x[i] for i in [0, len(y)). Multiply and add are separate
+// instructions (VMULPS/VADDPS, never FMA) so each lane computes exactly
+// what the scalar loop computes — see axpy.go.
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ y_len+40(FP), CX
+	VBROADCASTSS alpha+0(FP), Y0
+
+	MOVQ CX, BX
+	SHRQ $5, BX   // 32-float blocks
+	JZ   blk8
+
+loop32:
+	VMOVUPS (SI), Y1
+	VMOVUPS 32(SI), Y2
+	VMOVUPS 64(SI), Y3
+	VMOVUPS 96(SI), Y4
+	VMULPS  Y0, Y1, Y1
+	VMULPS  Y0, Y2, Y2
+	VMULPS  Y0, Y3, Y3
+	VMULPS  Y0, Y4, Y4
+	VADDPS  (DI), Y1, Y1
+	VADDPS  32(DI), Y2, Y2
+	VADDPS  64(DI), Y3, Y3
+	VADDPS  96(DI), Y4, Y4
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	DECQ    BX
+	JNZ     loop32
+
+blk8:
+	ANDQ $31, CX
+	MOVQ CX, BX
+	SHRQ $3, BX   // 8-float blocks
+	JZ   tail
+
+loop8:
+	VMOVUPS (SI), Y1
+	VMULPS  Y0, Y1, Y1
+	VADDPS  (DI), Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    BX
+	JNZ     loop8
+
+tail:
+	ANDQ $7, CX
+	JZ   done
+
+loop1:
+	VMOVSS (SI), X1
+	VMULSS X0, X1, X1
+	VADDSS (DI), X1, X1
+	VMOVSS X1, (DI)
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   CX
+	JNZ    loop1
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,42 @@
+package tensor
+
+import "testing"
+
+// TestAxpyKernelsBitwiseEqual pins the dispatch contract: whatever kernel
+// init selected must produce bitwise-identical results to the scalar
+// reference at every length (covering the 32-, 8- and 1-element tails).
+func TestAxpyKernelsBitwiseEqual(t *testing.T) {
+	rng := NewRNG(5)
+	for n := 0; n <= 200; n++ {
+		x := make([]float32, n)
+		yA := make([]float32, n)
+		yB := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.Norm())
+			yA[i] = float32(rng.Norm())
+			yB[i] = yA[i]
+		}
+		alpha := float32(rng.Norm())
+		axpy(alpha, x, yA)
+		axpyGeneric(alpha, x, yB)
+		for i := range yA {
+			if yA[i] != yB[i] {
+				t.Fatalf("n=%d: active kernel diverges from scalar at %d: %v vs %v", n, i, yA[i], yB[i])
+			}
+		}
+	}
+}
+
+func BenchmarkAxpy1024(b *testing.B) {
+	x := make([]float32, 1024)
+	y := make([]float32, 1024)
+	rng := NewRNG(6)
+	for i := range x {
+		x[i] = float32(rng.Norm())
+	}
+	b.SetBytes(1024 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axpy(1.0001, x, y)
+	}
+}

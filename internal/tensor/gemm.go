@@ -44,7 +44,8 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []floa
 }
 
 // gemmNN: A m×k, B k×n. The k-loop is outermost within a row so B rows are
-// streamed; C row stays hot. 4-way unrolled accumulation over the row of B.
+// streamed; C row stays hot. The row update is the axpy kernel (AVX2 where
+// available; bitwise-identical scalar elsewhere).
 func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
 	ParallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -55,17 +56,7 @@ func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
 				if av == 0 {
 					continue
 				}
-				brow := b[p*n : p*n+n]
-				j := 0
-				for ; j+4 <= n; j += 4 {
-					crow[j] += av * brow[j]
-					crow[j+1] += av * brow[j+1]
-					crow[j+2] += av * brow[j+2]
-					crow[j+3] += av * brow[j+3]
-				}
-				for ; j < n; j++ {
-					crow[j] += av * brow[j]
-				}
+				axpy(av, b[p*n:p*n+n], crow)
 			}
 		}
 	})
@@ -81,17 +72,7 @@ func gemmTN(m, n, k int, alpha float32, a, b, c []float32) {
 				if av == 0 {
 					continue
 				}
-				brow := b[p*n : p*n+n]
-				j := 0
-				for ; j+4 <= n; j += 4 {
-					crow[j] += av * brow[j]
-					crow[j+1] += av * brow[j+1]
-					crow[j+2] += av * brow[j+2]
-					crow[j+3] += av * brow[j+3]
-				}
-				for ; j < n; j++ {
-					crow[j] += av * brow[j]
-				}
+				axpy(av, b[p*n:p*n+n], crow)
 			}
 		}
 	})

@@ -14,19 +14,58 @@ func ConvOut(in, k, s, p int) int {
 // Im2col expands one C×H×W image (img, len C*H*W) into the column matrix
 // col with shape (C*KH*KW)×(OH*OW), row-major. Out-of-bounds taps are zero.
 func Im2col(img []float32, c, h, w, kh, kw, stride, pad int, col []float32) {
-	oh := ConvOut(h, kh, stride, pad)
-	ow := ConvOut(w, kw, stride, pad)
-	cols := oh * ow
+	cols := ConvOut(h, kh, stride, pad) * ConvOut(w, kw, stride, pad)
 	if len(col) < c*kh*kw*cols {
 		panic("tensor: Im2col output too small")
 	}
+	Im2colInto(img, c, h, w, kh, kw, stride, pad, col, cols, 0)
+}
+
+// Im2colInto is Im2col writing into a slice of a larger matrix: row r of
+// the patch matrix lands at col[r*rowStride+colOff : ...+OH*OW]. The
+// batched inference path uses it to lower every sample of a batch into one
+// wide (C·KH·KW)×(N·OH·OW) matrix — sample s at colOff s·OH·OW — so a
+// whole batch multiplies in a single GEMM instead of one small GEMM per
+// sample.
+//
+// Stride-1 lowerings (every HEP conv) take a fast path: for a fixed kernel
+// tap the input columns advance with the output columns, so each output row
+// is one contiguous copy between zero-padding runs, replacing the
+// tap-by-tap bounds arithmetic of the general case.
+func Im2colInto(img []float32, c, h, w, kh, kw, stride, pad int, col []float32, rowStride, colOff int) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
 	row := 0
 	for ch := 0; ch < c; ch++ {
 		chOff := ch * h * w
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
-				dst := col[row*cols : row*cols+cols]
+				dst := col[row*rowStride+colOff : row*rowStride+colOff+oh*ow]
 				row++
+				if stride == 1 {
+					// Valid output columns for this tap: ix = ox-pad+kx ∈ [0,w).
+					lo := pad - kx
+					if lo < 0 {
+						lo = 0
+					}
+					hi := w + pad - kx
+					if hi > ow {
+						hi = ow
+					}
+					for oy := 0; oy < oh; oy++ {
+						iy := oy - pad + ky
+						drow := dst[oy*ow : (oy+1)*ow]
+						if iy < 0 || iy >= h || lo >= hi {
+							clear(drow)
+							continue
+						}
+						clear(drow[:lo])
+						src := img[chOff+iy*w+lo-pad+kx:]
+						copy(drow[lo:hi], src[:hi-lo])
+						clear(drow[hi:])
+					}
+					continue
+				}
 				di := 0
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*stride - pad + ky

@@ -4,20 +4,12 @@ package tensor
 // They operate on raw slices so gradient buffers, parameter-server payloads
 // and tensor data use one implementation.
 
-// Axpy computes y += alpha*x.
+// Axpy computes y += alpha*x via the dispatched kernel (see axpy.go).
 func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
-	if alpha == 1 {
-		for i, v := range x {
-			y[i] += v
-		}
-		return
-	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	axpy(alpha, x, y)
 }
 
 // Scale computes x *= alpha.
