@@ -8,7 +8,10 @@ package deep15pf_test
 // Regenerate everything textually with: go run ./cmd/repro
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"deep15pf/internal/cluster"
@@ -214,6 +217,127 @@ func benchServeThroughput(b *testing.B, maxBatch int) {
 func BenchmarkServeThroughputBatch1(b *testing.B)  { benchServeThroughput(b, 1) }
 func BenchmarkServeThroughputBatch8(b *testing.B)  { benchServeThroughput(b, 8) }
 func BenchmarkServeThroughputBatch32(b *testing.B) { benchServeThroughput(b, 32) }
+
+// ---- Machine-readable serving perf trajectory (BENCH_serve.json) ----
+
+// serveBenchSide is one measured configuration of the serving A/B.
+type serveBenchSide struct {
+	ReqPerSec        float64 `json:"req_per_sec"`
+	P99Ms            float64 `json:"p99_ms"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	MeanBatch        float64 `json:"mean_batch"`
+}
+
+// serveBenchReport is the BENCH_serve.json schema: the same closed-loop
+// load through the compiled-plan serving path and the legacy per-pass
+// allocation path, so the perf trajectory records both the throughput and
+// the allocation deltas plans buy.
+type serveBenchReport struct {
+	Model            string         `json:"model"`
+	Requests         int            `json:"requests"`
+	Clients          int            `json:"clients"`
+	MaxBatch         int            `json:"max_batch"`
+	Planned          serveBenchSide `json:"planned"`
+	Unplanned        serveBenchSide `json:"unplanned"`
+	ThroughputGain   float64        `json:"throughput_gain"`
+	AllocReduction   float64        `json:"alloc_reduction"`
+	P99ImprovementMs float64        `json:"p99_improvement_ms"`
+}
+
+// measureServeSide drives a fixed closed-loop load through a fresh server
+// and reports throughput, tail latency and whole-process allocations per
+// request (runtime mallocs delta — it counts the load generator too, which
+// is exactly the end-to-end number an operator sees).
+func measureServeSide(t *testing.T, planning bool, requests, clients, maxBatch int) serveBenchSide {
+	t.Helper()
+	cfg := hep.ModelConfig{Name: "bench-serve-json", ImageSize: 4, Filters: 16, ConvUnits: 2, Classes: 2}
+	rng := tensor.NewRNG(7)
+	net := hep.BuildNet(cfg, rng)
+	path := filepath.Join(t.TempDir(), "bench.d15w")
+	if err := nn.SaveFile(path, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	serve.RegisterHEP(reg, "bench-serve-json", cfg)
+	lm, err := reg.Load("bench-serve-json", path, serve.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm.SetPlanning(planning)
+	s, err := serve.NewServer(lm, serve.Config{MaxBatch: maxBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	inputs := make([]*serve.LoadInput, 64)
+	for i := range inputs {
+		x := tensor.New(3, cfg.ImageSize, cfg.ImageSize)
+		rng.FillNorm(x, 0, 1)
+		inputs[i] = &serve.LoadInput{X: x}
+	}
+	// Warm every per-batch-size plan bucket, then reset the stats so the
+	// measured quantiles cover only steady state (the warmup holds the
+	// first-request plan compiles).
+	if res := serve.RunClosedLoop(s, inputs, clients, requests/4); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	s.ResetStats()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res := serve.RunClosedLoop(s, inputs, clients, requests)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	runtime.ReadMemStats(&after)
+	st := s.Stats()
+	return serveBenchSide{
+		ReqPerSec:        float64(requests) / res.Wall.Seconds(),
+		P99Ms:            float64(st.P99.Microseconds()) / 1000,
+		AllocsPerRequest: float64(after.Mallocs-before.Mallocs) / float64(requests),
+		MeanBatch:        float64(st.Requests) / float64(st.Batches),
+	}
+}
+
+// TestEmitServeBenchJSON measures the planned-vs-unplanned serving A/B and
+// writes BENCH_serve.json so the serving perf trajectory is machine-
+// readable across PRs. It also enforces the regression floor: the planned
+// path must not allocate more, or serve slower than, the legacy path by
+// more than harness noise allows.
+func TestEmitServeBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving A/B takes a few seconds")
+	}
+	const requests, clients, maxBatch = 6000, 32, 16
+	rep := serveBenchReport{
+		Model:    "hep ConvUnits=2 Filters=16 ImageSize=4",
+		Requests: requests, Clients: clients, MaxBatch: maxBatch,
+		Planned:   measureServeSide(t, true, requests, clients, maxBatch),
+		Unplanned: measureServeSide(t, false, requests, clients, maxBatch),
+	}
+	rep.ThroughputGain = rep.Planned.ReqPerSec / rep.Unplanned.ReqPerSec
+	rep.AllocReduction = rep.Unplanned.AllocsPerRequest / rep.Planned.AllocsPerRequest
+	rep.P99ImprovementMs = rep.Unplanned.P99Ms - rep.Planned.P99Ms
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_serve.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("planned: %.0f req/s, p99 %.2f ms, %.1f allocs/req", rep.Planned.ReqPerSec, rep.Planned.P99Ms, rep.Planned.AllocsPerRequest)
+	t.Logf("unplanned: %.0f req/s, p99 %.2f ms, %.1f allocs/req", rep.Unplanned.ReqPerSec, rep.Unplanned.P99Ms, rep.Unplanned.AllocsPerRequest)
+	if rep.AllocReduction < 1 {
+		t.Errorf("plans must cut allocations per request: planned %.1f vs unplanned %.1f",
+			rep.Planned.AllocsPerRequest, rep.Unplanned.AllocsPerRequest)
+	}
+	// Throughput is wall-clock and shared-runner noise can swing it either
+	// way; it is recorded in the report, not gated, so CI stays
+	// deterministic. The allocation ratio above is the hard floor.
+	if rep.ThroughputGain < 1 {
+		t.Logf("note: planned throughput %.2fx of unplanned this run (timing noise expected on shared runners)", rep.ThroughputGain)
+	}
+}
 
 // BenchmarkClusterSimIteration measures the discrete-event simulator's own
 // cost per simulated training iteration at full machine scale.

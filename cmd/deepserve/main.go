@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"deep15pf/internal/core"
@@ -52,6 +53,7 @@ func main() {
 	batch := flag.Int("batch", 32, "max dynamic batch size")
 	linger := flag.Duration("linger", 500*time.Microsecond, "max linger of a partial batch (negative = dispatch immediately)")
 	workers := flag.Int("workers", 0, "worker replicas (0 = GOMAXPROCS)")
+	noPlans := flag.Bool("noplans", false, "disable compiled execution plans (A/B the legacy per-pass allocation path)")
 	int8Mode := flag.Bool("int8", false, "serve the int8 weight/activation path")
 	compare := flag.Bool("compare", true, "also run the batch-size-1 baseline and report the speedup")
 	seed := flag.Uint64("seed", 42, "seed")
@@ -81,8 +83,11 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("loaded %s (%s): input %v -> output %v, %.2f MiB parameters, %s/sample forward\n\n",
-		lm.ModelArch, lm.Prec, lm.InShape(), lm.OutShape(),
+	if *noPlans {
+		lm.SetPlanning(false)
+	}
+	fmt.Printf("loaded %s (%s, plans %v): input %v -> output %v, %.2f MiB parameters, %s/sample forward\n\n",
+		lm.ModelArch, lm.Prec, !*noPlans, lm.InShape(), lm.OutShape(),
 		float64(lm.ParamBytes())/(1<<20), perf.FormatFlops(float64(lm.FwdFLOPsPerSample())))
 
 	if *int8Mode {
@@ -183,19 +188,38 @@ func requestPool(lm *serve.LoadedModel, n int, seed uint64) []*serve.LoadInput {
 }
 
 // runLoad starts a server, saturates it with the closed-loop generator, and
-// prints and returns its stats snapshot.
+// prints and returns its stats snapshot, including whole-process heap
+// allocations per request — the number the compiled-plan datapath exists
+// to drive toward the per-batch floor.
 func runLoad(lm *serve.LoadedModel, cfg serve.Config, inputs []*serve.LoadInput, clients, total int) serve.Stats {
 	s, err := serve.NewServer(lm, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer s.Close()
+	// Warm plan buckets and steady-state pools before measuring.
+	warm := total / 10
+	if warm > 2000 {
+		warm = 2000
+	}
+	if warm > 0 {
+		if res := serve.RunClosedLoop(s, inputs, clients, warm); res.Err != nil {
+			fatalf("warmup run: %v", res.Err)
+		}
+		s.ResetStats() // quantiles must not include plan-compile spikes
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
 	res := serve.RunClosedLoop(s, inputs, clients, total)
 	if res.Err != nil {
 		fatalf("load run: %v", res.Err)
 	}
+	runtime.ReadMemStats(&after)
 	st := s.Stats()
 	fmt.Println(st)
+	fmt.Printf("  allocs/request %.1f (whole process, steady state)\n",
+		float64(after.Mallocs-before.Mallocs)/float64(total))
 	return st
 }
 

@@ -320,13 +320,24 @@ func GenerateDataset(cfg GenConfig, n int, rng *tensor.RNG) *Dataset {
 // Batch gathers the indexed samples into one [len(idx),16,S,S] tensor plus
 // per-sample box lists.
 func (d *Dataset) Batch(idx []int) (*tensor.Tensor, [][]Box) {
+	x := tensor.New(len(idx), NumChannels, d.Size, d.Size)
+	boxes := make([][]Box, len(idx))
+	d.BatchInto(x, boxes, idx)
+	return x, boxes
+}
+
+// BatchInto is Batch writing into caller-owned staging (x sized for
+// len(idx) samples, boxes of length len(idx)) — the allocation-free form
+// planned training replicas reuse every iteration. Box lists are shared
+// with the dataset, not copied.
+func (d *Dataset) BatchInto(x *tensor.Tensor, boxes [][]Box, idx []int) {
 	s := d.Size
 	per := NumChannels * s * s
-	x := tensor.New(len(idx), NumChannels, s, s)
-	boxes := make([][]Box, len(idx))
+	if x.Len() != len(idx)*per || len(boxes) != len(idx) {
+		panic("climate: BatchInto staging size mismatch")
+	}
 	for bi, i := range idx {
 		copy(x.Data[bi*per:(bi+1)*per], d.Samples[i].Field.Data)
 		boxes[bi] = d.Samples[i].Boxes
 	}
-	return x, boxes
 }

@@ -40,12 +40,39 @@ type Grads struct {
 	Conf, Class, BoxP, Recon *tensor.Tensor
 }
 
+// lossScratch holds the reusable buffers one loss evaluation needs: the
+// encoded grid targets and the per-cell class softmax workspace. A zero
+// value grows on first use; training plans keep one across iterations so
+// the loss contributes no steady-state allocation.
+type lossScratch struct {
+	tgt           targetScratch
+	logits, cgrad []float32
+}
+
 // Loss evaluates the multi-term objective and its gradients. x is the input
 // batch (reconstruction target); boxes are per-sample ground truth; labeled
 // marks which batch entries contribute detection terms (unlabeled samples
 // contribute only reconstruction — the semi-supervised mechanism). A nil
 // labeled slice treats every sample as labeled.
 func (n *Net) Loss(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights) (LossParts, Grads) {
+	grads := Grads{
+		Conf:  tensor.New(out.Conf.Shape...),
+		Class: tensor.New(out.Class.Shape...),
+		BoxP:  tensor.New(out.BoxP.Shape...),
+	}
+	if out.Recon != nil && w.Recon > 0 {
+		grads.Recon = tensor.New(out.Recon.Shape...)
+	}
+	var sc lossScratch
+	parts := n.lossInto(out, x, boxes, labeled, w, &grads, &sc)
+	return parts, grads
+}
+
+// lossInto is Loss writing gradients into caller-owned tensors (zeroed
+// here) and drawing its workspace from sc — the allocation-free form
+// training plans run. grads.Recon may be nil when the reconstruction term
+// is inactive; when present and active it is fully overwritten.
+func (n *Net) lossInto(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights, grads *Grads, sc *lossScratch) LossParts {
 	batch := out.Conf.Shape[0]
 	if len(boxes) != batch {
 		panic("climate: box list count != batch size")
@@ -58,10 +85,12 @@ func (n *Net) Loss(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, 
 	cells := g * g
 
 	var parts LossParts
-	grads := Grads{
-		Conf:  tensor.New(out.Conf.Shape...),
-		Class: tensor.New(out.Class.Shape...),
-		BoxP:  tensor.New(out.BoxP.Shape...),
+	grads.Conf.Zero()
+	grads.Class.Zero()
+	grads.BoxP.Zero()
+	if cap(sc.logits) < k {
+		sc.logits = make([]float32, k)
+		sc.cgrad = make([]float32, k)
 	}
 	nLabeled := 0
 	for s := 0; s < batch; s++ {
@@ -75,7 +104,9 @@ func (n *Net) Loss(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, 
 			if labeled != nil && !labeled[s] {
 				continue
 			}
-			hasBox, cls, tx, ty, tw, th := n.EncodeTarget(boxes[s])
+			n.encodeTargetInto(boxes[s], &sc.tgt)
+			hasBox, cls := sc.tgt.hasBox, sc.tgt.class
+			tx, ty, tw, th := sc.tgt.tx, sc.tgt.ty, sc.tgt.tw, sc.tgt.th
 			confBase := s * cells
 			classBase := s * k * cells
 			boxBase := s * 4 * cells
@@ -104,11 +135,12 @@ func (n *Net) Loss(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, 
 				grads.Conf.Data[confBase+ci] += float32(w.Obj*invBox) * dg
 
 				// Class cross-entropy over the K class logits at this cell.
-				logits := make([]float32, k)
+				logits := sc.logits[:k]
 				for c := 0; c < k; c++ {
 					logits[c] = out.Class.Data[classBase+c*cells+ci]
 				}
-				cl, cg := softmaxCE(logits, cls[ci])
+				cg := sc.cgrad[:k]
+				cl := softmaxCEInto(logits, cls[ci], cg)
 				parts.Class += w.Class * cl * invBox
 				for c := 0; c < k; c++ {
 					grads.Class.Data[classBase+c*cells+ci] += float32(w.Class*invBox) * cg[c]
@@ -126,17 +158,17 @@ func (n *Net) Loss(out Output, x *tensor.Tensor, boxes [][]Box, labeled []bool, 
 		}
 	}
 
-	if out.Recon != nil && w.Recon > 0 {
-		rl, rg := nn.MSELoss(out.Recon, x)
+	if out.Recon != nil && w.Recon > 0 && grads.Recon != nil {
+		rl := nn.MSELossInto(out.Recon, x, grads.Recon)
 		parts.Recon = w.Recon * rl
-		tensor.Scale(float32(w.Recon), rg.Data)
-		grads.Recon = rg
+		tensor.Scale(float32(w.Recon), grads.Recon.Data)
 	}
-	return parts, grads
+	return parts
 }
 
-// softmaxCE is a small-k softmax cross-entropy on one cell's logits.
-func softmaxCE(logits []float32, label int) (float64, []float32) {
+// softmaxCEInto is a small-k softmax cross-entropy on one cell's logits,
+// writing the gradient into grad (len(logits), fully overwritten).
+func softmaxCEInto(logits []float32, label int, grad []float32) float64 {
 	maxv := logits[0]
 	for _, v := range logits[1:] {
 		if v > maxv {
@@ -148,13 +180,12 @@ func softmaxCE(logits []float32, label int) (float64, []float32) {
 		sum += math.Exp(float64(v - maxv))
 	}
 	logZ := math.Log(sum) + float64(maxv)
-	grad := make([]float32, len(logits))
 	for j, v := range logits {
 		p := float32(math.Exp(float64(v) - logZ))
 		grad[j] = p
 	}
 	grad[label] -= 1
-	return logZ - float64(logits[label]), grad
+	return logZ - float64(logits[label])
 }
 
 // TrainStep runs one full forward/backward pass and returns the loss parts.

@@ -245,20 +245,58 @@ func (n *Net) FLOPBreakdown() []nn.LayerFlop {
 	return rows
 }
 
+// targetScratch holds the reusable grid-target buffers encodeTargetInto
+// fills; a zero value grows on first use.
+type targetScratch struct {
+	hasBox         []bool
+	class          []int
+	tx, ty, tw, th []float32
+	area           []float64
+}
+
+// resize grows the scratch to cells entries and resets it.
+func (t *targetScratch) resize(cells int) {
+	if cap(t.hasBox) < cells {
+		t.hasBox = make([]bool, cells)
+		t.class = make([]int, cells)
+		t.tx = make([]float32, cells)
+		t.ty = make([]float32, cells)
+		t.tw = make([]float32, cells)
+		t.th = make([]float32, cells)
+		t.area = make([]float64, cells)
+	}
+	t.hasBox = t.hasBox[:cells]
+	t.class = t.class[:cells]
+	t.tx, t.ty = t.tx[:cells], t.ty[:cells]
+	t.tw, t.th = t.tw[:cells], t.th[:cells]
+	t.area = t.area[:cells]
+	for i := range t.hasBox {
+		t.hasBox[i] = false
+		t.class[i] = 0
+		t.tx[i], t.ty[i], t.tw[i], t.th[i] = 0, 0, 0, 0
+		t.area[i] = 0
+	}
+}
+
 // EncodeTarget maps ground-truth boxes onto the detection grid. Returned
 // slices are G×G: hasBox marks cells owning a box (by box center); class,
 // tx, ty, tw, th hold that box's targets. When two boxes share a cell the
 // larger-area box wins.
 func (n *Net) EncodeTarget(boxes []Box) (hasBox []bool, class []int, tx, ty, tw, th []float32) {
+	var t targetScratch
+	n.encodeTargetInto(boxes, &t)
+	return t.hasBox, t.class, t.tx, t.ty, t.tw, t.th
+}
+
+// encodeTargetInto is EncodeTarget writing into reusable scratch — the
+// allocation-free form the training-plan loss runs per sample.
+func (n *Net) encodeTargetInto(boxes []Box, t *targetScratch) {
 	g := n.GridSize
 	cell := float64(n.CellSize)
-	hasBox = make([]bool, g*g)
-	class = make([]int, g*g)
-	tx = make([]float32, g*g)
-	ty = make([]float32, g*g)
-	tw = make([]float32, g*g)
-	th = make([]float32, g*g)
-	area := make([]float64, g*g)
+	t.resize(g * g)
+	hasBox, class := t.hasBox, t.class
+	tx, ty, tw, th := t.tx, t.ty, t.tw, t.th
+	area := t.area
 	for _, b := range boxes {
 		if b.W <= 0 || b.H <= 0 {
 			continue
@@ -280,7 +318,6 @@ func (n *Net) EncodeTarget(boxes []Box) (hasBox []bool, class []int, tx, ty, tw,
 		tw[i] = float32(math.Log(b.W / cell))
 		th[i] = float32(math.Log(b.H / cell))
 	}
-	return hasBox, class, tx, ty, tw, th
 }
 
 // Decode converts head outputs for one batch sample into detections above

@@ -1,0 +1,125 @@
+package climate
+
+import (
+	"fmt"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// TrainPlan is the compiled training schedule for the semi-supervised
+// network at a fixed batch size: one training plan for the shared encoder,
+// one single-layer plan per score head, one for the decoder, plus the
+// feature-gradient accumulator, the head/reconstruction gradient tensors
+// and the loss workspace — all allocated from one arena at build time.
+// Step then performs a full forward/loss/backward iteration with zero
+// steady-state allocation and bitwise-identical results to the unplanned
+// Net.TrainStep.
+//
+// The branching topology (encoder fan-out to three heads and the decoder,
+// gradients fanned back in) is exactly the structure nn.Plan's sequential
+// schedule cannot express, so this type composes plans the way Net.Forward
+// composes networks. Like its parts, a TrainPlan is single-goroutine.
+type TrainPlan struct {
+	net   *Net
+	batch int
+	arena *tensor.Arena
+
+	enc, conf, class, box *nn.Plan
+	dec                   *nn.Plan // nil without decoder
+
+	dfeat *tensor.Tensor
+	grads Grads
+	sc    lossScratch
+}
+
+// NewTrainPlan compiles a training plan for batches of exactly batch
+// samples. arena == nil creates a private arena; replicas with several
+// batch sizes pass a shared one so plans recycle slabs.
+func (n *Net) NewTrainPlan(batch int, arena *tensor.Arena) *TrainPlan {
+	if batch < 1 {
+		panic("climate: train plan batch must be positive")
+	}
+	if arena == nil {
+		arena = tensor.NewArena()
+	}
+	tp := &TrainPlan{net: n, batch: batch, arena: arena}
+	tp.enc = nn.Compile(n.Encoder, batch, true, arena)
+	// Each head is a one-layer network over the shared feature grid; the
+	// wrapper owns no parameters — it reuses the head conv itself, whose
+	// plan state lives in the compiled plan, not the layer.
+	headNet := func(name string, l nn.Layer) *nn.Network {
+		return nn.NewNetwork(n.Cfg.Name+"-"+name+"-plan", n.featShape...).Add(l)
+	}
+	tp.conf = nn.Compile(headNet("conf", n.ConfHead), batch, true, arena)
+	tp.class = nn.Compile(headNet("class", n.ClassHead), batch, true, arena)
+	tp.box = nn.Compile(headNet("box", n.BoxHead), batch, true, arena)
+	if n.Decoder != nil {
+		tp.dec = nn.Compile(n.Decoder, batch, true, arena)
+	}
+	tp.dfeat = arena.GetTensor(append([]int{batch}, n.featShape...)...)
+	g := n.GridSize
+	tp.grads = Grads{
+		Conf:  arena.GetTensor(batch, 1, g, g),
+		Class: arena.GetTensor(batch, int(NumClasses), g, g),
+		BoxP:  arena.GetTensor(batch, 4, g, g),
+	}
+	if n.Decoder != nil {
+		tp.grads.Recon = arena.GetTensor(batch, NumChannels, n.Cfg.Size, n.Cfg.Size)
+	}
+	return tp
+}
+
+// Batch returns the plan's fixed batch size.
+func (tp *TrainPlan) Batch() int { return tp.batch }
+
+// Step runs one full forward/loss/backward iteration, mirroring
+// Net.TrainStep operation for operation: encoder and decoder through their
+// compiled plans, heads through theirs, the loss through the workspace
+// form, and the backward fan-in in the same axpy order. Gradients
+// accumulate into the network parameters; the caller applies a solver step
+// and zeroes gradients.
+func (tp *TrainPlan) Step(x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights) LossParts {
+	if x.Shape[0] != tp.batch {
+		panic(fmt.Sprintf("climate: train plan compiled for batch %d, got %d", tp.batch, x.Shape[0]))
+	}
+	feat := tp.enc.Forward(x)
+	out := Output{
+		Feat:  feat,
+		Conf:  tp.conf.Forward(feat),
+		Class: tp.class.Forward(feat),
+		BoxP:  tp.box.Forward(feat),
+	}
+	if tp.dec != nil {
+		out.Recon = tp.dec.Forward(feat)
+	}
+	parts := tp.net.lossInto(out, x, boxes, labeled, w, &tp.grads, &tp.sc)
+
+	// Backward fan-in, in Net.Backward's order: heads, decoder, encoder.
+	tp.dfeat.Zero()
+	tensor.Axpy(1, tp.conf.Backward(tp.grads.Conf).Data, tp.dfeat.Data)
+	tensor.Axpy(1, tp.class.Backward(tp.grads.Class).Data, tp.dfeat.Data)
+	tensor.Axpy(1, tp.box.Backward(tp.grads.BoxP).Data, tp.dfeat.Data)
+	if tp.dec != nil && out.Recon != nil && w.Recon > 0 {
+		tensor.Axpy(1, tp.dec.Backward(tp.grads.Recon).Data, tp.dfeat.Data)
+	}
+	tp.enc.Backward(tp.dfeat)
+	return parts
+}
+
+// Release returns every plan slab to the arena. The TrainPlan must not be
+// used afterwards.
+func (tp *TrainPlan) Release() {
+	for _, p := range []*nn.Plan{tp.enc, tp.conf, tp.class, tp.box, tp.dec} {
+		if p != nil {
+			p.Release()
+		}
+	}
+	tp.arena.PutTensor(tp.dfeat)
+	tp.arena.PutTensor(tp.grads.Conf)
+	tp.arena.PutTensor(tp.grads.Class)
+	tp.arena.PutTensor(tp.grads.BoxP)
+	if tp.grads.Recon != nil {
+		tp.arena.PutTensor(tp.grads.Recon)
+	}
+}

@@ -28,11 +28,21 @@ func NewTrainingProblem(ds *Dataset, model ModelConfig, initSeed uint64) *Traini
 	}
 }
 
-// NewReplica implements core.Problem.
+// NewReplica implements core.Problem. The replica compiles one training
+// plan per distinct batch size on first use (shard sizes are stable across
+// a run, so in practice that is a single compile); iterations then run the
+// planned, allocation-free TrainPlan.Step path.
 func (p *TrainingProblem) NewReplica() core.Replica {
 	net := BuildNet(p.Model, tensor.NewRNG(p.InitSeed))
 	labeledN := int(p.LabeledFrac * float64(len(p.DS.Samples)))
-	return &climReplica{net: net, ds: p.DS, weights: p.Weights, labeledN: labeledN}
+	arena := tensor.NewArena()
+	return &climReplica{
+		net: net, ds: p.DS, weights: p.Weights, labeledN: labeledN,
+		params: net.Params(),
+		arena:  arena,
+		plans:  make(map[int]*TrainPlan),
+		xStage: tensor.NewStaging(arena, NumChannels, p.DS.Size, p.DS.Size),
+	}
 }
 
 // NewBatchSource implements core.Problem.
@@ -45,18 +55,37 @@ type climReplica struct {
 	ds       *Dataset
 	weights  LossWeights
 	labeledN int
+	params   []*nn.Param // cached: per-iteration ZeroGrads must not rebuild the slice
+	arena    *tensor.Arena
+	plans    map[int]*TrainPlan
+
+	// Reusable per-iteration staging, grown to the largest batch seen.
+	xStage  *tensor.Staging
+	boxes   [][]Box
+	labeled []bool
 }
 
 func (r *climReplica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
-func (r *climReplica) ZeroGrad()                   { r.net.ZeroGrad() }
+func (r *climReplica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
 
 func (r *climReplica) ComputeGradients(idx []int) float64 {
-	x, boxes := r.ds.Batch(idx)
-	labeled := make([]bool, len(idx))
+	n := len(idx)
+	x := r.xStage.Batch(n)
+	if cap(r.boxes) < n {
+		r.boxes = make([][]Box, n)
+		r.labeled = make([]bool, n)
+	}
+	boxes, labeled := r.boxes[:n], r.labeled[:n]
+	r.ds.BatchInto(x, boxes, idx)
 	for i, sample := range idx {
 		labeled[i] = sample < r.labeledN
 	}
-	parts := r.net.TrainStep(x, boxes, labeled, r.weights)
+	tp := r.plans[n]
+	if tp == nil {
+		tp = r.net.NewTrainPlan(n, r.arena)
+		r.plans[n] = tp
+	}
+	parts := tp.Step(x, boxes, labeled, r.weights)
 	return parts.Total()
 }
 

@@ -28,6 +28,13 @@ import (
 
 // Replica is one worker's complete training state: a model plus whatever
 // data access it needs to compute gradients on sample indices.
+//
+// Implementations compile per-batch-size execution plans (nn.Plan) on
+// first use, so after the first iteration ComputeGradients runs with zero
+// steady-state allocation. The trainers uphold the matching contract:
+// shard sizes are fixed for a whole run (batches split evenly over
+// workers), so a replica compiles exactly one plan and every subsequent
+// iteration reuses it.
 type Replica interface {
 	// TrainableLayers returns the parameterised layers in a fixed order
 	// (the per-layer PS pairing).

@@ -116,12 +116,23 @@ func GenerateDataset(cfg GenConfig, r *Renderer, n int, signalFrac float64, rng 
 // Batch gathers the indexed samples into x ([len(idx),3,S,S]) and labels.
 func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
 	s := d.Images.Shape
-	per := s[1] * s[2] * s[3]
 	x := tensor.New(len(idx), s[1], s[2], s[3])
 	labels := make([]int, len(idx))
+	d.BatchInto(x, labels, idx)
+	return x, labels
+}
+
+// BatchInto is Batch writing into caller-owned staging — the
+// allocation-free form planned training replicas reuse every iteration.
+// x must hold len(idx) samples and labels must have length len(idx).
+func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, idx []int) {
+	s := d.Images.Shape
+	per := s[1] * s[2] * s[3]
+	if x.Len() != len(idx)*per || len(labels) != len(idx) {
+		panic("hep: BatchInto staging size mismatch")
+	}
 	for bi, i := range idx {
 		copy(x.Data[bi*per:(bi+1)*per], d.Images.Data[i*per:(i+1)*per])
 		labels[bi] = d.Labels[i]
 	}
-	return x, labels
 }

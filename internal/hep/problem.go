@@ -21,10 +21,22 @@ func NewTrainingProblem(ds *Dataset, model ModelConfig, initSeed uint64) *Traini
 	return &TrainingProblem{DS: ds, Model: model, InitSeed: initSeed}
 }
 
-// NewReplica implements core.Problem.
+// NewReplica implements core.Problem. The replica compiles one training
+// plan per distinct batch size on first use (shard sizes are stable across
+// a run, so in practice that is a single compile), after which every
+// ComputeGradients iteration runs without touching the allocator.
 func (p *TrainingProblem) NewReplica() core.Replica {
 	net := BuildNet(p.Model, tensor.NewRNG(p.InitSeed))
-	return &replica{net: net, ds: p.DS}
+	arena := tensor.NewArena()
+	return &replica{
+		net:       net,
+		ds:        p.DS,
+		params:    net.Params(),
+		arena:     arena,
+		plans:     nn.NewPlanCache(net, true, arena),
+		xStage:    tensor.NewStaging(arena, net.InShape...),
+		gradStage: tensor.NewStaging(arena, p.Model.Classes),
+	}
 }
 
 // NewBatchSource implements core.Problem.
@@ -33,18 +45,34 @@ func (p *TrainingProblem) NewBatchSource(seed uint64) core.BatchSource {
 }
 
 type replica struct {
-	net *nn.Network
-	ds  *Dataset
+	net    *nn.Network
+	ds     *Dataset
+	params []*nn.Param // cached: per-iteration ZeroGrads must not rebuild the slice
+	arena  *tensor.Arena
+	plans  *nn.PlanCache
+
+	// Reusable per-iteration staging: the input batch, its labels and the
+	// loss gradient. Grown to the largest batch seen, then stable.
+	xStage, gradStage *tensor.Staging
+	labels            []int
 }
 
 func (r *replica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
-func (r *replica) ZeroGrad()                   { r.net.ZeroGrad() }
+func (r *replica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
 
 func (r *replica) ComputeGradients(idx []int) float64 {
-	x, labels := r.ds.Batch(idx)
-	logits := r.net.Forward(x, true)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
-	r.net.Backward(grad)
+	n := len(idx)
+	x := r.xStage.Batch(n)
+	grad := r.gradStage.Batch(n)
+	if cap(r.labels) < n {
+		r.labels = make([]int, n)
+	}
+	labels := r.labels[:n]
+	r.ds.BatchInto(x, labels, idx)
+	plan := r.plans.Plan(n)
+	logits := plan.Forward(x)
+	loss := nn.SoftmaxCrossEntropyInto(logits, labels, grad)
+	plan.Backward(grad)
 	return loss
 }
 

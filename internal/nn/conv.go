@@ -16,10 +16,7 @@ type Conv2D struct {
 	KH, KW       int
 	Stride, Pad  int
 	Weight, Bias *Param
-	lastX        *tensor.Tensor
-	inH, inW     int
-	colBuf       []float32
-	evalBuf      []float32 // batched-GEMM output scratch (inference path)
+	state        PlanState // legacy-path state (direct Forward/Backward)
 	noBias       bool
 }
 
@@ -79,6 +76,36 @@ func (c *Conv2D) OutShape(in []int) []int {
 	return []int{c.OutC, oh, ow}
 }
 
+// evalChunk returns how many whole samples the inference path lowers at
+// once for an oh×ow output, clamped to the batch size.
+func (c *Conv2D) evalChunk(n, oh, ow int) int {
+	k := c.InC * c.KH * c.KW
+	chunk := evalColBudget / (k * oh * ow)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > n {
+		chunk = n
+	}
+	return chunk
+}
+
+// Reserve implements PlannedLayer.
+func (c *Conv2D) Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool) {
+	out := c.OutShape(in)
+	oh, ow := out[1], out[2]
+	k := c.InC * c.KH * c.KW
+	cols := oh * ow
+	if train {
+		st.Col = scratch(a, st.Col, k*cols)
+		st.Dcol = scratch(a, st.Dcol, k*cols)
+		return
+	}
+	chunk := c.evalChunk(n, oh, ow)
+	st.Col = scratch(a, st.Col, k*chunk*cols)
+	st.Eval = scratch(a, st.Eval, c.OutC*chunk*cols)
+}
+
 // Forward implements Layer. x is [N, InC, H, W]. With train=false it takes
 // the batched inference path, which produces bitwise-identical outputs
 // (same per-element accumulation order) without retaining backward state.
@@ -86,41 +113,50 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: %s got input shape %v, want [N,%d,H,W]", c.LayerName, x.Shape, c.InC))
 	}
+	out := tensor.New(x.Shape[0], c.OutC,
+		tensor.ConvOut(x.Shape[2], c.KH, c.Stride, c.Pad),
+		tensor.ConvOut(x.Shape[3], c.KW, c.Stride, c.Pad))
+	c.ForwardInto(&c.state, out, x, train)
+	return out
+}
+
+// ForwardInto implements PlannedLayer.
+func (c *Conv2D) ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool) {
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s got input shape %v, want [N,%d,H,W]", c.LayerName, x.Shape, c.InC))
+	}
 	if !train {
-		return c.forwardEval(x)
+		c.forwardEval(st, y, x)
+		return
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
 	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	if cap(c.colBuf) < k*cols {
-		c.colBuf = make([]float32, k*cols)
-	}
-	col := c.colBuf[:k*cols]
-	out := tensor.New(n, c.OutC, oh, ow)
+	st.Col = scratch(nil, st.Col, k*cols)
+	col := st.Col[:k*cols]
 	inStride := c.InC * h * w
 	outStride := c.OutC * cols
 	for s := 0; s < n; s++ {
 		img := x.Data[s*inStride : (s+1)*inStride]
 		tensor.Im2col(img, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, col)
-		y := out.Data[s*outStride : (s+1)*outStride]
-		tensor.Gemm(false, false, c.OutC, cols, k, 1, c.Weight.W.Data, col, 0, y)
+		ys := y.Data[s*outStride : (s+1)*outStride]
+		tensor.Gemm(false, false, c.OutC, cols, k, 1, c.Weight.W.Data, col, 0, ys)
 		if !c.noBias {
 			for f := 0; f < c.OutC; f++ {
 				b := c.Bias.W.Data[f]
 				if b == 0 {
 					continue
 				}
-				row := y[f*cols : (f+1)*cols]
+				row := ys[f*cols : (f+1)*cols]
 				for i := range row {
 					row[i] += b
 				}
 			}
 		}
 	}
-	c.lastX, c.inH, c.inW = x, h, w
-	return out
+	st.X = x
 }
 
 // forwardEval is the inference fast path: it lowers as many samples as the
@@ -129,28 +165,17 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // NCHW while applying the bias. Per sample this performs exactly the same
 // floating-point operations in the same order as the training path — only
 // the loop structure changes — so eval and train forward agree bitwise. No
-// backward state is kept: the layer does not retain x, and Backward panics
+// backward state is kept: the state does not retain x, and Backward panics
 // until the next train-mode Forward.
-func (c *Conv2D) forwardEval(x *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2D) forwardEval(st *PlanState, y, x *tensor.Tensor) {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
 	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	chunk := evalColBudget / (k * cols)
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > n {
-		chunk = n
-	}
-	if cap(c.colBuf) < k*chunk*cols {
-		c.colBuf = make([]float32, k*chunk*cols)
-	}
-	if cap(c.evalBuf) < c.OutC*chunk*cols {
-		c.evalBuf = make([]float32, c.OutC*chunk*cols)
-	}
-	out := tensor.New(n, c.OutC, oh, ow)
+	chunk := c.evalChunk(n, oh, ow)
+	st.Col = scratch(nil, st.Col, k*chunk*cols)
+	st.Eval = scratch(nil, st.Eval, c.OutC*chunk*cols)
 	inStride := c.InC * h * w
 	outStride := c.OutC * cols
 	for s0 := 0; s0 < n; s0 += chunk {
@@ -159,17 +184,17 @@ func (c *Conv2D) forwardEval(x *tensor.Tensor) *tensor.Tensor {
 			m = n - s0
 		}
 		mcols := m * cols
-		col := c.colBuf[:k*mcols]
+		col := st.Col[:k*mcols]
 		for i := 0; i < m; i++ {
 			img := x.Data[(s0+i)*inStride : (s0+i+1)*inStride]
 			tensor.Im2colInto(img, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, col, mcols, i*cols)
 		}
-		y := c.evalBuf[:c.OutC*mcols]
-		tensor.Gemm(false, false, c.OutC, mcols, k, 1, c.Weight.W.Data, col, 0, y)
+		ge := st.Eval[:c.OutC*mcols]
+		tensor.Gemm(false, false, c.OutC, mcols, k, 1, c.Weight.W.Data, col, 0, ge)
 		for i := 0; i < m; i++ {
-			dst := out.Data[(s0+i)*outStride : (s0+i+1)*outStride]
+			dst := y.Data[(s0+i)*outStride : (s0+i+1)*outStride]
 			for f := 0; f < c.OutC; f++ {
-				src := y[f*mcols+i*cols : f*mcols+(i+1)*cols]
+				src := ge[f*mcols+i*cols : f*mcols+(i+1)*cols]
 				d := dst[f*cols : (f+1)*cols]
 				var b float32
 				if !c.noBias {
@@ -185,8 +210,7 @@ func (c *Conv2D) forwardEval(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	c.lastX = nil
-	return out
+	st.X = nil
 }
 
 // Backward implements Layer. dout is [N, OutC, OH, OW]; returns dx with the
@@ -194,18 +218,30 @@ func (c *Conv2D) forwardEval(x *tensor.Tensor) *tensor.Tensor {
 // the whole batch would cost N·K·OH·OW floats — hundreds of MB at paper
 // sizes), trading flops for memory exactly as Caffe does.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	x := c.lastX
+	x := c.state.X
 	if x == nil {
 		panic("nn: " + c.LayerName + " Backward before Forward")
 	}
-	n, h, w := x.Shape[0], c.inH, c.inW
+	dx := tensor.New(x.Shape...)
+	c.BackwardInto(&c.state, dx, dout)
+	return dx
+}
+
+// BackwardInto implements PlannedLayer.
+func (c *Conv2D) BackwardInto(st *PlanState, dx, dout *tensor.Tensor) {
+	x := st.X
+	if x == nil {
+		panic("nn: " + c.LayerName + " Backward before Forward")
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
 	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
 	k := c.InC * c.KH * c.KW
 	cols := oh * ow
-	col := c.colBuf[:k*cols]
-	dcol := make([]float32, k*cols)
-	dx := tensor.New(x.Shape...)
+	col := st.Col[:k*cols]
+	st.Dcol = scratch(nil, st.Dcol, k*cols)
+	dcol := st.Dcol[:k*cols]
+	clear(dx.Data)
 	inStride := c.InC * h * w
 	outStride := c.OutC * cols
 	for s := 0; s < n; s++ {
@@ -229,7 +265,6 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		tensor.Gemm(true, false, k, cols, c.OutC, 1, c.Weight.W.Data, dy, 0, dcol)
 		tensor.Col2im(dcol, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, dx.Data[s*inStride:(s+1)*inStride])
 	}
-	return dx
 }
 
 // FLOPs implements Layer: forward is one M×N×K GEMM per sample; backward is

@@ -26,9 +26,7 @@ type Deconv2D struct {
 	KH, KW       int
 	Stride, Pad  int
 	Weight, Bias *Param
-	lastX        *tensor.Tensor
-	inH, inW     int
-	colBuf       []float32
+	state        PlanState // legacy-path state (direct Forward/Backward)
 }
 
 // NewDeconv2D constructs a transposed-convolution layer.
@@ -76,8 +74,28 @@ func (d *Deconv2D) OutShape(in []int) []int {
 	return []int{d.OutC, oh, ow}
 }
 
+// Reserve implements PlannedLayer. The lowering scratch is shared by
+// forward (Wᵀ·x before col2im) and backward (im2col of dy), which have the
+// same (OutC·KH·KW)×(H·W) shape by the adjoint construction.
+func (d *Deconv2D) Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool) {
+	k := d.OutC * d.KH * d.KW
+	cols := in[1] * in[2]
+	st.Col = scratch(a, st.Col, k*cols)
+}
+
 // Forward implements Layer: y = col2im(Wᵀ·x) — the conv backward-data path.
 func (d *Deconv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != d.InC {
+		panic(fmt.Sprintf("nn: %s got input shape %v, want [N,%d,H,W]", d.LayerName, x.Shape, d.InC))
+	}
+	oh, ow := d.outHW(x.Shape[2], x.Shape[3])
+	out := tensor.New(x.Shape[0], d.OutC, oh, ow)
+	d.ForwardInto(&d.state, out, x, train)
+	return out
+}
+
+// ForwardInto implements PlannedLayer.
+func (d *Deconv2D) ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool) {
 	if x.Rank() != 4 || x.Shape[1] != d.InC {
 		panic(fmt.Sprintf("nn: %s got input shape %v, want [N,%d,H,W]", d.LayerName, x.Shape, d.InC))
 	}
@@ -85,18 +103,16 @@ func (d *Deconv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh, ow := d.outHW(h, w)
 	k := d.OutC * d.KH * d.KW
 	cols := h * w // the adjoint conv's output positions = our input positions
-	if cap(d.colBuf) < k*cols {
-		d.colBuf = make([]float32, k*cols)
-	}
-	col := d.colBuf[:k*cols]
-	out := tensor.New(n, d.OutC, oh, ow)
+	st.Col = scratch(nil, st.Col, k*cols)
+	col := st.Col[:k*cols]
+	clear(y.Data) // col2im accumulates
 	inStride := d.InC * h * w
 	outStride := d.OutC * oh * ow
 	for s := 0; s < n; s++ {
 		xs := x.Data[s*inStride : (s+1)*inStride]
 		// col = Wᵀ (k×InC) · x_s (InC×cols)
 		tensor.Gemm(true, false, k, cols, d.InC, 1, d.Weight.W.Data, xs, 0, col)
-		ys := out.Data[s*outStride : (s+1)*outStride]
+		ys := y.Data[s*outStride : (s+1)*outStride]
 		tensor.Col2im(col, d.OutC, oh, ow, d.KH, d.KW, d.Stride, d.Pad, ys)
 		for f := 0; f < d.OutC; f++ {
 			b := d.Bias.W.Data[f]
@@ -109,23 +125,36 @@ func (d *Deconv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	d.lastX, d.inH, d.inW = x, h, w
-	return out
+	if train {
+		st.X = x
+	} else {
+		st.X = nil
+	}
 }
 
 // Backward implements Layer: dx = W·im2col(dy) — the conv forward path —
 // and dW = x·im2col(dy)ᵀ.
 func (d *Deconv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	x := d.lastX
+	x := d.state.X
 	if x == nil {
 		panic("nn: " + d.LayerName + " Backward before Forward")
 	}
-	n, h, w := x.Shape[0], d.inH, d.inW
+	dx := tensor.New(x.Shape...)
+	d.BackwardInto(&d.state, dx, dout)
+	return dx
+}
+
+// BackwardInto implements PlannedLayer.
+func (d *Deconv2D) BackwardInto(st *PlanState, dx, dout *tensor.Tensor) {
+	x := st.X
+	if x == nil {
+		panic("nn: " + d.LayerName + " Backward before Forward")
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := d.outHW(h, w)
 	k := d.OutC * d.KH * d.KW
 	cols := h * w
-	col := d.colBuf[:k*cols]
-	dx := tensor.New(x.Shape...)
+	col := st.Col[:k*cols]
 	inStride := d.InC * h * w
 	outStride := d.OutC * oh * ow
 	for s := 0; s < n; s++ {
@@ -146,7 +175,6 @@ func (d *Deconv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			d.Bias.Grad.Data[f] += sum
 		}
 	}
-	return dx
 }
 
 // FLOPs implements Layer. The paper observes these layers "perform very

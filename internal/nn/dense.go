@@ -11,8 +11,7 @@ import (
 // networks.
 type ReLU struct {
 	LayerName string
-	mask      []bool
-	outShape  []int
+	state     PlanState // legacy-path state (direct Forward/Backward)
 }
 
 // NewReLU constructs a ReLU layer.
@@ -27,45 +26,70 @@ func (r *ReLU) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 
+// Reserve implements PlannedLayer.
+func (r *ReLU) Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool) {
+	if train {
+		if need := n * shapeElems(in); cap(st.Mask) < need {
+			st.Mask = make([]bool, need)
+		}
+	}
+}
+
 // Forward implements Layer. Eval-mode passes skip the backward mask.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(x.Shape...)
+	r.ForwardInto(&r.state, out, x, train)
+	return out
+}
+
+// ForwardInto implements PlannedLayer. Every element of y is written, so a
+// recycled destination cannot leak stale activations.
+func (r *ReLU) ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool) {
 	if !train {
-		r.mask = r.mask[:0]
+		st.Mask = st.Mask[:0]
 		for i, v := range x.Data {
 			if v > 0 {
-				out.Data[i] = v
+				y.Data[i] = v
+			} else {
+				y.Data[i] = 0
 			}
 		}
-		return out
+		return
 	}
-	if cap(r.mask) < x.Len() {
-		r.mask = make([]bool, x.Len())
+	if cap(st.Mask) < x.Len() {
+		st.Mask = make([]bool, x.Len())
 	}
-	r.mask = r.mask[:x.Len()]
+	st.Mask = st.Mask[:x.Len()]
 	for i, v := range x.Data {
 		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
+			y.Data[i] = v
+			st.Mask[i] = true
 		} else {
-			r.mask[i] = false
+			y.Data[i] = 0
+			st.Mask[i] = false
 		}
 	}
-	return out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	if len(r.mask) != dout.Len() {
+	dx := tensor.New(dout.Shape...)
+	r.BackwardInto(&r.state, dx, dout)
+	return dx
+}
+
+// BackwardInto implements PlannedLayer.
+func (r *ReLU) BackwardInto(st *PlanState, dx, dout *tensor.Tensor) {
+	if len(st.Mask) != dout.Len() {
 		panic("nn: " + r.LayerName + " Backward without matching train-mode Forward")
 	}
-	dx := tensor.New(dout.Shape...)
 	for i, g := range dout.Data {
-		if r.mask[i] {
+		if st.Mask[i] {
 			dx.Data[i] = g
+		} else {
+			dx.Data[i] = 0
 		}
 	}
-	return dx
 }
 
 // FLOPs implements Layer.
@@ -81,7 +105,7 @@ type Dense struct {
 	LayerName    string
 	In, Out      int
 	Weight, Bias *Param
-	lastX        *tensor.Tensor
+	state        PlanState // legacy-path state (direct Forward/Backward)
 }
 
 // NewDense constructs a fully-connected layer with He-initialised weights.
@@ -115,33 +139,53 @@ func (d *Dense) OutShape(in []int) []int {
 	return []int{d.Out}
 }
 
+// Reserve implements PlannedLayer.
+func (d *Dense) Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool) {}
+
 // Forward implements Layer. x is [N, …] with per-sample size In.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape[0], d.Out)
+	d.ForwardInto(&d.state, out, x, train)
+	return out
+}
+
+// ForwardInto implements PlannedLayer. The GEMM's beta=0 overwrites every
+// element of y, so recycled destinations are safe.
+func (d *Dense) ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool) {
 	n := x.Shape[0]
-	if x.Len()/n != d.In {
-		panic(fmt.Sprintf("nn: %s got %d features per sample, want %d", d.LayerName, x.Len()/n, d.In))
+	if x.Len() != n*d.In {
+		panic(fmt.Sprintf("nn: %s got %d elements for batch %d, want %d features per sample", d.LayerName, x.Len(), n, d.In))
 	}
-	flat := x.Reshape(n, d.In)
-	out := tensor.New(n, d.Out)
-	// y (N×Out) = x (N×In) · Wᵀ (In×Out)
-	tensor.Gemm(false, true, n, d.Out, d.In, 1, flat.Data, d.Weight.W.Data, 0, out.Data)
+	// y (N×Out) = x (N×In) · Wᵀ (In×Out); x is used flat, whatever its
+	// nominal shape.
+	tensor.Gemm(false, true, n, d.Out, d.In, 1, x.Data, d.Weight.W.Data, 0, y.Data)
 	for s := 0; s < n; s++ {
-		row := out.Data[s*d.Out : (s+1)*d.Out]
+		row := y.Data[s*d.Out : (s+1)*d.Out]
 		for j := range row {
 			row[j] += d.Bias.W.Data[j]
 		}
 	}
 	if train {
-		d.lastX = flat
+		st.X = x
 	} else {
-		d.lastX = nil // inference: keep no backward state alive
+		st.X = nil // inference: keep no backward state alive
 	}
-	return out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	x := d.lastX
+	x := d.state.X
+	if x == nil {
+		panic("nn: " + d.LayerName + " Backward before Forward")
+	}
+	dx := tensor.New(x.Shape[0], d.In)
+	d.BackwardInto(&d.state, dx, dout)
+	return dx
+}
+
+// BackwardInto implements PlannedLayer.
+func (d *Dense) BackwardInto(st *PlanState, dx, dout *tensor.Tensor) {
+	x := st.X
 	if x == nil {
 		panic("nn: " + d.LayerName + " Backward before Forward")
 	}
@@ -156,9 +200,7 @@ func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx (N×In) = dout (N×Out) · W (Out×In)
-	dx := tensor.New(n, d.In)
 	tensor.Gemm(false, false, n, d.In, d.Out, 1, dout.Data, d.Weight.W.Data, 0, dx.Data)
-	return dx
 }
 
 // FLOPs implements Layer.

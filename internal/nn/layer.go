@@ -77,6 +77,65 @@ type Layer interface {
 	FLOPs(in []int) FlopCount
 }
 
+// PlanState is one layer's mutable execution state: the input saved for
+// backward, pooling/activation bookkeeping, and kernel scratch. The
+// destination-passing layer methods (PlannedLayer) read and write only the
+// state they are handed, never hidden layer fields, so the same layer — the
+// same weights — can execute under several states at once: each compiled
+// Plan owns one PlanState per layer, and the legacy Forward/Backward
+// wrappers run over a layer-internal state. Plan-based and direct execution
+// therefore never clobber each other's backward bookkeeping.
+type PlanState struct {
+	// X is the input tensor saved by a train-mode forward; backward reads
+	// it for weight gradients. Inference passes leave it nil (and Backward
+	// panics), which is what lets inference replicas drop every gradient
+	// byte — see Network.ReleaseGradients.
+	X *tensor.Tensor
+	// InShape is the input batch shape recorded by pooling layers.
+	InShape []int
+	// Col is im2col/lowering scratch; Dcol the data-gradient lowering
+	// scratch; Eval the batched-inference GEMM output scratch.
+	Col, Dcol, Eval []float32
+	// Mask is the ReLU activation mask; Argmax the max-pool winners.
+	Mask   []bool
+	Argmax []int32
+}
+
+// PlannedLayer is the destination-passing execution contract compiled plans
+// run on. ForwardInto and BackwardInto perform bitwise-identical arithmetic
+// to Forward and Backward — the legacy methods are now thin wrappers that
+// allocate the destination and delegate — but write into caller-owned
+// output tensors and keep all mutable state in the caller's PlanState.
+// Destinations may hold stale values: implementations fully overwrite (or
+// explicitly clear, for scatter-accumulate kernels) every element they own.
+type PlannedLayer interface {
+	Layer
+	// Reserve pre-sizes st's scratch for batches of up to n samples with
+	// per-sample input shape in, drawing float32 slabs from a (nil = the
+	// Go allocator). After Reserve, passes at or below that batch size
+	// perform no steady-state allocation.
+	Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool)
+	// ForwardInto computes y = layer(x). y must have the layer's output
+	// shape for x's batch size. With train=true, st retains what backward
+	// needs; with train=false, st keeps no reference to x.
+	ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool)
+	// BackwardInto computes dx from dout (shapes fixed by the preceding
+	// train-mode ForwardInto) and accumulates parameter gradients.
+	BackwardInto(st *PlanState, dx, dout *tensor.Tensor)
+}
+
+// scratch grows s to n floats, preferring an arena slab. The contents are
+// unspecified; callers treat scratch as write-before-read.
+func scratch(a *tensor.Arena, s []float32, n int) []float32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	if a != nil {
+		return a.Get(n)
+	}
+	return make([]float32, n)
+}
+
 // lane is the AVX-512 single-precision vector width used for the executed
 // flop estimate.
 const lane = 16

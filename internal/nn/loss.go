@@ -11,11 +11,22 @@ import (
 // mean loss over the batch and the gradient with respect to the logits
 // (softmax(x) − onehot(label), divided by batch size).
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape[0], logits.Shape[1])
+	loss := SoftmaxCrossEntropyInto(logits, labels, grad)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into
+// a caller-owned tensor of the logits' shape — the allocation-free form
+// training plans use. Every gradient element is overwritten.
+func SoftmaxCrossEntropyInto(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) float64 {
 	n, k := logits.Shape[0], logits.Shape[1]
 	if len(labels) != n {
 		panic("nn: SoftmaxCrossEntropy label count mismatch")
 	}
-	grad := tensor.New(n, k)
+	if grad.Len() != n*k {
+		panic("nn: SoftmaxCrossEntropy gradient size mismatch")
+	}
 	var loss float64
 	for s := 0; s < n; s++ {
 		row := logits.Data[s*k : (s+1)*k]
@@ -47,7 +58,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 			}
 		}
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }
 
 // SoftmaxProbs returns row-wise softmax probabilities, used at inference
@@ -101,10 +112,20 @@ func BCEWithLogits(x, t float32) (float64, float32) {
 // MSELoss returns mean((pred−target)²)/2 and the gradient (pred−target)/n.
 // Used for the climate decoder's reconstruction objective.
 func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	grad := tensor.New(pred.Shape...)
+	return MSELossInto(pred, target, grad), grad
+}
+
+// MSELossInto is MSELoss writing the gradient into a caller-owned tensor —
+// the allocation-free form training plans use. Every gradient element is
+// overwritten.
+func MSELossInto(pred, target, grad *tensor.Tensor) float64 {
 	if pred.Len() != target.Len() {
 		panic("nn: MSELoss size mismatch")
 	}
-	grad := tensor.New(pred.Shape...)
+	if grad.Len() != pred.Len() {
+		panic("nn: MSELoss gradient size mismatch")
+	}
 	n := float64(pred.Len())
 	var loss float64
 	invN := float32(1 / n)
@@ -113,7 +134,7 @@ func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 		loss += float64(d) * float64(d)
 		grad.Data[i] = d * invN
 	}
-	return loss / (2 * n), grad
+	return loss / (2 * n)
 }
 
 // SmoothL1 returns the Huber loss of residual r (δ=1) and its derivative.

@@ -66,6 +66,14 @@ func (n *Network) Infer(x *tensor.Tensor) *tensor.Tensor {
 // inference replica's parameter memory. The network can no longer be
 // trained: Backward will panic, while ZeroGrad and ScaleGrad become no-ops
 // for released parameters.
+//
+// Interaction with compiled plans: an inference plan (Compile with
+// train=false) holds no gradient or backward buffers, so it compiles and
+// runs on a released network — this is the serving configuration. Compiling
+// a *training* plan over a released network panics at Compile time, and a
+// training plan whose network is released mid-flight panics at the next
+// Backward with the offending parameter's name, rather than dereferencing
+// a nil gradient deep inside a kernel.
 func (n *Network) ReleaseGradients() {
 	ReleaseGradients(n.Params())
 }
@@ -141,7 +149,15 @@ func (n *Network) TrainableLayers() []Layer {
 // ZeroGrad clears every parameter gradient accumulator. Released gradients
 // (see ReleaseGradients) are skipped.
 func (n *Network) ZeroGrad() {
-	for _, p := range n.Params() {
+	ZeroGrads(n.Params())
+}
+
+// ZeroGrads clears a parameter set's gradient accumulators, skipping
+// released ones. Replicas cache their parameter slice and call this form so
+// per-iteration gradient zeroing performs no allocation (Network.ZeroGrad
+// rebuilds the slice each call).
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
 		if p.Grad != nil {
 			p.Grad.Zero()
 		}

@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"fmt"
+
+	"deep15pf/internal/tensor"
+)
+
+// Plan is a compiled execution schedule for a Network at a fixed maximum
+// batch size: every activation, every piece of kernel scratch and — for
+// training plans — every input-gradient buffer is allocated from an arena
+// once, at compile time. Steady-state Forward (and Backward) then run with
+// zero allocation, producing bitwise-identical results to the unplanned
+// Network.Forward/Backward path: the layers execute the very same
+// destination-passing kernels, only the destination ownership changes.
+//
+// This is the repository's version of the execution-plan/memory-plan stage
+// every production framework runs before its hot loop (the paper's
+// Intel-Caffe stack gets it from Caffe's preallocated blobs): serving
+// replicas and training replicas both pay shape-dependent setup once and
+// then never touch the allocator, which removes GC pressure from the two
+// paths the ROADMAP cares about most.
+//
+// A Plan is single-goroutine, like the replica that owns it. Tensors
+// returned by Forward/Backward are plan-owned views, valid only until the
+// next call; callers that need to retain results must copy.
+type Plan struct {
+	net      *Network
+	capacity int
+	train    bool
+	arena    *tensor.Arena
+	steps    []planStep
+	params   []*Param // cached: Backward re-checks gradient presence
+	n        int      // batch size of the most recent Forward
+}
+
+type planStep struct {
+	layer    PlannedLayer
+	st       PlanState
+	inShape  []int // per-sample
+	outShape []int // per-sample
+	inPer    int   // per-sample input elements
+	outPer   int   // per-sample output elements
+	ySlab    []float32
+	y        *tensor.Tensor // batch view over ySlab
+	dxSlab   []float32      // training plans only
+	dx       *tensor.Tensor
+}
+
+// Compile builds a plan for batches of up to capacity samples. A training
+// plan (train=true) additionally preallocates input-gradient buffers and
+// retains per-layer backward state; compiling one over a network whose
+// gradient accumulators were released panics — release gradients only on
+// inference replicas (see Network.ReleaseGradients). arena == nil gives the
+// plan a private arena; passing a shared arena lets several plans (e.g. a
+// serving replica's per-batch-size cache) recycle each other's slabs.
+func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan {
+	if capacity < 1 {
+		panic("nn: plan capacity must be positive")
+	}
+	if arena == nil {
+		arena = tensor.NewArena()
+	}
+	p := &Plan{net: net, capacity: capacity, train: train, arena: arena, params: net.Params()}
+	if train {
+		for _, prm := range p.params {
+			if prm.Grad == nil {
+				panic(fmt.Sprintf("nn: training plan for %s: parameter %s has released gradients (ReleaseGradients); compile an inference plan instead", net.NetName, prm.Name))
+			}
+		}
+	}
+	in := net.InShape
+	p.steps = make([]planStep, len(net.Layers))
+	for i, l := range net.Layers {
+		pl, ok := l.(PlannedLayer)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %s (%T) does not implement PlannedLayer; cannot compile a plan", l.Name(), l))
+		}
+		out := l.OutShape(in)
+		s := &p.steps[i]
+		s.layer = pl
+		s.inShape = append([]int(nil), in...)
+		s.outShape = append([]int(nil), out...)
+		s.inPer = shapeElems(in)
+		s.outPer = shapeElems(out)
+		s.ySlab = arena.Get(capacity * s.outPer)
+		s.y = tensor.FromSlice(s.ySlab, append([]int{capacity}, out...)...)
+		if train {
+			s.dxSlab = arena.Get(capacity * s.inPer)
+			s.dx = tensor.FromSlice(s.dxSlab, append([]int{capacity}, in...)...)
+		}
+		pl.Reserve(&s.st, arena, capacity, s.inShape, train)
+		in = out
+	}
+	return p
+}
+
+// Capacity returns the largest batch the plan can run.
+func (p *Plan) Capacity() int { return p.capacity }
+
+// Training reports whether the plan retains backward state.
+func (p *Plan) Training() bool { return p.train }
+
+// OutShape returns the per-sample output shape.
+func (p *Plan) OutShape() []int {
+	if len(p.steps) == 0 {
+		return append([]int(nil), p.net.InShape...)
+	}
+	return append([]int(nil), p.steps[len(p.steps)-1].outShape...)
+}
+
+// view repoints t at the first n samples of its slab. The in-place resize
+// is what keeps variable batch sizes allocation-free.
+func view(t *tensor.Tensor, slab []float32, n, per int) *tensor.Tensor {
+	t.Shape[0] = n
+	t.Data = slab[:n*per]
+	return t
+}
+
+// Forward runs the network over x ([N, InShape...], N ≤ capacity) and
+// returns the plan-owned output, valid until the next Forward. A training
+// plan runs train-mode layers (retaining backward state and x itself until
+// the next call); an inference plan runs the eval datapath and retains
+// nothing.
+func (p *Plan) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != len(p.net.InShape)+1 {
+		panic(fmt.Sprintf("nn: plan Forward rank %d input, want batch + %v", x.Rank(), p.net.InShape))
+	}
+	n := x.Shape[0]
+	if n < 1 || n > p.capacity {
+		panic(fmt.Sprintf("nn: plan Forward batch %d outside [1,%d]", n, p.capacity))
+	}
+	for i, d := range p.net.InShape {
+		if x.Shape[i+1] != d {
+			panic(fmt.Sprintf("nn: plan Forward per-sample shape %v, want %v", x.Shape[1:], p.net.InShape))
+		}
+	}
+	p.n = n
+	cur := x
+	for i := range p.steps {
+		s := &p.steps[i]
+		y := view(s.y, s.ySlab, n, s.outPer)
+		s.layer.ForwardInto(&s.st, y, cur, p.train)
+		cur = y
+	}
+	return cur
+}
+
+// Backward propagates dout ([N, OutShape...] matching the last Forward)
+// through a training plan, accumulating parameter gradients, and returns
+// the plan-owned gradient with respect to the network input (valid until
+// the next Backward).
+func (p *Plan) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if !p.train {
+		panic("nn: Backward on an inference plan")
+	}
+	if p.n == 0 {
+		panic("nn: plan Backward before Forward")
+	}
+	for _, prm := range p.params {
+		if prm.Grad == nil {
+			panic(fmt.Sprintf("nn: plan Backward: parameter %s gradients were released mid-training", prm.Name))
+		}
+	}
+	last := &p.steps[len(p.steps)-1]
+	if dout.Len() != p.n*last.outPer {
+		panic(fmt.Sprintf("nn: plan Backward gradient size %d, want %d", dout.Len(), p.n*last.outPer))
+	}
+	cur := dout
+	for i := len(p.steps) - 1; i >= 0; i-- {
+		s := &p.steps[i]
+		dx := view(s.dx, s.dxSlab, p.n, s.inPer)
+		s.layer.BackwardInto(&s.st, dx, cur)
+		cur = dx
+	}
+	return cur
+}
+
+// Release returns the plan's activation, gradient and scratch slabs to its
+// arena. The plan must not be used afterwards; a plan cache calls this when
+// a bucket is evicted so a successor plan can reuse the memory.
+func (p *Plan) Release() {
+	for i := range p.steps {
+		s := &p.steps[i]
+		if s.ySlab != nil {
+			p.arena.Put(s.ySlab)
+			s.ySlab, s.y = nil, nil
+		}
+		if s.dxSlab != nil {
+			p.arena.Put(s.dxSlab)
+			s.dxSlab, s.dx = nil, nil
+		}
+		p.arena.Reclaim(s.st.Col)
+		p.arena.Reclaim(s.st.Dcol)
+		p.arena.Reclaim(s.st.Eval)
+		s.st = PlanState{}
+	}
+	p.n = 0
+}
+
+// batchBucket rounds a batch size up to the plan-cache bucket: the next
+// power of two. Serving batch sizes vary request by request; bucketing
+// bounds a replica's cache at log2(maxBatch) plans while every plan still
+// executes the exact batch it is handed (capacity is a ceiling, not a pad —
+// no wasted compute).
+func batchBucket(n int) int {
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// PlanCache lazily compiles and reuses plans over one shared arena. It is
+// the shape adapters sit on, with a keying policy per side of the
+// train/serve divide: inference caches bucket batch sizes to the next
+// power of two (the batcher produces variable sizes; log2(maxBatch) plans
+// cover them all), while training caches compile at the exact batch size —
+// shard sizes are stable for a whole run (see core.Replica), so bucketing
+// would only pad every activation and gradient slab by up to 2x for
+// nothing. Like Plan, a cache is single-goroutine.
+type PlanCache struct {
+	net   *Network
+	train bool
+	arena *tensor.Arena
+	plans map[int]*Plan
+}
+
+// NewPlanCache builds an empty cache. arena == nil creates a private one.
+func NewPlanCache(net *Network, train bool, arena *tensor.Arena) *PlanCache {
+	if arena == nil {
+		arena = tensor.NewArena()
+	}
+	return &PlanCache{net: net, train: train, arena: arena, plans: make(map[int]*Plan)}
+}
+
+// Plan returns the compiled plan covering batch (exact capacity for
+// training caches, power-of-two bucket for inference), compiling it on
+// first use.
+func (pc *PlanCache) Plan(batch int) *Plan {
+	if batch < 1 {
+		panic("nn: plan cache batch must be positive")
+	}
+	b := batch
+	if !pc.train {
+		b = batchBucket(batch)
+	}
+	if p, ok := pc.plans[b]; ok {
+		return p
+	}
+	p := Compile(pc.net, b, pc.train, pc.arena)
+	pc.plans[b] = p
+	return p
+}
+
+// Forward routes x through the plan for its batch size.
+func (pc *PlanCache) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return pc.Plan(x.Shape[0]).Forward(x)
+}
+
+// Arena exposes the cache's arena so sibling plans (e.g. a model's head
+// layers) can share slabs.
+func (pc *PlanCache) Arena() *tensor.Arena { return pc.arena }
+
+// Release releases every cached plan and empties the cache.
+func (pc *PlanCache) Release() {
+	for b, p := range pc.plans {
+		p.Release()
+		delete(pc.plans, b)
+	}
+}
+
+// Len returns the number of compiled plans (one per batch-size bucket).
+func (pc *PlanCache) Len() int { return len(pc.plans) }

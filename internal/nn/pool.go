@@ -12,8 +12,7 @@ import (
 type MaxPool2D struct {
 	LayerName string
 	K, Stride int
-	argmax    []int32
-	inShape   []int
+	state     PlanState // legacy-path state (direct Forward/Backward)
 }
 
 // NewMaxPool2D constructs a max-pooling layer.
@@ -35,117 +34,164 @@ func (p *MaxPool2D) OutShape(in []int) []int {
 	return []int{in[0], tensor.ConvOut(in[1], p.K, p.Stride, 0), tensor.ConvOut(in[2], p.K, p.Stride, 0)}
 }
 
+// Reserve implements PlannedLayer.
+func (p *MaxPool2D) Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool) {
+	if train {
+		out := p.OutShape(in)
+		if need := n * out[0] * out[1] * out[2]; cap(st.Argmax) < need {
+			st.Argmax = make([]int32, need)
+		}
+	}
+}
+
 // Forward implements Layer. Eval-mode passes skip the argmax bookkeeping
 // Backward routes gradients through.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape[0], x.Shape[1],
+		tensor.ConvOut(x.Shape[2], p.K, p.Stride, 0),
+		tensor.ConvOut(x.Shape[3], p.K, p.Stride, 0))
+	p.ForwardInto(&p.state, out, x, train)
+	return out
+}
+
+// ForwardInto implements PlannedLayer.
+func (p *MaxPool2D) ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh := tensor.ConvOut(h, p.K, p.Stride, 0)
 	ow := tensor.ConvOut(w, p.K, p.Stride, 0)
-	out := tensor.New(n, c, oh, ow)
 	if !train {
-		p.forwardEval(x, out, n, c, h, w, oh, ow)
-		return out
+		p.forwardEval(st, y, x, n, c, h, w, oh, ow)
+		return
 	}
-	if cap(p.argmax) < out.Len() {
-		p.argmax = make([]int32, out.Len())
+	if cap(st.Argmax) < y.Len() {
+		st.Argmax = make([]int32, y.Len())
 	}
-	p.argmax = p.argmax[:out.Len()]
-	p.inShape = []int{n, c, h, w}
+	st.Argmax = st.Argmax[:y.Len()]
+	st.InShape = append(st.InShape[:0], n, c, h, w)
 	planes := n * c
+	if tensor.SerialFor(planes) {
+		p.trainPlanes(0, planes, x.Data, y.Data, st.Argmax, h, w, oh, ow)
+		return
+	}
+	xd, yd, amx := x.Data, y.Data, st.Argmax
 	tensor.ParallelFor(planes, func(lo, hi int) {
-		for pl := lo; pl < hi; pl++ {
-			src := x.Data[pl*h*w : (pl+1)*h*w]
-			dst := out.Data[pl*oh*ow : (pl+1)*oh*ow]
-			amx := p.argmax[pl*oh*ow : (pl+1)*oh*ow]
-			di := 0
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := float32(math.Inf(-1))
-					bestIdx := int32(0)
-					for ky := 0; ky < p.K; ky++ {
-						iy := oy*p.Stride + ky
-						if iy >= h {
+		p.trainPlanes(lo, hi, xd, yd, amx, h, w, oh, ow)
+	})
+}
+
+// trainPlanes pools planes [lo,hi) recording argmax winners.
+func (p *MaxPool2D) trainPlanes(lo, hi int, xd, yd []float32, argmax []int32, h, w, oh, ow int) {
+	for pl := lo; pl < hi; pl++ {
+		src := xd[pl*h*w : (pl+1)*h*w]
+		dst := yd[pl*oh*ow : (pl+1)*oh*ow]
+		amx := argmax[pl*oh*ow : (pl+1)*oh*ow]
+		di := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				bestIdx := int32(0)
+				for ky := 0; ky < p.K; ky++ {
+					iy := oy*p.Stride + ky
+					if iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.K; kx++ {
+						ix := ox*p.Stride + kx
+						if ix >= w {
 							continue
 						}
-						for kx := 0; kx < p.K; kx++ {
-							ix := ox*p.Stride + kx
-							if ix >= w {
-								continue
-							}
-							v := src[iy*w+ix]
-							if v > best {
-								best = v
-								bestIdx = int32(iy*w + ix)
-							}
+						v := src[iy*w+ix]
+						if v > best {
+							best = v
+							bestIdx = int32(iy*w + ix)
 						}
 					}
-					dst[di] = best
-					amx[di] = bestIdx
-					di++
 				}
+				dst[di] = best
+				amx[di] = bestIdx
+				di++
 			}
 		}
-	})
-	return out
+	}
 }
 
 // forwardEval is max pooling without argmax recording: the winning value is
 // identical (same comparison order), only the backward bookkeeping is
 // dropped. Backward panics until the next train-mode Forward.
-func (p *MaxPool2D) forwardEval(x, out *tensor.Tensor, n, c, h, w, oh, ow int) {
-	p.inShape = nil
-	p.argmax = p.argmax[:0]
+func (p *MaxPool2D) forwardEval(st *PlanState, y, x *tensor.Tensor, n, c, h, w, oh, ow int) {
+	st.InShape = st.InShape[:0]
+	st.Argmax = st.Argmax[:0]
 	planes := n * c
+	if tensor.SerialFor(planes) {
+		p.evalPlanes(0, planes, x.Data, y.Data, h, w, oh, ow)
+		return
+	}
+	xd, yd := x.Data, y.Data
 	tensor.ParallelFor(planes, func(lo, hi int) {
-		for pl := lo; pl < hi; pl++ {
-			src := x.Data[pl*h*w : (pl+1)*h*w]
-			dst := out.Data[pl*oh*ow : (pl+1)*oh*ow]
-			di := 0
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					best := float32(math.Inf(-1))
-					for ky := 0; ky < p.K; ky++ {
-						iy := oy*p.Stride + ky
-						if iy >= h {
+		p.evalPlanes(lo, hi, xd, yd, h, w, oh, ow)
+	})
+}
+
+// evalPlanes pools planes [lo,hi) without argmax bookkeeping.
+func (p *MaxPool2D) evalPlanes(lo, hi int, xd, yd []float32, h, w, oh, ow int) {
+	for pl := lo; pl < hi; pl++ {
+		src := xd[pl*h*w : (pl+1)*h*w]
+		dst := yd[pl*oh*ow : (pl+1)*oh*ow]
+		di := 0
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(math.Inf(-1))
+				for ky := 0; ky < p.K; ky++ {
+					iy := oy*p.Stride + ky
+					if iy >= h {
+						continue
+					}
+					row := src[iy*w : iy*w+w]
+					for kx := 0; kx < p.K; kx++ {
+						ix := ox*p.Stride + kx
+						if ix >= w {
 							continue
 						}
-						row := src[iy*w : iy*w+w]
-						for kx := 0; kx < p.K; kx++ {
-							ix := ox*p.Stride + kx
-							if ix >= w {
-								continue
-							}
-							if v := row[ix]; v > best {
-								best = v
-							}
+						if v := row[ix]; v > best {
+							best = v
 						}
 					}
-					dst[di] = best
-					di++
 				}
+				dst[di] = best
+				di++
 			}
 		}
-	})
+	}
 }
 
 // Backward implements Layer: routes gradients to the argmax positions.
 func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	if p.inShape == nil {
+	if len(p.state.InShape) == 0 {
 		panic("nn: " + p.LayerName + " Backward before Forward")
 	}
-	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	s := p.state.InShape
+	dx := tensor.New(s[0], s[1], s[2], s[3])
+	p.BackwardInto(&p.state, dx, dout)
+	return dx
+}
+
+// BackwardInto implements PlannedLayer.
+func (p *MaxPool2D) BackwardInto(st *PlanState, dx, dout *tensor.Tensor) {
+	if len(st.InShape) == 0 {
+		panic("nn: " + p.LayerName + " Backward before Forward")
+	}
+	n, c, h, w := st.InShape[0], st.InShape[1], st.InShape[2], st.InShape[3]
 	oh, ow := dout.Shape[2], dout.Shape[3]
-	dx := tensor.New(n, c, h, w)
+	clear(dx.Data)
 	planes := n * c
 	for pl := 0; pl < planes; pl++ {
 		dsrc := dout.Data[pl*oh*ow : (pl+1)*oh*ow]
 		ddst := dx.Data[pl*h*w : (pl+1)*h*w]
-		amx := p.argmax[pl*oh*ow : (pl+1)*oh*ow]
+		amx := st.Argmax[pl*oh*ow : (pl+1)*oh*ow]
 		for i, g := range dsrc {
 			ddst[amx[i]] += g
 		}
 	}
-	return dx
 }
 
 // FLOPs implements Layer. Pooling does comparisons, not flops; we count one
@@ -162,7 +208,7 @@ func (p *MaxPool2D) FLOPs(in []int) FlopCount {
 // expensive to synchronise (§I contribution list).
 type GlobalAvgPool struct {
 	LayerName string
-	inShape   []int
+	state     PlanState // legacy-path state (direct Forward/Backward)
 }
 
 // NewGlobalAvgPool constructs a global-average-pooling layer.
@@ -182,10 +228,19 @@ func (p *GlobalAvgPool) OutShape(in []int) []int {
 	return []int{in[0]}
 }
 
+// Reserve implements PlannedLayer.
+func (p *GlobalAvgPool) Reserve(st *PlanState, a *tensor.Arena, n int, in []int, train bool) {}
+
 // Forward implements Layer.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape[0], x.Shape[1])
+	p.ForwardInto(&p.state, out, x, train)
+	return out
+}
+
+// ForwardInto implements PlannedLayer.
+func (p *GlobalAvgPool) ForwardInto(st *PlanState, y, x *tensor.Tensor, train bool) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(n, c)
 	inv := 1 / float32(h*w)
 	for pl := 0; pl < n*c; pl++ {
 		src := x.Data[pl*h*w : (pl+1)*h*w]
@@ -193,16 +248,22 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		for _, v := range src {
 			sum += v
 		}
-		out.Data[pl] = sum * inv
+		y.Data[pl] = sum * inv
 	}
-	p.inShape = []int{n, c, h, w}
-	return out
+	st.InShape = append(st.InShape[:0], n, c, h, w)
 }
 
 // Backward implements Layer: spreads each gradient uniformly over the plane.
 func (p *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
-	dx := tensor.New(n, c, h, w)
+	s := p.state.InShape
+	dx := tensor.New(s[0], s[1], s[2], s[3])
+	p.BackwardInto(&p.state, dx, dout)
+	return dx
+}
+
+// BackwardInto implements PlannedLayer.
+func (p *GlobalAvgPool) BackwardInto(st *PlanState, dx, dout *tensor.Tensor) {
+	n, c, h, w := st.InShape[0], st.InShape[1], st.InShape[2], st.InShape[3]
 	inv := 1 / float32(h*w)
 	for pl := 0; pl < n*c; pl++ {
 		g := dout.Data[pl] * inv
@@ -211,7 +272,6 @@ func (p *GlobalAvgPool) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			dst[i] = g
 		}
 	}
-	return dx
 }
 
 // FLOPs implements Layer.

@@ -37,6 +37,18 @@ func newMetrics() *metrics {
 	return &metrics{start: time.Now(), lat: make([]float64, 0, 1024)}
 }
 
+// reset clears every counter and the latency reservoir and restarts the
+// wall clock, so the next snapshot covers only what follows.
+func (m *metrics) reset() {
+	m.mu.Lock()
+	m.start = time.Now()
+	m.requests, m.batches, m.maxBatch = 0, 0, 0
+	m.inferSec, m.flops, m.peakRate = 0, 0, 0
+	m.lat = m.lat[:0]
+	m.latNext = 0
+	m.mu.Unlock()
+}
+
 // recordBatch accounts one completed inference batch and its members'
 // end-to-end latencies (seconds).
 func (m *metrics) recordBatch(size int, infer time.Duration, flops float64, lats []float64) {

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"path/filepath"
+	"testing"
+
+	"deep15pf/internal/climate"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// loadPair loads the same checkpoint twice — once with planning (the
+// default) and once with the compiled-plan path disabled — and mints a
+// replica from each.
+func loadPair(t *testing.T, r *Registry, arch, path string) (planned, unplanned Model) {
+	t.Helper()
+	lmP, err := r.Load(arch, path, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmU, err := r.Load(arch, path, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lmU.SetPlanning(false)
+	if planned, err = lmP.NewReplica(); err != nil {
+		t.Fatal(err)
+	}
+	if unplanned, err = lmU.NewReplica(); err != nil {
+		t.Fatal(err)
+	}
+	return planned, unplanned
+}
+
+// TestPlannedHEPInferBitwiseIdentical is the serving half of the
+// acceptance criterion: planned and unplanned forward must produce
+// bitwise-identical logits on the HEP model, across the batch sizes a
+// dynamic batcher actually produces.
+func TestPlannedHEPInferBitwiseIdentical(t *testing.T) {
+	net, _ := trainTinyHEP(t, 3)
+	path := saveTinyHEP(t, net)
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+	planned, unplanned := loadPair(t, r, "tiny", path)
+
+	rng := tensor.NewRNG(91)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		x := tensor.New(append([]int{n}, planned.InShape()...)...)
+		rng.FillNorm(x, 0, 1)
+		want := unplanned.Infer(x.Clone())
+		got := planned.Infer(x)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("batch %d: logit %d diverges: %v vs %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestPlannedClimateInferBitwiseIdentical covers the branching climate
+// replica (encoder plan + three head plans + packed response).
+func TestPlannedClimateInferBitwiseIdentical(t *testing.T) {
+	cfg := climate.ModelConfig{
+		Name: "tiny-climate", Size: 16,
+		EncChannels: []int{6, 8}, EncStrides: []int{2, 2},
+		DecChannels: []int{6, climate.NumChannels}, WithDecoder: true,
+	}
+	net := climate.BuildNet(cfg, tensor.NewRNG(2))
+	path := filepath.Join(t.TempDir(), "climate.d15w")
+	if err := nn.SaveFile(path, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	RegisterClimate(r, "tiny-climate", cfg)
+	planned, unplanned := loadPair(t, r, "tiny-climate", path)
+
+	rng := tensor.NewRNG(93)
+	for _, n := range []int{1, 3, 4} {
+		x := tensor.New(append([]int{n}, planned.InShape()...)...)
+		rng.FillNorm(x, 0, 1)
+		want := unplanned.Infer(x.Clone())
+		got := planned.Infer(x)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("batch %d: output %d diverges: %v vs %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestPlannedInferAllocsBounded pins the serving-path allocation win: a
+// warmed planned replica's Infer allocates only the response tensor it
+// hands the worker (3 objects: tensor, shape, data), independent of model
+// depth, where the unplanned path allocates per layer.
+func TestPlannedInferAllocsBounded(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	net, _ := trainTinyHEP(t, 3)
+	path := saveTinyHEP(t, net)
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+	planned, unplanned := loadPair(t, r, "tiny", path)
+
+	rng := tensor.NewRNG(95)
+	x := tensor.New(append([]int{8}, planned.InShape()...)...)
+	rng.FillNorm(x, 0, 1)
+	planned.Infer(x) // warm: compiles the batch-8 plan
+	got := testing.AllocsPerRun(50, func() { planned.Infer(x) })
+	if got > 3 {
+		t.Fatalf("warmed planned Infer allocates %v objects/op, want <= 3 (the response tensor)", got)
+	}
+	legacy := testing.AllocsPerRun(50, func() { unplanned.Infer(x) })
+	if legacy <= got {
+		t.Fatalf("unplanned path allocates %v/op, planned %v/op — plans should strictly reduce allocations", legacy, got)
+	}
+}

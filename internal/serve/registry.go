@@ -103,8 +103,9 @@ type LoadedModel struct {
 	ModelArch string
 	Prec      Precision
 
-	build Builder
-	ckpt  []byte
+	build   Builder
+	ckpt    []byte
+	noPlans bool
 
 	mu     sync.Mutex
 	cached Model // the validation replica from Load, handed to the first NewReplica
@@ -113,6 +114,23 @@ type LoadedModel struct {
 	flopsPerSample    int64
 	paramBytes        int64
 }
+
+// SetPlanning switches compiled-execution-plan use for replicas minted
+// after the call (the float32 path; the int8 datapath is always layer-by-
+// layer so it can round-trip activations between layers). Planning is on
+// by default; the off switch exists for A/B measurement — the serving
+// benchmark drives the same load through both settings to report the
+// allocation and throughput delta.
+func (m *LoadedModel) SetPlanning(enabled bool) {
+	m.mu.Lock()
+	m.noPlans = !enabled
+	m.cached = nil // the validation replica predates the setting
+	m.mu.Unlock()
+}
+
+// planControl is implemented by replica adapters whose inference path can
+// run compiled plans.
+type planControl interface{ setPlanning(bool) }
 
 // Load reads a D15W checkpoint from path and binds it to the named
 // architecture, validating the fit by instantiating one replica. The
@@ -155,6 +173,7 @@ func (m *LoadedModel) NewReplica() (Model, error) {
 		m.mu.Unlock()
 		return c, nil
 	}
+	noPlans := m.noPlans
 	m.mu.Unlock()
 
 	model := m.build(m.Prec)
@@ -167,7 +186,13 @@ func (m *LoadedModel) NewReplica() (Model, error) {
 			quant.RoundTripTensor(p.W, rng, true)
 		}
 	}
+	// Gradients are dropped before any plan compiles: replicas hold
+	// inference plans only, which by construction retain no gradient or
+	// backward buffers (see nn.Compile).
 	nn.ReleaseGradients(model.Params())
+	if pc, ok := model.(planControl); ok {
+		pc.setPlanning(!noPlans)
+	}
 	return model, nil
 }
 
@@ -187,16 +212,19 @@ func (m *LoadedModel) ParamBytes() int64 { return m.paramBytes }
 // ---- nn.Network adapter (HEP classifier) ----
 
 type netModel struct {
-	arch string
-	net  *nn.Network
-	prec Precision
-	rng  *tensor.RNG // activation rounding noise (Int8 only)
+	arch     string
+	net      *nn.Network
+	prec     Precision
+	rng      *tensor.RNG // activation rounding noise (Int8 only)
+	planning bool
+	plans    *nn.PlanCache // lazily built; one plan per batch-size bucket
 }
 
 func newNetModel(arch string, net *nn.Network, prec Precision) *netModel {
-	return &netModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 1)}
+	return &netModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 1), planning: true}
 }
 
+func (m *netModel) setPlanning(on bool) { m.planning = on }
 func (m *netModel) Arch() string        { return m.arch }
 func (m *netModel) InShape() []int      { return append([]int(nil), m.net.InShape...) }
 func (m *netModel) OutShape() []int     { return m.net.OutShape() }
@@ -206,22 +234,36 @@ func (m *netModel) FwdFLOPsPerSample() int64 {
 }
 
 func (m *netModel) Infer(x *tensor.Tensor) *tensor.Tensor {
-	if m.prec != Int8 {
+	if m.prec == Int8 {
+		// Int8 activation path: the input and every parameterised layer's
+		// output round-trip through the int8 codec, so each conv/dense
+		// consumes and produces exactly the values an int8 datapath would.
+		// Activation-only layers (ReLU, pooling) pass int8-representable
+		// values through unchanged, so re-rounding them would be a no-op.
+		// The path runs layer by layer to interpose the codec, so it stays
+		// on the unplanned datapath.
+		quant.RoundTripTensor(x, m.rng, true)
+		for _, l := range m.net.Layers {
+			x = l.Forward(x, false)
+			if len(l.Params()) > 0 {
+				quant.RoundTripTensor(x, m.rng, true)
+			}
+		}
+		return x
+	}
+	if !m.planning {
 		return m.net.Infer(x)
 	}
-	// Int8 activation path: the input and every parameterised layer's
-	// output round-trip through the int8 codec, so each conv/dense
-	// consumes and produces exactly the values an int8 datapath would.
-	// Activation-only layers (ReLU, pooling) pass int8-representable
-	// values through unchanged, so re-rounding them would be a no-op.
-	quant.RoundTripTensor(x, m.rng, true)
-	for _, l := range m.net.Layers {
-		x = l.Forward(x, false)
-		if len(l.Params()) > 0 {
-			quant.RoundTripTensor(x, m.rng, true)
-		}
+	// Planned float32 path: the replica keeps one compiled plan per
+	// batch-size bucket the batcher produces; a warmed plan forward
+	// allocates nothing. The plan owns its output, so the response the
+	// worker may slice into per-request views is copied out — one
+	// allocation per batch, same as the legacy path's output tensor, with
+	// every per-layer allocation gone.
+	if m.plans == nil {
+		m.plans = nn.NewPlanCache(m.net, false, nil)
 	}
-	return x
+	return m.plans.Forward(x).Clone()
 }
 
 // ---- climate.Net adapter (extreme-weather detector) ----
@@ -231,16 +273,21 @@ func (m *netModel) Infer(x *tensor.Tensor) *tensor.Tensor {
 const climateOutChannels = 1 + int(climate.NumClasses) + 4
 
 type climateModel struct {
-	arch string
-	net  *climate.Net
-	prec Precision
-	rng  *tensor.RNG
+	arch     string
+	net      *climate.Net
+	prec     Precision
+	rng      *tensor.RNG
+	planning bool
+	// Served inference is encoder + three heads; each gets a plan cache
+	// over one shared arena so the per-batch-size buckets recycle slabs.
+	encPlans, confPlans, classPlans, boxPlans *nn.PlanCache
 }
 
 func newClimateModel(arch string, net *climate.Net, prec Precision) *climateModel {
-	return &climateModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 2)}
+	return &climateModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 2), planning: true}
 }
 
+func (m *climateModel) setPlanning(on bool) { m.planning = on }
 func (m *climateModel) Arch() string        { return m.arch }
 func (m *climateModel) InShape() []int      { return append([]int(nil), m.net.Encoder.InShape...) }
 func (m *climateModel) Params() []*nn.Param { return m.net.Params() }
@@ -268,17 +315,38 @@ func (m *climateModel) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if m.prec == Int8 {
 		quant.RoundTripTensor(x, m.rng, true)
 	}
-	feat := m.net.Encoder.Forward(x, false)
-	if m.prec == Int8 {
-		quant.RoundTripTensor(feat, m.rng, true)
-	}
-	conf := m.net.ConfHead.Forward(feat, false)
-	class := m.net.ClassHead.Forward(feat, false)
-	box := m.net.BoxHead.Forward(feat, false)
-	if m.prec == Int8 {
-		quant.RoundTripTensor(conf, m.rng, true)
-		quant.RoundTripTensor(class, m.rng, true)
-		quant.RoundTripTensor(box, m.rng, true)
+	var feat, conf, class, box *tensor.Tensor
+	if m.planning && m.prec != Int8 {
+		// Planned path: encoder and heads each run a per-batch-size plan
+		// over a shared arena. Only the packed response below allocates.
+		if m.encPlans == nil {
+			m.encPlans = nn.NewPlanCache(m.net.Encoder, false, nil)
+			arena := m.encPlans.Arena()
+			featShape := m.net.Encoder.OutShape()
+			head := func(name string, l nn.Layer) *nn.PlanCache {
+				return nn.NewPlanCache(nn.NewNetwork(m.arch+"-"+name+"-plan", featShape...).Add(l), false, arena)
+			}
+			m.confPlans = head("conf", m.net.ConfHead)
+			m.classPlans = head("class", m.net.ClassHead)
+			m.boxPlans = head("box", m.net.BoxHead)
+		}
+		feat = m.encPlans.Forward(x)
+		conf = m.confPlans.Forward(feat)
+		class = m.classPlans.Forward(feat)
+		box = m.boxPlans.Forward(feat)
+	} else {
+		feat = m.net.Encoder.Forward(x, false)
+		if m.prec == Int8 {
+			quant.RoundTripTensor(feat, m.rng, true)
+		}
+		conf = m.net.ConfHead.Forward(feat, false)
+		class = m.net.ClassHead.Forward(feat, false)
+		box = m.net.BoxHead.Forward(feat, false)
+		if m.prec == Int8 {
+			quant.RoundTripTensor(conf, m.rng, true)
+			quant.RoundTripTensor(class, m.rng, true)
+			quant.RoundTripTensor(box, m.rng, true)
+		}
 	}
 
 	n := x.Shape[0]

@@ -137,6 +137,13 @@ func (s *Server) Submit(x *tensor.Tensor) (*tensor.Tensor, error) {
 // Stats snapshots the serving record so far.
 func (s *Server) Stats() Stats { return s.metrics.snapshot() }
 
+// ResetStats clears the serving record — counters and the latency
+// reservoir — and restarts the stats wall clock. Benchmarks call it
+// between warmup and measurement so quantiles cover only steady state
+// (warmup holds the first-request plan compiles, which would otherwise
+// pollute the tail).
+func (s *Server) ResetStats() { s.metrics.reset() }
+
 // Model returns the loaded model this server serves.
 func (s *Server) Model() *LoadedModel { return s.model }
 

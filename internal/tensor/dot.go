@@ -1,0 +1,77 @@
+package tensor
+
+// Single-precision dot product kernel, the inner operation of the gemmNT
+// and gemmTT transpose cases (the axpy kernel covers gemmNN/gemmTN). On
+// amd64 with AVX2 it dispatches to a vector kernel; everywhere else the
+// generic loop below runs. As with axpy, the vector kernel uses separate
+// multiply and add instructions — never FMA — and the generic loop mirrors
+// the vector kernel's accumulator structure exactly: two groups of eight
+// independent lane accumulators (the kernel's two YMM registers), merged
+// and reduced by the same tree the assembly performs, then a sequential
+// scalar tail. Every dispatch choice therefore produces bitwise-identical
+// sums; no test or checkpoint can tell which machine computed a GEMM.
+
+// sdot is the active kernel: returns Σ x[i]*y[i] over i < len(x).
+// len(y) must be >= len(x). Set at init; see dot_amd64.go.
+var sdot = sdotGeneric
+
+func sdotGeneric(x, y []float32) float32 {
+	// s0..s7 and r0..r7 are the lanes of the vector kernel's two YMM
+	// accumulators. The float32 conversions force each product to round
+	// before the add, preventing the compiler from fusing into FMA on
+	// platforms where it otherwise would (see axpyGeneric).
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	var r0, r1, r2, r3, r4, r5, r6, r7 float32
+	j := 0
+	for ; j+16 <= len(x); j += 16 {
+		s0 += float32(x[j] * y[j])
+		s1 += float32(x[j+1] * y[j+1])
+		s2 += float32(x[j+2] * y[j+2])
+		s3 += float32(x[j+3] * y[j+3])
+		s4 += float32(x[j+4] * y[j+4])
+		s5 += float32(x[j+5] * y[j+5])
+		s6 += float32(x[j+6] * y[j+6])
+		s7 += float32(x[j+7] * y[j+7])
+		r0 += float32(x[j+8] * y[j+8])
+		r1 += float32(x[j+9] * y[j+9])
+		r2 += float32(x[j+10] * y[j+10])
+		r3 += float32(x[j+11] * y[j+11])
+		r4 += float32(x[j+12] * y[j+12])
+		r5 += float32(x[j+13] * y[j+13])
+		r6 += float32(x[j+14] * y[j+14])
+		r7 += float32(x[j+15] * y[j+15])
+	}
+	// Merge the second accumulator group lane-wise (VADDPS Y1, Y0).
+	s0 += r0
+	s1 += r1
+	s2 += r2
+	s3 += r3
+	s4 += r4
+	s5 += r5
+	s6 += r6
+	s7 += r7
+	// At most one remaining 8-float block.
+	if j+8 <= len(x) {
+		s0 += float32(x[j] * y[j])
+		s1 += float32(x[j+1] * y[j+1])
+		s2 += float32(x[j+2] * y[j+2])
+		s3 += float32(x[j+3] * y[j+3])
+		s4 += float32(x[j+4] * y[j+4])
+		s5 += float32(x[j+5] * y[j+5])
+		s6 += float32(x[j+6] * y[j+6])
+		s7 += float32(x[j+7] * y[j+7])
+		j += 8
+	}
+	// Reduction tree in the vector kernel's order: upper half onto lower
+	// half (VEXTRACTF128+VADDPS), then lanes 2,3 onto 0,1, then the final
+	// pair.
+	t0 := float32(s0 + s4)
+	t1 := float32(s1 + s5)
+	t2 := float32(s2 + s6)
+	t3 := float32(s3 + s7)
+	s := float32(t0+t2) + float32(t1+t3)
+	for ; j < len(x); j++ {
+		s += float32(x[j] * y[j])
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+//go:build amd64
+
+package tensor
+
+// AVX2 dispatch for the dot kernel; feature detection shared with the axpy
+// kernel (axpy_amd64.go).
+
+// Implemented in dot_amd64.s.
+func sdotAVX2(x, y []float32) float32
+
+func init() {
+	if hasAVX2() {
+		sdot = sdotAVX2
+	}
+}

@@ -1,0 +1,72 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func sdotAVX2(x, y []float32) float32
+//
+// Returns Σ x[i]*y[i] for i in [0, len(x)). Multiply and add are separate
+// instructions (VMULPS/VADDPS, never FMA) and the lane reduction tree is
+// mirrored exactly by sdotGeneric, so the result is bitwise identical to
+// the scalar fallback — see dot.go.
+TEXT ·sdotAVX2(SB), NOSPLIT, $0-52
+	MOVQ   x_base+0(FP), SI
+	MOVQ   y_base+24(FP), DI
+	MOVQ   x_len+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+	MOVQ CX, BX
+	SHRQ $4, BX   // 16-float blocks
+	JZ   merge
+
+loop16:
+	VMOVUPS (SI), Y2
+	VMOVUPS 32(SI), Y3
+	VMULPS  (DI), Y2, Y2
+	VMULPS  32(DI), Y3, Y3
+	VADDPS  Y2, Y0, Y0
+	VADDPS  Y3, Y1, Y1
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    BX
+	JNZ     loop16
+
+merge:
+	VADDPS Y1, Y0, Y0
+	ANDQ   $15, CX
+	MOVQ   CX, BX
+	SHRQ   $3, BX   // one optional 8-float block
+	JZ     reduce
+
+	VMOVUPS (SI), Y2
+	VMULPS  (DI), Y2, Y2
+	VADDPS  Y2, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+
+reduce:
+	// Lanes [s0..s7] -> ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)), the same
+	// tree sdotGeneric computes.
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0       // [t0,t1,t2,t3]
+	VPERMILPS    $0xEE, X0, X1    // [t2,t3,t2,t3]
+	VADDPS       X1, X0, X0       // [u0,u1,_,_]
+	VMOVSHDUP    X0, X1           // [u1,u1,_,_]
+	VADDSS       X1, X0, X0       // s = u0+u1
+
+	ANDQ $7, CX
+	JZ   done
+
+tail:
+	VMOVSS (SI), X1
+	VMULSS (DI), X1, X1
+	VADDSS X1, X0, X0
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   CX
+	JNZ    tail
+
+done:
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET

@@ -43,79 +43,94 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []floa
 	}
 }
 
+// Each variant splits into a dispatcher and a row-range body. The
+// dispatcher calls the body directly when the loop would run inline
+// (SerialFor): building the ParallelFor closure would heap-allocate its
+// captures on every GEMM, which the zero-steady-state-allocation contract
+// of compiled plans forbids.
+
 // gemmNN: A m×k, B k×n. The k-loop is outermost within a row so B rows are
 // streamed; C row stays hot. The row update is the axpy kernel (AVX2 where
 // available; bitwise-identical scalar elsewhere).
 func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : i*k+k]
-			crow := c[i*n : i*n+n]
-			for p := 0; p < k; p++ {
-				av := alpha * arow[p]
-				if av == 0 {
-					continue
-				}
-				axpy(av, b[p*n:p*n+n], crow)
+	if SerialFor(m) {
+		gemmNNRows(0, m, n, k, alpha, a, b, c)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) { gemmNNRows(lo, hi, n, k, alpha, a, b, c) })
+}
+
+func gemmNNRows(lo, hi, n, k int, alpha float32, a, b, c []float32) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := alpha * arow[p]
+			if av == 0 {
+				continue
 			}
+			axpy(av, b[p*n:p*n+n], crow)
 		}
-	})
+	}
 }
 
 // gemmTN: A is stored k×m (we need Aᵀ·B). Iterate k outermost per row block.
 func gemmTN(m, n, k int, alpha float32, a, b, c []float32) {
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := c[i*n : i*n+n]
-			for p := 0; p < k; p++ {
-				av := alpha * a[p*m+i]
-				if av == 0 {
-					continue
-				}
-				axpy(av, b[p*n:p*n+n], crow)
-			}
-		}
-	})
+	if SerialFor(m) {
+		gemmTNRows(0, m, m, n, k, alpha, a, b, c)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) { gemmTNRows(lo, hi, m, n, k, alpha, a, b, c) })
 }
 
-// gemmNT: B is stored n×k (we need A·Bᵀ). Dot products of contiguous rows.
+func gemmTNRows(lo, hi, m, n, k int, alpha float32, a, b, c []float32) {
+	for i := lo; i < hi; i++ {
+		crow := c[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := alpha * a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			axpy(av, b[p*n:p*n+n], crow)
+		}
+	}
+}
+
+// gemmNT: B is stored n×k (we need A·Bᵀ). Dot products of contiguous rows
+// via the sdot kernel (AVX2 where available; bitwise-identical scalar
+// elsewhere).
 func gemmNT(m, n, k int, alpha float32, a, b, c []float32) {
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*k : i*k+k]
-			crow := c[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				brow := b[j*k : j*k+k]
-				var s0, s1, s2, s3 float32
-				p := 0
-				for ; p+4 <= k; p += 4 {
-					s0 += arow[p] * brow[p]
-					s1 += arow[p+1] * brow[p+1]
-					s2 += arow[p+2] * brow[p+2]
-					s3 += arow[p+3] * brow[p+3]
-				}
-				s := s0 + s1 + s2 + s3
-				for ; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				crow[j] += alpha * s
-			}
-		}
-	})
+	if SerialFor(m) {
+		gemmNTRows(0, m, n, k, alpha, a, b, c)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) { gemmNTRows(lo, hi, n, k, alpha, a, b, c) })
 }
 
-// gemmTT: rare in this codebase (kept for completeness); computed without
-// blocking since no hot path uses it.
+func gemmNTRows(lo, hi, n, k int, alpha float32, a, b, c []float32) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			crow[j] += alpha * sdot(arow, b[j*k:j*k+k])
+		}
+	}
+}
+
+// gemmTT: rare in this codebase (no hot path uses it, so it keeps the plain
+// ParallelFor shape). Each strided column of A is packed contiguous once
+// per output row, after which every output element is a contiguous sdot —
+// the standard pack-and-multiply trade.
 func gemmTT(m, n, k int, alpha float32, a, b, c []float32) {
 	ParallelFor(m, func(lo, hi int) {
+		acol := make([]float32, k)
 		for i := lo; i < hi; i++ {
+			for p := 0; p < k; p++ {
+				acol[p] = a[p*m+i]
+			}
 			crow := c[i*n : i*n+n]
 			for j := 0; j < n; j++ {
-				var s float32
-				for p := 0; p < k; p++ {
-					s += a[p*m+i] * b[j*k+p]
-				}
-				crow[j] += alpha * s
+				crow[j] += alpha * sdot(acol, b[j*k:j*k+k])
 			}
 		}
 	})

@@ -33,6 +33,16 @@ func Workers() int {
 	return workers
 }
 
+// SerialFor reports whether a ParallelFor over n items would run inline
+// (one worker, or nothing to split). Hot kernels consult it to call their
+// range body directly in that case: constructing the ParallelFor closure
+// forces its captures onto the heap even when the loop never spawns, and
+// the compiled-plan execution path (nn.Plan) promises zero steady-state
+// allocation under single-worker kernels.
+func SerialFor(n int) bool {
+	return n <= 1 || Workers() <= 1
+}
+
 // ParallelFor runs fn(lo,hi) over a partition of [0,n) across the configured
 // worker count. Chunks are contiguous so memory access stays streaming. With
 // one worker (or tiny n) it runs inline, avoiding goroutine overhead.
