@@ -13,11 +13,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"deep15pf/internal/cluster"
+	"deep15pf/internal/core"
 	"deep15pf/internal/harness"
 	"deep15pf/internal/hep"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/opt"
 	"deep15pf/internal/serve"
 	"deep15pf/internal/tensor"
 )
@@ -349,5 +352,151 @@ func BenchmarkClusterSimIteration(b *testing.B) {
 		cluster.Simulate(m, p, cluster.RunConfig{
 			Nodes: 9594, Groups: 9, BatchPerGroup: 1066, Iterations: 10, Seed: uint64(i),
 		})
+	}
+}
+
+// ---- Machine-readable training perf trajectory (BENCH_train.json) ----
+
+// trainBenchSide is one measured configuration of the hybrid-training A/B.
+type trainBenchSide struct {
+	ItersPerSec     float64 `json:"iters_per_sec"`
+	GradKBPerIter   float64 `json:"grad_wire_kb_per_iter"`
+	WeightKBPerIter float64 `json:"weight_wire_kb_per_iter"`
+	FinalLoss       float64 `json:"final_loss"`
+	MeanStaleness   float64 `json:"mean_staleness"`
+}
+
+// trainBenchReport is the BENCH_train.json schema, mirroring
+// BENCH_serve.json: the same hybrid workload through the three exchange
+// configurations the refactor enables — serialized fp32 (the pre-refactor
+// behavior), overlapped fp32, and overlapped int8 — recording update
+// throughput and bytes-on-wire per update, plus the HEP validation-accuracy
+// cost of the quantised wire.
+type trainBenchReport struct {
+	Model             string         `json:"model"`
+	Groups            int            `json:"groups"`
+	WorkersPerGroup   int            `json:"workers_per_group"`
+	GroupBatch        int            `json:"group_batch"`
+	Updates           int            `json:"updates"`
+	LockstepFP32      trainBenchSide `json:"lockstep_fp32"`
+	Overlapped        trainBenchSide `json:"overlapped_fp32"`
+	OverlappedInt8    trainBenchSide `json:"overlapped_int8"`
+	OverlapSpeedup    float64        `json:"overlap_speedup"`
+	Int8WireReduction float64        `json:"int8_wire_reduction"`
+	HostCPUs          int            `json:"host_cpus"`
+
+	ValAccuracyFP32 float64 `json:"val_accuracy_fp32"`
+	ValAccuracyInt8 float64 `json:"val_accuracy_int8"`
+}
+
+func trainBenchProblem(seed uint64, n int) (*hep.Dataset, core.Problem) {
+	cfg := hep.ModelConfig{Name: "bench-train", ImageSize: 16, Filters: 16, ConvUnits: 3, Classes: 2}
+	rng := tensor.NewRNG(seed)
+	ds := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(cfg.ImageSize), n, 0.5, rng)
+	return ds, hep.NewTrainingProblem(ds, cfg, 77)
+}
+
+func measureTrainSide(p core.Problem, overlap bool, codec string, cfg core.Config) (trainBenchSide, core.Result) {
+	cfg.Overlap = overlap
+	cfg.Codec = codec
+	start := time.Now()
+	res := core.TrainHybrid(p, cfg)
+	wall := time.Since(start).Seconds()
+	updates := float64(len(res.Stats))
+	return trainBenchSide{
+		ItersPerSec:     updates / wall,
+		GradKBPerIter:   float64(res.Wire.GradBytes) / updates / 1024,
+		WeightKBPerIter: float64(res.Wire.WeightBytes) / updates / 1024,
+		FinalLoss:       res.FinalLoss,
+		MeanStaleness:   res.MeanStaleness,
+	}, res
+}
+
+// hepValAccuracy trains the deterministic single-group configuration with
+// the given codec and scores a held-out dataset.
+func hepValAccuracy(codec string) float64 {
+	_, p := trainBenchProblem(11, 256)
+	rngVal := tensor.NewRNG(1234)
+	val := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(16), 256, 0.5, rngVal)
+	res := core.TrainHybrid(p, core.Config{
+		Groups: 1, WorkersPerGroup: 2, GroupBatch: 32, Iterations: 60,
+		Solver: opt.NewAdam(2e-3), Seed: 9, Overlap: true, Codec: codec,
+	})
+	eval := p.NewReplica()
+	core.InstallWeights(eval, res.FinalWeights)
+	scores := hep.ScoreDataset(eval, val, 64)
+	return hep.Accuracy(scores, val.Labels)
+}
+
+// TestEmitTrainBenchJSON measures the lockstep-fp32 / overlapped /
+// overlapped-int8 training A/B and writes BENCH_train.json so the training
+// perf trajectory is machine-readable across PRs. The wire-compression
+// floor is gated hard (deterministic); throughput is recorded, and the
+// overlap speedup is only gated where the host has the cores for the
+// pipeline to use (G×W ≥ 4 concurrent workers need ≥4 ways of parallelism).
+func TestEmitTrainBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training A/B takes a few seconds")
+	}
+	const groups, workers, batch, iters = 2, 2, 32, 40
+	cfg := core.Config{
+		Groups: groups, WorkersPerGroup: workers, GroupBatch: batch, Iterations: iters,
+		Seed: 7, PSShardElems: 64 << 10,
+	}
+	_, p := trainBenchProblem(11, 256)
+	rep := trainBenchReport{
+		Model:  "hep ConvUnits=3 Filters=16 ImageSize=16",
+		Groups: groups, WorkersPerGroup: workers, GroupBatch: batch,
+		Updates:  groups * iters,
+		HostCPUs: runtime.NumCPU(),
+	}
+	// Each side builds its own replicas and fleet, so first-use setup
+	// (plan compiles, wire buffer growth) is paid symmetrically.
+	cfg.Solver = opt.NewAdam(2e-3)
+	rep.LockstepFP32, _ = measureTrainSide(p, false, "fp32", cfg)
+	cfg.Solver = opt.NewAdam(2e-3)
+	rep.Overlapped, _ = measureTrainSide(p, true, "fp32", cfg)
+	cfg.Solver = opt.NewAdam(2e-3)
+	rep.OverlappedInt8, _ = measureTrainSide(p, true, "int8", cfg)
+
+	rep.OverlapSpeedup = rep.Overlapped.ItersPerSec / rep.LockstepFP32.ItersPerSec
+	rep.Int8WireReduction = rep.LockstepFP32.GradKBPerIter / rep.OverlappedInt8.GradKBPerIter
+	rep.ValAccuracyFP32 = hepValAccuracy("fp32")
+	rep.ValAccuracyInt8 = hepValAccuracy("int8")
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_train.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lockstep-fp32: %.1f updates/s, %.1f KB grads/update", rep.LockstepFP32.ItersPerSec, rep.LockstepFP32.GradKBPerIter)
+	t.Logf("overlapped:    %.1f updates/s (%.2fx)", rep.Overlapped.ItersPerSec, rep.OverlapSpeedup)
+	t.Logf("overlap+int8:  %.1f updates/s, %.1f KB grads/update (%.2fx fewer bytes)",
+		rep.OverlappedInt8.ItersPerSec, rep.OverlappedInt8.GradKBPerIter, rep.Int8WireReduction)
+	t.Logf("val accuracy: fp32 %.3f vs int8 %.3f", rep.ValAccuracyFP32, rep.ValAccuracyInt8)
+
+	if rep.Int8WireReduction < 3 {
+		t.Errorf("int8 wire must cut gradient bytes ≥3x, got %.2fx", rep.Int8WireReduction)
+	}
+	if d := rep.ValAccuracyFP32 - rep.ValAccuracyInt8; d > 0.01 {
+		t.Errorf("int8 exchange costs %.3f validation accuracy (>1%%)", d)
+	}
+	// Wall-clock policy (matches TestEmitServeBenchJSON): ratios are
+	// recorded in the JSON and the 1.2x overlap target is reported, but
+	// only a 1.0x regression floor is hard-gated, and only on hosts with
+	// enough CPUs for the pipeline to exist — shared-runner timing noise
+	// must not fail CI.
+	if runtime.NumCPU() >= 4 {
+		if rep.OverlapSpeedup < 1.0 {
+			t.Errorf("overlap slowed training to %.2fx on a %d-CPU host", rep.OverlapSpeedup, runtime.NumCPU())
+		}
+		if rep.OverlapSpeedup < 1.2 {
+			t.Logf("note: overlap speedup %.2fx below the 1.2x target this run (timing noise expected on shared runners)", rep.OverlapSpeedup)
+		}
+	} else {
+		t.Logf("note: %d-CPU host cannot exercise G×W=%d-way overlap; speedup %.2fx recorded, not gated",
+			runtime.NumCPU(), groups*workers, rep.OverlapSpeedup)
 	}
 }

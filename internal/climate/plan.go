@@ -31,6 +31,17 @@ type TrainPlan struct {
 	dfeat *tensor.Tensor
 	grads Grads
 	sc    lossScratch
+
+	// Per-layer completion plumbing for StepStream: the callbacks are built
+	// once (they capture tp, not the per-call gradDone) so streaming adds no
+	// per-iteration allocation. encN is the encoder's trainable-layer count;
+	// global trainable indices are encoder 0..encN-1, heads encN..encN+2,
+	// decoder encN+3.. — Net.TrainableLayers order.
+	gradDone               func(layer int)
+	encN, decN             int
+	notifyEnc, notifyDec   func(t int)
+	notifyConf             func(t int)
+	notifyClass, notifyBox func(t int)
 }
 
 // NewTrainPlan compiles a training plan for batches of exactly batch
@@ -67,6 +78,22 @@ func (n *Net) NewTrainPlan(batch int, arena *tensor.Arena) *TrainPlan {
 	if n.Decoder != nil {
 		tp.grads.Recon = arena.GetTensor(batch, NumChannels, n.Cfg.Size, n.Cfg.Size)
 	}
+	tp.encN = len(n.Encoder.TrainableLayers())
+	if n.Decoder != nil {
+		tp.decN = len(n.Decoder.TrainableLayers())
+	}
+	notify := func(off int) func(int) {
+		return func(t int) {
+			if tp.gradDone != nil {
+				tp.gradDone(off + t)
+			}
+		}
+	}
+	tp.notifyEnc = notify(0)
+	tp.notifyConf = notify(tp.encN)
+	tp.notifyClass = notify(tp.encN + 1)
+	tp.notifyBox = notify(tp.encN + 2)
+	tp.notifyDec = notify(tp.encN + 3)
 	return tp
 }
 
@@ -80,9 +107,21 @@ func (tp *TrainPlan) Batch() int { return tp.batch }
 // accumulate into the network parameters; the caller applies a solver step
 // and zeroes gradients.
 func (tp *TrainPlan) Step(x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights) LossParts {
+	return tp.StepStream(x, boxes, labeled, w, nil)
+}
+
+// StepStream is Step with per-layer gradient-completion notification
+// (core.StreamReplica semantics): gradDone(t) fires as trainable layer t —
+// Net.TrainableLayers order across the encoder, the three heads and the
+// decoder — finishes its backward. The branching topology means the firing
+// order is heads first, then decoder (reverse), then encoder (reverse); a
+// decoder skipped this iteration (no reconstruction term) is notified
+// immediately, its gradients being final by virtue of never accumulating.
+func (tp *TrainPlan) StepStream(x *tensor.Tensor, boxes [][]Box, labeled []bool, w LossWeights, gradDone func(layer int)) LossParts {
 	if x.Shape[0] != tp.batch {
 		panic(fmt.Sprintf("climate: train plan compiled for batch %d, got %d", tp.batch, x.Shape[0]))
 	}
+	tp.gradDone = gradDone
 	feat := tp.enc.Forward(x)
 	out := Output{
 		Feat:  feat,
@@ -97,13 +136,20 @@ func (tp *TrainPlan) Step(x *tensor.Tensor, boxes [][]Box, labeled []bool, w Los
 
 	// Backward fan-in, in Net.Backward's order: heads, decoder, encoder.
 	tp.dfeat.Zero()
-	tensor.Axpy(1, tp.conf.Backward(tp.grads.Conf).Data, tp.dfeat.Data)
-	tensor.Axpy(1, tp.class.Backward(tp.grads.Class).Data, tp.dfeat.Data)
-	tensor.Axpy(1, tp.box.Backward(tp.grads.BoxP).Data, tp.dfeat.Data)
+	tensor.Axpy(1, tp.conf.BackwardStream(tp.grads.Conf, tp.notifyConf).Data, tp.dfeat.Data)
+	tensor.Axpy(1, tp.class.BackwardStream(tp.grads.Class, tp.notifyClass).Data, tp.dfeat.Data)
+	tensor.Axpy(1, tp.box.BackwardStream(tp.grads.BoxP, tp.notifyBox).Data, tp.dfeat.Data)
 	if tp.dec != nil && out.Recon != nil && w.Recon > 0 {
-		tensor.Axpy(1, tp.dec.Backward(tp.grads.Recon).Data, tp.dfeat.Data)
+		tensor.Axpy(1, tp.dec.BackwardStream(tp.grads.Recon, tp.notifyDec).Data, tp.dfeat.Data)
+	} else if gradDone != nil {
+		// No reconstruction term this iteration: the decoder's gradients
+		// are final (zero) — notify in the order a real backward would.
+		for t := tp.decN - 1; t >= 0; t-- {
+			tp.notifyDec(t)
+		}
 	}
-	tp.enc.Backward(tp.dfeat)
+	tp.enc.BackwardStream(tp.dfeat, tp.notifyEnc)
+	tp.gradDone = nil
 	return parts
 }
 

@@ -69,6 +69,13 @@ func (r *climReplica) TrainableLayers() []nn.Layer { return r.net.TrainableLayer
 func (r *climReplica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
 
 func (r *climReplica) ComputeGradients(idx []int) float64 {
+	return r.ComputeGradientsStream(idx, nil)
+}
+
+// ComputeGradientsStream implements core.StreamReplica over the composed
+// train plan: per-layer completion fires across the encoder, heads and
+// decoder in TrainPlan.StepStream's documented order.
+func (r *climReplica) ComputeGradientsStream(idx []int, gradDone func(layer int)) float64 {
 	n := len(idx)
 	x := r.xStage.Batch(n)
 	if cap(r.boxes) < n {
@@ -85,7 +92,7 @@ func (r *climReplica) ComputeGradients(idx []int) float64 {
 		tp = r.net.NewTrainPlan(n, r.arena)
 		r.plans[n] = tp
 	}
-	parts := tp.Step(x, boxes, labeled, r.weights)
+	parts := tp.StepStream(x, boxes, labeled, r.weights, gradDone)
 	return parts.Total()
 }
 

@@ -18,6 +18,18 @@ type NetProfile struct {
 	LayerBytes      []int64 // model bytes per trainable layer, in layer order
 	TotalModelBytes int64
 	Eff             EffCurve
+
+	// FwdShare is the forward pass's share of per-sample flops; the
+	// overlapped-exchange model uses it to place each layer's
+	// gradient-completion time inside the iteration (gradients only start
+	// appearing once the backward pass begins).
+	FwdShare float64
+	// LayerBwdFracs is each trainable layer's share of the backward flops
+	// (layer order, summing to 1). Backward runs layers in reverse, so the
+	// last layer's gradients are ready after its own fraction, the first
+	// layer's only at the very end — the schedule the §III-D/E overlap
+	// pipelines communication into.
+	LayerBwdFracs []float64
 }
 
 // NumTrainableLayers returns the per-layer parameter-server count the
@@ -51,12 +63,31 @@ func ClimateProfile() NetProfile {
 
 func profileFromBreakdown(name string, rows []nn.LayerFlop, eff EffCurve) NetProfile {
 	p := NetProfile{Name: name, Eff: eff}
+	var fwd, bwd, trainBwd float64
 	for _, r := range rows {
 		p.FlopsPerSample += float64(r.Count.Total())
 		p.ExecPerSample += float64(r.Count.TotalExecuted())
+		fwd += float64(r.Count.Fwd)
+		bwd += float64(r.Count.Bwd)
 		if r.Bytes > 0 {
 			p.LayerBytes = append(p.LayerBytes, r.Bytes)
 			p.TotalModelBytes += r.Bytes
+			p.LayerBwdFracs = append(p.LayerBwdFracs, float64(r.Count.Bwd))
+			trainBwd += float64(r.Count.Bwd)
+		}
+	}
+	if fwd+bwd > 0 {
+		p.FwdShare = fwd / (fwd + bwd)
+	}
+	if trainBwd > 0 {
+		for i := range p.LayerBwdFracs {
+			p.LayerBwdFracs[i] /= trainBwd
+		}
+	} else {
+		// Degenerate breakdown (no backward flops recorded): spread the
+		// readiness schedule evenly rather than poisoning it with NaNs.
+		for i := range p.LayerBwdFracs {
+			p.LayerBwdFracs[i] = 1 / float64(len(p.LayerBwdFracs))
 		}
 	}
 	return p

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"deep15pf/internal/comm"
 	"deep15pf/internal/perf"
 	"deep15pf/internal/sim"
 	"deep15pf/internal/tensor"
@@ -16,6 +17,19 @@ type RunConfig struct {
 	BatchPerGroup int // samples per group per iteration
 	Iterations    int // iterations per group
 	Seed          uint64
+
+	// Overlap pipelines per-layer gradient communication with the backward
+	// pass (§III-D/E): layer l's allreduce starts when its gradients are
+	// ready (NetProfile.LayerBwdFracs), serialized over the injection
+	// channel, and its PS exchange follows immediately — instead of the
+	// lockstep schedule where all communication waits for the full
+	// backward. Lockstep with the fp32 codec reproduces the legacy model
+	// draw for draw.
+	Overlap bool
+	// Codec shrinks the PS gradient push ("int8" ≈ 4x smaller wire, per
+	// comm.Codec accounting); the model pull stays fp32. ""/"fp32" is
+	// identity. Intra-group allreduce always stays fp32, as in core.
+	Codec string
 
 	// SinglePS shares one parameter server across all layers (the
 	// ablation for §III-E's per-layer PS design). Default false =
@@ -59,6 +73,15 @@ type RunResult struct {
 	PSNodes          int
 	PSMaxUtilization float64
 	Halted           bool // a dead node stopped one or more groups
+
+	// Communication accounting for the overlap/codec A/B: CommSeconds is
+	// the total communication work performed (allreduce walltime plus PS
+	// round trips, summed over layers, iterations and groups);
+	// ExposedCommSeconds is the part that actually extended iterations
+	// beyond compute + checkpoint — the overlap target is driving it to
+	// zero while CommSeconds stays put.
+	CommSeconds        float64
+	ExposedCommSeconds float64
 }
 
 // Simulate runs the discrete-event model of one training run.
@@ -95,15 +118,31 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 	batchPerNode := float64(cfg.BatchPerGroup) / float64(groupNodes)
 	baseCompute := p.ComputeTime(m, batchPerNode)
 
+	// Gradient-push wire size per layer through the run's codec (the model
+	// pull stays fp32, handled by PSServiceTimeAsym).
+	codec, err := comm.NewCodec(cfg.Codec, cfg.Seed)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	gradWire := make([]int64, len(p.LayerBytes))
+	for l, bytes := range p.LayerBytes {
+		gradWire[l] = codec.WireBytes(int(bytes / 4))
+	}
+
 	durations := make([][]float64, cfg.Groups)
 	halted := false
+	var commSeconds, exposedSeconds float64
 
 	// Each group is an independent chain of events; PS resources couple
-	// them through FIFO queueing.
+	// them through FIFO queueing. computePlusCkpt is the iteration's
+	// non-communication floor, used to expose the comm on the critical path.
 	var startIter func(g, iter int, tStart float64)
-	finishIter := func(g, iter int, tStart float64) {
+	finishIter := func(g, iter int, tStart, computePlusCkpt float64) {
 		end := s.Now()
 		durations[g] = append(durations[g], end-tStart)
+		if over := (end - tStart) - computePlusCkpt; over > 0 {
+			exposedSeconds += over
+		}
 		if iter+1 < cfg.Iterations {
 			startIter(g, iter+1, end)
 		}
@@ -123,47 +162,100 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 				}
 			}
 		}
-		// Gradient allreduce per trainable layer (§III-D, MLSL).
-		comm := 0.0
-		for _, bytes := range p.LayerBytes {
-			comm += m.AllReduceTime(rng, groupNodes, bytes)
-		}
 		// Solver/update overhead on the synchronous path is folded into
 		// the compute model; checkpointing is explicit.
 		checkpoint := 0.0
 		if cfg.CheckpointEvery > 0 && iter > 0 && iter%cfg.CheckpointEvery == 0 {
 			checkpoint = float64(p.TotalModelBytes) / m.CheckpointBandwidth
 		}
-		readyAt := compute + comm + checkpoint
+		floor := compute + checkpoint
+
+		// Gradient allreduce per trainable layer (§III-D, MLSL), and the
+		// time each layer's PS exchange may start. Lockstep: every
+		// collective waits for the whole backward pass (draw-for-draw the
+		// legacy model). Overlap: layer l's allreduce starts when its
+		// gradients are ready — backward runs in reverse, so the deepest
+		// layer leads — serialized over the injection channel, and its PS
+		// push follows immediately, all in the shadow of the remaining
+		// backward compute.
+		nL := len(p.LayerBytes)
+		psStart := make([]float64, nL)
+		var arDone float64
+		if cfg.Overlap {
+			arFree, cum := 0.0, 0.0
+			for l := nL - 1; l >= 0; l-- {
+				cum += p.LayerBwdFracs[l]
+				ready := compute * (p.FwdShare + (1-p.FwdShare)*cum)
+				ar := m.AllReduceTime(rng, groupNodes, p.LayerBytes[l])
+				commSeconds += ar
+				if ready > arFree {
+					arFree = ready
+				}
+				arFree += ar
+				psStart[l] = arFree
+			}
+			arDone = arFree
+		} else {
+			comm := 0.0
+			for _, bytes := range p.LayerBytes {
+				ar := m.AllReduceTime(rng, groupNodes, bytes)
+				commSeconds += ar
+				comm += ar
+			}
+			arDone = compute + comm
+			for l := range psStart {
+				psStart[l] = arDone + checkpoint
+			}
+		}
 
 		if cfg.Groups == 1 {
-			s.Schedule(readyAt, func() { finishIter(g, iter, tStart) })
+			end := arDone + checkpoint // lockstep: compute + comm + checkpoint
+			if cfg.Overlap {
+				end = arDone
+				if compute > end {
+					end = compute
+				}
+				end += checkpoint
+			}
+			s.Schedule(end, func() { finishIter(g, iter, tStart, floor) })
 			return
 		}
 		// Hybrid: the group root exchanges each layer with its dedicated
 		// PS (§III-E, Fig 4), then broadcasts the new model to the group.
 		// Events run in time order, so the last response to arrive fires
-		// the broadcast at exactly the max response time.
-		s.Schedule(readyAt, func() {
-			pending := len(psRes)
-			for l, res := range psRes {
-				l, res := l, res
+		// the broadcast at exactly the max response time (never before the
+		// backward pass and checkpoint have finished).
+		pending := len(psRes)
+		launch := func(l int, res *sim.Resource, sendAt float64) {
+			s.Schedule(sendAt, func() {
 				sendLat := m.PSLatency(rng)
 				s.Schedule(sendLat, func() {
-					done := res.Request(m.PSServiceTime(p.LayerBytes[l]))
+					done := res.Request(m.PSServiceTimeAsym(gradWire[l], p.LayerBytes[l]))
 					retLat := m.PSLatency(rng)
 					s.ScheduleAt(done, func() {
 						s.Schedule(retLat, func() {
+							commSeconds += s.Now() - sendAt - tStart
 							pending--
 							if pending == 0 {
-								bc := m.BroadcastTime(rng, groupNodes, p.TotalModelBytes)
-								s.Schedule(bc, func() { finishIter(g, iter, tStart) })
+								doBc := func() {
+									bc := m.BroadcastTime(rng, groupNodes, p.TotalModelBytes)
+									commSeconds += bc
+									s.Schedule(bc, func() { finishIter(g, iter, tStart, floor) })
+								}
+								if min := tStart + floor; s.Now() < min {
+									s.ScheduleAt(min, doBc) // overlap: backward still running
+								} else {
+									doBc()
+								}
 							}
 						})
 					})
 				})
-			}
-		})
+			})
+		}
+		for l, res := range psRes {
+			launch(l, res, psStart[l])
+		}
 	}
 
 	for g := 0; g < cfg.Groups; g++ {
@@ -172,7 +264,10 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 	}
 	s.Run()
 
-	res := RunResult{Config: cfg, IterDurations: durations, PSNodes: psNodes, Halted: halted}
+	res := RunResult{
+		Config: cfg, IterDurations: durations, PSNodes: psNodes, Halted: halted,
+		CommSeconds: commSeconds, ExposedCommSeconds: exposedSeconds,
+	}
 	var totalIters int
 	for g := range durations {
 		totalIters += len(durations[g])

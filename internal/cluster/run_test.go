@@ -172,3 +172,78 @@ func TestSimulateValidation(t *testing.T) {
 	mustPanic(RunConfig{Nodes: 4, Groups: 0, BatchPerGroup: 8, Iterations: 1})
 	mustPanic(RunConfig{Nodes: 4, Groups: 1, BatchPerGroup: 0, Iterations: 1})
 }
+
+func TestProfileBwdFracs(t *testing.T) {
+	for _, p := range []NetProfile{HEPProfile(), ClimateProfile()} {
+		if len(p.LayerBwdFracs) != len(p.LayerBytes) {
+			t.Fatalf("%s: %d fracs for %d layers", p.Name, len(p.LayerBwdFracs), len(p.LayerBytes))
+		}
+		var sum float64
+		for _, f := range p.LayerBwdFracs {
+			if f <= 0 {
+				t.Fatalf("%s: non-positive backward fraction %v", p.Name, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: backward fractions sum to %v", p.Name, sum)
+		}
+		if p.FwdShare <= 0 || p.FwdShare >= 1 {
+			t.Fatalf("%s: forward share %v out of (0,1)", p.Name, p.FwdShare)
+		}
+	}
+}
+
+// TestOverlapHidesCommunication: with the overlapped schedule the same
+// workload must finish sooner, and the exposed communication time must drop
+// well below the total communication work — the §III-D/E property the
+// refactor exists to model.
+func TestOverlapHidesCommunication(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	cfg := RunConfig{Nodes: 512, Groups: 4, BatchPerGroup: 256, Iterations: 20, Seed: 9}
+	lock := Simulate(m, p, cfg)
+	cfg.Overlap = true
+	over := Simulate(m, p, cfg)
+	if over.WallTime >= lock.WallTime {
+		t.Fatalf("overlap did not shorten the run: %.3fs vs %.3fs", over.WallTime, lock.WallTime)
+	}
+	if lock.ExposedCommSeconds <= 0 || lock.CommSeconds <= 0 {
+		t.Fatal("lockstep must expose communication time")
+	}
+	if over.ExposedCommSeconds >= lock.ExposedCommSeconds {
+		t.Fatalf("overlap exposed %.3fs of comm, lockstep %.3fs — nothing hidden",
+			over.ExposedCommSeconds, lock.ExposedCommSeconds)
+	}
+}
+
+// TestInt8CodecShrinksPSTraffic: the int8 wire must cut the communication
+// work of a hybrid run whose layers are big enough for bandwidth to matter.
+// Climate's multi-megabyte layers are that regime; HEP's small layers are
+// latency-dominated (§VI-B2), where the codec correctly buys little.
+func TestInt8CodecShrinksPSTraffic(t *testing.T) {
+	m := CoriPhaseII()
+	p := ClimateProfile()
+	cfg := RunConfig{Nodes: 512, Groups: 8, BatchPerGroup: 128, Iterations: 10, Seed: 4}
+	fp32 := Simulate(m, p, cfg)
+	cfg.Codec = "int8"
+	int8r := Simulate(m, p, cfg)
+	if int8r.CommSeconds >= fp32.CommSeconds {
+		t.Fatalf("int8 wire did not cut comm work: %.3fs vs %.3fs", int8r.CommSeconds, fp32.CommSeconds)
+	}
+	if int8r.WallTime >= fp32.WallTime {
+		t.Fatalf("int8 wire did not shorten the run: %.3fs vs %.3fs", int8r.WallTime, fp32.WallTime)
+	}
+}
+
+// TestUnknownClusterCodecRejected: a bad codec name must fail loudly at
+// Simulate entry, not silently fall back to fp32 timing.
+func TestUnknownClusterCodecRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Simulate(CoriPhaseII(), HEPProfile(), RunConfig{
+		Nodes: 8, Groups: 1, BatchPerGroup: 8, Iterations: 1, Codec: "fp64"})
+}

@@ -26,7 +26,12 @@ type Group struct {
 	barrier *barrier
 	// slots[i] carries rank i's contribution for the current collective.
 	slots [][]float32
-	mu    sync.Mutex
+	// gatherVals is the dedicated Gather staging area (slots holds whatever
+	// buffer the last all-reduce pinned, so reusing it would realloc).
+	gatherVals []float32
+	mu         sync.Mutex
+	// async holds the nonblocking-collective match state (see async.go).
+	async asyncState
 }
 
 // NewGroup creates a communicator for size ranks.
@@ -34,11 +39,15 @@ func NewGroup(size int) *Group {
 	if size < 1 {
 		panic("comm: group size must be positive")
 	}
-	return &Group{
-		size:    size,
-		barrier: newBarrier(size),
-		slots:   make([][]float32, size),
+	g := &Group{
+		size:       size,
+		barrier:    newBarrier(size),
+		slots:      make([][]float32, size),
+		gatherVals: make([]float32, size),
 	}
+	g.async.seq = make([]uint64, size)
+	g.async.inflight = make(map[uint64]*collective)
+	return g
 }
 
 // Size returns the number of ranks.
@@ -118,20 +127,32 @@ func (g *Group) Broadcast(rank, root int, data []float32) {
 // Gather collects every rank's value at the root; other ranks receive nil.
 // Values are positioned by rank.
 func (g *Group) Gather(rank, root int, value float64) []float64 {
-	g.checkRank(rank)
-	g.mu.Lock()
-	if g.slots[rank] == nil || len(g.slots[rank]) != 1 {
-		g.slots[rank] = make([]float32, 1)
-	}
-	g.slots[rank][0] = float32(value)
-	g.mu.Unlock()
-	g.barrier.wait()
 	var out []float64
 	if rank == root {
 		out = make([]float64, g.size)
-		for r := 0; r < g.size; r++ {
-			out[r] = float64(g.slots[r][0])
+	}
+	return g.GatherInto(rank, root, value, out)
+}
+
+// GatherInto is Gather with a caller-provided result buffer: the root passes
+// a slice of group-size length and gets it back filled; other ranks pass nil
+// and receive nil. The allocation-free form the training hot loop uses.
+func (g *Group) GatherInto(rank, root int, value float64, out []float64) []float64 {
+	g.checkRank(rank)
+	g.checkRank(root)
+	g.mu.Lock()
+	g.gatherVals[rank] = float32(value)
+	g.mu.Unlock()
+	g.barrier.wait()
+	if rank == root {
+		if len(out) != g.size {
+			panic("comm: GatherInto root buffer must have group-size length")
 		}
+		for r := 0; r < g.size; r++ {
+			out[r] = float64(g.gatherVals[r])
+		}
+	} else {
+		out = nil
 	}
 	g.barrier.wait()
 	return out

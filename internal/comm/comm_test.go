@@ -224,3 +224,42 @@ func TestAllReducePermutationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTreeReductionOddAndOneRankGroups pins the blocking collectives on the
+// group shapes the even-split tests miss: non-power-of-two sizes (the tree
+// tail) and the degenerate 1-rank group every collective must treat as
+// identity.
+func TestTreeReductionOddAndOneRankGroups(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7} {
+		g := NewGroup(n)
+		bufs := make([][]float32, n)
+		var want float32
+		for r := range bufs {
+			bufs[r] = []float32{float32(r + 1), -float32(r + 1)}
+			want += float32(r + 1)
+		}
+		runRanks(n, func(rank int) { g.AllReduceSum(rank, bufs[rank]) })
+		for r := range bufs {
+			if bufs[r][0] != want || bufs[r][1] != -want {
+				t.Fatalf("n=%d rank %d: %v want ±%v", n, r, bufs[r], want)
+			}
+		}
+		// Broadcast and Gather on the same odd group.
+		runRanks(n, func(rank int) { g.Broadcast(rank, n-1, bufs[rank]) })
+		for r := range bufs {
+			if bufs[r][0] != want {
+				t.Fatalf("broadcast n=%d rank %d: %v", n, r, bufs[r])
+			}
+		}
+	}
+	// 1-rank group partition via NewGroups.
+	gs := NewGroups(3, 3)
+	if len(gs) != 3 || gs[0].Size() != 1 {
+		t.Fatalf("NewGroups(3,3) = %d groups of %d", len(gs), gs[0].Size())
+	}
+	buf := []float32{42}
+	gs[1].AllReduceMean(0, buf)
+	if buf[0] != 42 {
+		t.Fatal("1-rank mean must be identity")
+	}
+}

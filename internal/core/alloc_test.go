@@ -1,0 +1,163 @@
+package core
+
+// White-box gate for the overlapped hybrid worker's steady state: once the
+// plans, wires, handle slots and parameter-server buffers are warm, a full
+// iteration — streamed backward, async all-reduce, int8 encode, PS push,
+// model broadcast — must not touch the allocator. Codec scratch lives in
+// reused Wire buffers, async handles in the worker's preallocated table and
+// the comm free list, activations and gradients in the replica's arena.
+
+import (
+	"testing"
+
+	"deep15pf/internal/comm"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/ps"
+	"deep15pf/internal/tensor"
+)
+
+// allocProblem is a minimal in-package Problem (the hep adapter lives above
+// core in the import graph, so the white-box test brings its own).
+type allocProblem struct {
+	data   *tensor.Tensor // [n, 1, 8, 8]
+	labels []int
+}
+
+func newAllocProblem(n int) *allocProblem {
+	rng := tensor.NewRNG(3)
+	data := tensor.New(n, 1, 8, 8)
+	rng.FillNorm(data, 0, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	return &allocProblem{data: data, labels: labels}
+}
+
+func (p *allocProblem) NewReplica() Replica {
+	rng := tensor.NewRNG(7)
+	net := nn.NewNetwork("alloc", 1, 8, 8)
+	net.Add(
+		nn.NewConv2D("conv1", 1, 4, 3, 1, 1, rng),
+		nn.NewReLU("relu"),
+		nn.NewGlobalAvgPool("gap"),
+		nn.NewDense("fc", 4, 2, rng),
+	)
+	arena := tensor.NewArena()
+	return &allocReplica{
+		p: p, net: net, params: net.Params(),
+		plans:  nn.NewPlanCache(net, true, arena),
+		xStage: tensor.NewStaging(arena, 1, 8, 8),
+		gStage: tensor.NewStaging(arena, 2),
+	}
+}
+
+func (p *allocProblem) NewBatchSource(seed uint64) BatchSource { return &allocSource{n: len(p.labels)} }
+
+type allocSource struct{ n, at int }
+
+func (s *allocSource) Next(size int) []int {
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = (s.at + i) % s.n
+	}
+	s.at += size
+	return idx
+}
+
+type allocReplica struct {
+	p      *allocProblem
+	net    *nn.Network
+	params []*nn.Param
+	plans  *nn.PlanCache
+	xStage *tensor.Staging
+	gStage *tensor.Staging
+	labels []int
+}
+
+func (r *allocReplica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
+func (r *allocReplica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
+func (r *allocReplica) ComputeGradients(idx []int) float64 {
+	return r.ComputeGradientsStream(idx, nil)
+}
+
+func (r *allocReplica) ComputeGradientsStream(idx []int, gradDone func(int)) float64 {
+	n := len(idx)
+	x := r.xStage.Batch(n)
+	grad := r.gStage.Batch(n)
+	if cap(r.labels) < n {
+		r.labels = make([]int, n)
+	}
+	labels := r.labels[:n]
+	per := 64
+	for i, s := range idx {
+		copy(x.Data[i*per:(i+1)*per], r.p.data.Data[s*per:(s+1)*per])
+		labels[i] = r.p.labels[s]
+	}
+	plan := r.plans.Plan(n)
+	logits := plan.Forward(x)
+	loss := nn.SoftmaxCrossEntropyInto(logits, labels, grad)
+	plan.BackwardStream(grad, gradDone)
+	return loss
+}
+
+func TestOverlappedWorkerSteadyStateAllocFree(t *testing.T) {
+	p := newAllocProblem(32)
+	rep := p.NewReplica()
+	fleet := ps.NewFleet(rep.TrainableLayers(), opt.NewSGD(0.01, 0.9))
+	group := comm.NewGroup(1)
+	gw := newGroupWorker(0, group, rep, nil, true)
+	gw.ex = newExchanger(fleet, 0, gw.layers, gw.handles, "int8", 1)
+	defer gw.ex.close()
+
+	fleet.FetchAll(0)
+	idx := []int{0, 1, 2, 3}
+	iterate := func() {
+		rep.ZeroGrad()
+		loss := gw.compute(idx)
+		all := group.GatherInto(0, 0, loss, gw.lossBuf)
+		if len(all) != 1 {
+			t.Fatal("gather lost the loss")
+		}
+		gw.ex.await()
+		gw.broadcastWeights()
+	}
+	// Warm: plan compile, wire buffer growth, collective free list, solver
+	// state on the servers.
+	for i := 0; i < 3; i++ {
+		iterate()
+	}
+	if n := testing.AllocsPerRun(30, iterate); n != 0 {
+		t.Fatalf("overlapped worker steady state allocates %.1f per iteration; "+
+			"codec scratch and async-handle buffers must come from preallocated storage", n)
+	}
+}
+
+// TestLockstepWorkerSteadyStateAllocFree: the same gate for the lockstep
+// schedule, which shares the streamed machinery.
+func TestLockstepWorkerSteadyStateAllocFree(t *testing.T) {
+	p := newAllocProblem(32)
+	rep := p.NewReplica()
+	fleet := ps.NewFleet(rep.TrainableLayers(), opt.NewSGD(0.01, 0.9))
+	group := comm.NewGroup(1)
+	gw := newGroupWorker(0, group, rep, nil, false)
+	gw.ex = newExchanger(fleet, 0, gw.layers, gw.handles, "fp32", 1)
+	defer gw.ex.close()
+
+	fleet.FetchAll(0)
+	idx := []int{0, 1, 2, 3}
+	iterate := func() {
+		rep.ZeroGrad()
+		gw.compute(idx)
+		group.GatherInto(0, 0, 0, gw.lossBuf)
+		gw.ex.await()
+		gw.broadcastWeights()
+	}
+	for i := 0; i < 3; i++ {
+		iterate()
+	}
+	if n := testing.AllocsPerRun(30, iterate); n != 0 {
+		t.Fatalf("lockstep worker steady state allocates %.1f per iteration", n)
+	}
+}

@@ -22,8 +22,10 @@ package core
 import (
 	"fmt"
 
+	"deep15pf/internal/comm"
 	"deep15pf/internal/nn"
 	"deep15pf/internal/opt"
+	"deep15pf/internal/ps"
 )
 
 // Replica is one worker's complete training state: a model plus whatever
@@ -45,6 +47,21 @@ type Replica interface {
 	// idx, accumulating *mean* gradients (normalised by len(idx)) into
 	// the layer parameters, and returns the mean loss.
 	ComputeGradients(idx []int) float64
+}
+
+// StreamReplica is a Replica whose backward pass reports per-layer gradient
+// completion: gradDone(t) fires on the computing goroutine the moment
+// trainable layer t's accumulated gradients are final (layers finish in
+// reverse topological order). The overlapped trainer uses the callback to
+// start layer t's all-reduce and parameter-server exchange while the rest
+// of the backward pass is still running — the paper's §III-E pipeline.
+// Replicas that do not implement it still train; core falls back to
+// notifying every layer after the whole backward pass.
+type StreamReplica interface {
+	Replica
+	// ComputeGradientsStream is ComputeGradients plus the per-layer
+	// completion callback. gradDone may be nil.
+	ComputeGradientsStream(idx []int, gradDone func(layer int)) float64
 }
 
 // BatchSource yields batch index sets (typically epoch-shuffled).
@@ -70,6 +87,21 @@ type Config struct {
 	Iterations      int // iterations per group
 	Solver          opt.Solver
 	Seed            uint64
+
+	// Overlap pipelines the per-layer gradient exchange with the backward
+	// pass (§III-D/E): each layer's all-reduce and parameter-server push
+	// start the moment its gradients are final, while deeper layers are
+	// still computing. Off = the lockstep schedule (whole backward, then
+	// exchange), which with the fp32 codec is bitwise identical to the
+	// pre-overlap trainer.
+	Overlap bool
+	// Codec selects the PS wire format: "" or "fp32" for identity, "int8"
+	// for stochastic-rounding int8 with per-chunk scales (~4x less gradient
+	// traffic). Intra-group all-reduce always stays fp32.
+	Codec string
+	// PSShardElems splits parameter-server layers larger than this many
+	// elements across flat-range solver shards (0 = unsharded).
+	PSShardElems int
 }
 
 func (c Config) validate() {
@@ -84,6 +116,9 @@ func (c Config) validate() {
 	}
 	if c.Solver == nil {
 		panic("core: solver required")
+	}
+	if _, err := comm.NewCodec(c.Codec, 0); err != nil {
+		panic("core: " + err.Error())
 	}
 }
 
@@ -107,6 +142,10 @@ type Result struct {
 	// state for sync runs). Install into a fresh replica with
 	// InstallWeights for evaluation.
 	FinalWeights [][][]float32
+	// Wire accounts the parameter-server traffic a real interconnect would
+	// have moved: codec-encoded gradients in, fp32 weights out. Zero for
+	// sync runs (no PS involved).
+	Wire ps.WireStats
 }
 
 // ExtractWeights copies a layer set's current parameter values into the
@@ -146,18 +185,6 @@ func finalize(stats []IterStat, groups int) Result {
 		res.FinalLoss = lossSum / float64(tail)
 	}
 	return res
-}
-
-// layerGrads packages a replica's accumulated per-layer gradients in the
-// wire format the parameter servers take.
-func layerGrads(layers []nn.Layer) [][][]float32 {
-	out := make([][][]float32, len(layers))
-	for i, l := range layers {
-		for _, p := range l.Params() {
-			out[i] = append(out[i], p.Grad.Data)
-		}
-	}
-	return out
 }
 
 // installWeights copies parameter-server weight blobs into a replica.

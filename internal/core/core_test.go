@@ -205,3 +205,74 @@ func meanLoss(stats []core.IterStat) float64 {
 	}
 	return s / float64(len(stats))
 }
+
+func TestInt8CodecTrainsCloseToFp32(t *testing.T) {
+	// Same deterministic single-group run through the fp32 and int8 PS
+	// wires: the quantised exchange must still learn, stay close to the
+	// fp32 trajectory, and move ≥3x fewer gradient bytes.
+	p := tinyProblem(t, 64)
+	base := core.Config{Groups: 1, WorkersPerGroup: 2, GroupBatch: 16,
+		Iterations: 30, Seed: 7, Overlap: true}
+
+	base.Solver = opt.NewAdam(2e-3)
+	base.Codec = "fp32"
+	fp32 := core.TrainHybrid(p, base)
+	base.Solver = opt.NewAdam(2e-3)
+	base.Codec = "int8"
+	int8res := core.TrainHybrid(p, base)
+
+	if f, l := meanLoss(int8res.Stats[:5]), meanLoss(int8res.Stats[25:]); l >= f {
+		t.Fatalf("int8 exchange did not learn: %.4f -> %.4f", f, l)
+	}
+	a, b := fp32.FinalLoss, int8res.FinalLoss
+	if diff := math.Abs(a - b); diff > 0.25*math.Abs(a)+0.05 {
+		t.Fatalf("int8 final loss %.4f too far from fp32 %.4f", b, a)
+	}
+	if fp32.Wire.Pushes != int8res.Wire.Pushes || fp32.Wire.Pushes == 0 {
+		t.Fatalf("push counts differ: %d vs %d", fp32.Wire.Pushes, int8res.Wire.Pushes)
+	}
+	if ratio := float64(fp32.Wire.GradBytes) / float64(int8res.Wire.GradBytes); ratio < 3 {
+		t.Fatalf("int8 gradient wire reduction %.2fx < 3x", ratio)
+	}
+	// Weight return stays fp32 in both configurations.
+	if fp32.Wire.WeightBytes != int8res.Wire.WeightBytes {
+		t.Fatal("weight-return bytes must not depend on the gradient codec")
+	}
+}
+
+func TestHybridOverlapMultiGroupLearns(t *testing.T) {
+	// The overlapped trainer under real cross-group asynchrony (the
+	// production configuration): must learn and show staleness, like the
+	// lockstep multigroup test above.
+	p := tinyProblem(t, 64)
+	res := core.TrainHybrid(p, core.Config{
+		Groups: 4, WorkersPerGroup: 2, GroupBatch: 16, Iterations: 12,
+		Solver: opt.NewAdam(2e-3), Seed: 7, Overlap: true, Codec: "int8",
+		PSShardElems: 4096,
+	})
+	if len(res.Stats) != 4*12 {
+		t.Fatalf("stats = %d", len(res.Stats))
+	}
+	first := meanLoss(res.Stats[:8])
+	last := meanLoss(res.Stats[len(res.Stats)-8:])
+	if last >= first {
+		t.Fatalf("overlapped hybrid did not learn: %.4f -> %.4f", first, last)
+	}
+	if res.MeanStaleness <= 0 {
+		t.Fatal("asynchronous groups must produce staleness")
+	}
+	if res.Wire.Pushes == 0 || res.Wire.GradBytes == 0 {
+		t.Fatalf("wire accounting missing: %+v", res.Wire)
+	}
+}
+
+func TestUnknownCodecPanics(t *testing.T) {
+	p := tinyProblem(t, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown codec")
+		}
+	}()
+	core.TrainHybrid(p, core.Config{Groups: 1, WorkersPerGroup: 1, GroupBatch: 8,
+		Iterations: 1, Solver: opt.NewSGD(0.1, 0), Codec: "fp64"})
+}

@@ -6,24 +6,30 @@ import (
 	"sync/atomic"
 
 	"deep15pf/internal/comm"
-	"deep15pf/internal/data"
 	"deep15pf/internal/ps"
 )
 
 // TrainHybrid runs the paper's hybrid architecture with real concurrency:
 // cfg.Groups compute groups, each of cfg.WorkersPerGroup goroutine workers.
 // Within a group gradients are all-reduced synchronously; the group root
-// then exchanges each layer with its dedicated parameter server (ps.Fleet)
-// and broadcasts the fresh model back to its group (§III-E, Figs 2–4).
-// Groups never synchronise with each other — asynchrony and staleness are
-// real, produced by goroutine scheduling.
+// exchanges each layer with its dedicated parameter server (ps.Fleet)
+// through the wire codec and broadcasts the fresh model back to its group
+// (§III-E, Figs 2–4). Groups never synchronise with each other — asynchrony
+// and staleness are real, produced by goroutine scheduling.
+//
+// With cfg.Overlap the per-layer exchange is pipelined with the backward
+// pass: layer L+1's reduction and PS push run while layer L's backward is
+// still executing, the §III-D/E overlap that keeps communication off the
+// critical path. With Overlap off and the fp32 codec the update arithmetic
+// is bitwise identical to the fully serialized original.
 func TrainHybrid(p Problem, cfg Config) Result {
 	cfg.validate()
 
-	// The PS fleet owns the master model: one server per trainable layer,
-	// initialised from a template replica, solver state server-side.
+	// The PS fleet owns the master model: one server per trainable layer
+	// (sharded by flat-parameter range above cfg.PSShardElems), initialised
+	// from a template replica, solver state server-side.
 	template := p.NewReplica()
-	fleet := ps.NewFleet(template.TrainableLayers(), cfg.Solver)
+	fleet := ps.NewShardedFleet(template.TrainableLayers(), cfg.Solver, cfg.PSShardElems)
 
 	var seq atomic.Int64
 	type rec struct {
@@ -52,6 +58,7 @@ func TrainHybrid(p Problem, cfg Config) Result {
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Seq < stats[j].Seq })
 	res := finalize(stats, cfg.Groups)
 	res.FinalWeights = fleetWeights(fleet)
+	res.Wire = fleet.WireStats()
 	return res
 }
 
@@ -87,7 +94,13 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 		go func(rank int) {
 			defer wg.Done()
 			rep := replicas[rank]
-			layers := rep.TrainableLayers()
+			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
+			if rank == 0 {
+				// The exchanger waits on the worker's own handle table: the
+				// worker fills row t, then the trigger send publishes it.
+				gw.ex = newExchanger(fleet, g, gw.layers, gw.handles, cfg.Codec, cfg.Seed)
+				defer gw.ex.close()
+			}
 
 			// Initial model fetch: the root reads the master, everyone
 			// installs it so the group starts on the PS state.
@@ -97,38 +110,25 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 				for i, r := range resps {
 					weights[i] = r.Weights
 				}
-				installWeights(layers, weights)
+				installWeights(gw.layers, weights)
 			}
 			group.Barrier()
-			for _, l := range layers {
-				for _, prm := range l.Params() {
-					group.Broadcast(rank, 0, prm.W.Data)
-				}
-			}
+			gw.broadcastWeights()
 
+			shards := shardCache{rank: rank, workers: w}
 			for it := 0; it < cfg.Iterations; it++ {
-				shard := data.Split(len(batches[it]), w)[rank]
-				idx := batches[it][shard[0]:shard[1]]
+				lo, hi := shards.shard(len(batches[it]))
+				idx := batches[it][lo:hi]
 				rep.ZeroGrad()
-				loss := rep.ComputeGradients(idx)
-				for _, l := range layers {
-					for _, prm := range l.Params() {
-						group.AllReduceMean(rank, prm.Grad.Data)
-					}
-				}
-				lossAll := group.Gather(rank, 0, loss)
+				loss := gw.compute(idx)
+				lossAll := group.GatherInto(rank, 0, loss, gw.lossBuf)
 
 				// Root ↔ per-layer parameter servers (asynchronous with
-				// respect to every other group).
+				// respect to every other group): wait out the in-flight
+				// pushes, which land the fresh model directly in the root
+				// replica's parameters.
 				if rank == 0 {
-					resps := fleet.UpdateAll(g, layerGrads(layers))
-					weights := make([][][]float32, len(resps))
-					var stale float64
-					for i, r := range resps {
-						weights[i] = r.Weights
-						stale += float64(r.Staleness)
-					}
-					installWeights(layers, weights)
+					stale := gw.ex.await()
 					var lossSum float64
 					for _, v := range lossAll {
 						lossSum += v
@@ -137,15 +137,11 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 						Group:     g,
 						Iter:      it,
 						Loss:      lossSum / float64(len(lossAll)),
-						Staleness: stale / float64(len(resps)),
+						Staleness: stale,
 					})
 				}
 				// Broadcast the fresh model to the group.
-				for _, l := range layers {
-					for _, prm := range l.Params() {
-						group.Broadcast(rank, 0, prm.W.Data)
-					}
-				}
+				gw.broadcastWeights()
 			}
 		}(rank)
 	}

@@ -38,13 +38,20 @@ func BuildSchedule(iterDurations [][]float64) []ScheduledEvent {
 // all-reduce); the PS fleet applies updates in schedule order, so the
 // staleness process matches what the simulated cluster would produce. The
 // result's IterStat.Time carries the simulated clock.
+//
+// The exchange runs through cfg.Codec exactly like the concurrent trainer:
+// with "int8" every push suffers the quantised wire's distortion, so the
+// Fig 8 study couples real low-precision SGD dynamics to the simulated
+// timeline. cfg.Overlap does not change the math here (ordering is the
+// schedule's); its timing effect lives in the cluster model.
 func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 	cfg.validate()
 	template := p.NewReplica()
-	fleet := ps.NewFleet(template.TrainableLayers(), cfg.Solver)
+	fleet := ps.NewShardedFleet(template.TrainableLayers(), cfg.Solver, cfg.PSShardElems)
 
 	replicas := make([]Replica, cfg.Groups)
 	sources := make([]BatchSource, cfg.Groups)
+	xfers := make([][]*layerXfer, cfg.Groups) // per group, per layer wire state
 	iters := make([]int, cfg.Groups)
 	for g := range replicas {
 		replicas[g] = p.NewReplica()
@@ -55,7 +62,11 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 		for i, r := range resps {
 			weights[i] = r.Weights
 		}
-		installWeights(replicas[g].TrainableLayers(), weights)
+		layers := replicas[g].TrainableLayers()
+		installWeights(layers, weights)
+		for t, l := range layers {
+			xfers[g] = append(xfers[g], newLayerXfer(l.Params(), cfg.Codec, cfg.Seed, g, t))
+		}
 	}
 
 	stats := make([]IterStat, 0, len(schedule))
@@ -71,27 +82,27 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 		idx := sources[g].Next(cfg.GroupBatch)
 		rep.ZeroGrad()
 		loss := rep.ComputeGradients(idx)
-		layers := rep.TrainableLayers()
-		resps := fleet.UpdateAll(g, layerGrads(layers))
-		weights := make([][][]float32, len(resps))
 		var stale float64
-		for i, r := range resps {
-			weights[i] = r.Weights
-			stale += float64(r.Staleness)
+		for t, x := range xfers[g] {
+			for i, prm := range x.params {
+				x.codec.Encode(x.wires[i], prm.Grad.Data)
+			}
+			res := fleet.PushWires(g, t, x.codec, x.wires, x.weights)
+			stale += float64(res.Staleness)
 		}
-		installWeights(layers, weights)
 		stats = append(stats, IterStat{
 			Seq:       seqNo,
 			Group:     g,
 			Iter:      iters[g],
 			Loss:      loss,
-			Staleness: stale / float64(len(resps)),
+			Staleness: stale / float64(len(xfers[g])),
 			Time:      ev.Time,
 		})
 		iters[g]++
 	}
 	res := finalize(stats, cfg.Groups)
 	res.FinalWeights = fleetWeights(fleet)
+	res.Wire = fleet.WireStats()
 	return res
 }
 

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"sync"
+
+	"deep15pf/internal/comm"
+	"deep15pf/internal/data"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/ps"
+)
+
+// layerXfer is one trainable layer's exchange state on a group root: the
+// reusable wire buffers, the per-layer codec instance (stochastic-rounding
+// RNG state is not goroutine-safe, so each pusher owns its own), and the
+// weight views the parameter server writes fresh weights straight into —
+// they alias the root replica's parameter storage, so a completed push IS
+// the install, no copy.
+type layerXfer struct {
+	params  []*nn.Param
+	codec   comm.Codec
+	wires   []*comm.Wire
+	weights [][]float32
+	stale   int
+	trigger chan struct{}
+}
+
+// newLayerXfer builds one layer's wire state: the per-layer codec (seeded
+// per group and layer so int8 rounding streams are independent), reusable
+// wire buffers, and weight views aliasing the owning replica's parameter
+// storage. Shared by the concurrent exchanger and the scheduled trainer so
+// the two cannot drift.
+func newLayerXfer(params []*nn.Param, codecName string, runSeed uint64, group, layer int) *layerXfer {
+	codec, err := comm.NewCodec(codecName, runSeed+uint64(group)*0xC0DEC+uint64(layer)*0x9E3779B9)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	x := &layerXfer{
+		params:  params,
+		codec:   codec,
+		wires:   make([]*comm.Wire, len(params)),
+		weights: make([][]float32, len(params)),
+		trigger: make(chan struct{}, 1),
+	}
+	for i, prm := range params {
+		x.wires[i] = &comm.Wire{}
+		x.weights[i] = prm.W.Data
+	}
+	return x
+}
+
+// exchanger drives a group root's parameter-server traffic from one
+// dedicated pusher goroutine per trainable layer — the paper's Fig 4
+// arrangement made concurrent. The root's backward pass triggers layer t's
+// pusher the moment t's gradients are final; the pusher waits for the
+// intra-group reduction, encodes through the wire codec, exchanges with
+// layer t's dedicated server and lands the fresh weights, all while the
+// backward pass is still producing earlier layers. Everything it touches
+// per iteration — handles, wires, weight views — is preallocated, so the
+// steady state allocates nothing.
+type exchanger struct {
+	fleet   *ps.Fleet
+	groupID int
+	xfers   []*layerXfer
+	handles [][]comm.Handle // shared with the root worker, synchronised by trigger
+	done    chan int
+	wg      sync.WaitGroup
+}
+
+// newExchanger builds the per-layer pushers for a group root. handles is
+// the root worker's per-layer handle table: the worker fills row t before
+// triggering pusher t (the channel send publishes the writes).
+func newExchanger(fleet *ps.Fleet, groupID int, layers []nn.Layer, handles [][]comm.Handle, codecName string, runSeed uint64) *exchanger {
+	e := &exchanger{
+		fleet:   fleet,
+		groupID: groupID,
+		handles: handles,
+		done:    make(chan int, len(layers)),
+	}
+	for t, l := range layers {
+		e.xfers = append(e.xfers, newLayerXfer(l.Params(), codecName, runSeed, groupID, t))
+	}
+	e.start()
+	return e
+}
+
+func (e *exchanger) start() {
+	for t := range e.xfers {
+		e.wg.Add(1)
+		go func(t int) {
+			defer e.wg.Done()
+			x := e.xfers[t]
+			for range x.trigger {
+				// The intra-group reduction must land before the encode
+				// reads the gradients.
+				for i := range e.handles[t] {
+					e.handles[t][i].Wait()
+				}
+				for i, prm := range x.params {
+					x.codec.Encode(x.wires[i], prm.Grad.Data)
+				}
+				res := e.fleet.PushWires(e.groupID, t, x.codec, x.wires, x.weights)
+				x.stale = res.Staleness
+				e.done <- t
+			}
+		}(t)
+	}
+}
+
+// push hands layer t to its pusher. Called from the root's compute
+// goroutine right after it has filled handles[t].
+func (e *exchanger) push(t int) { e.xfers[t].trigger <- struct{}{} }
+
+// await blocks until every layer's push of the current iteration has
+// completed and returns the mean staleness across layers.
+func (e *exchanger) await() float64 {
+	var sum float64
+	for i := 0; i < len(e.xfers); i++ {
+		t := <-e.done
+		sum += float64(e.xfers[t].stale)
+	}
+	return sum / float64(len(e.xfers))
+}
+
+// close stops the pushers. The exchanger must not be used afterwards.
+func (e *exchanger) close() {
+	for _, x := range e.xfers {
+		close(x.trigger)
+	}
+	e.wg.Wait()
+}
+
+// groupWorker is one rank's steady-state training machinery: the replica,
+// the cached per-layer parameter slices, the async-reduction handle table
+// and — on rank 0 — the exchanger. Building it once per run is what makes
+// iterations allocation-free.
+type groupWorker struct {
+	rank    int
+	group   *comm.Group
+	rep     Replica
+	layers  []nn.Layer
+	lparams [][]*nn.Param
+	handles [][]comm.Handle
+	ex      *exchanger // rank 0 only; nil for sync training
+	overlap bool
+	notify  func(layer int) // prebuilt gradDone closure
+	lossBuf []float64       // rank 0 only
+}
+
+func newGroupWorker(rank int, group *comm.Group, rep Replica, ex *exchanger, overlap bool) *groupWorker {
+	gw := &groupWorker{
+		rank:    rank,
+		group:   group,
+		rep:     rep,
+		layers:  rep.TrainableLayers(),
+		ex:      ex,
+		overlap: overlap,
+	}
+	for _, l := range gw.layers {
+		params := l.Params()
+		gw.lparams = append(gw.lparams, params)
+		gw.handles = append(gw.handles, make([]comm.Handle, len(params)))
+	}
+	if rank == 0 {
+		gw.lossBuf = make([]float64, group.Size())
+	}
+	gw.notify = func(t int) {
+		for i, prm := range gw.lparams[t] {
+			gw.handles[t][i] = gw.group.AllReduceMeanAsync(gw.rank, prm.Grad.Data)
+		}
+		if gw.ex != nil {
+			gw.ex.push(t)
+		}
+	}
+	return gw
+}
+
+// compute runs one forward/backward over idx with the group-mean reduction
+// of every layer's gradients in flight: overlapped with the backward pass
+// when cfg.Overlap is set, issued en bloc after it otherwise (the lockstep
+// schedule, same arithmetic). On return, the root's layers are being
+// exchanged by the pushers; non-root ranks have fully reduced gradients.
+func (gw *groupWorker) compute(idx []int) float64 {
+	var loss float64
+	if gw.overlap {
+		loss = computeStream(gw.rep, len(gw.layers), idx, gw.notify)
+	} else {
+		loss = gw.rep.ComputeGradients(idx)
+		for t := len(gw.layers) - 1; t >= 0; t-- {
+			gw.notify(t)
+		}
+	}
+	// Non-root ranks must not touch their gradient buffers (next ZeroGrad)
+	// until the reductions land; the root's pushers wait on its behalf.
+	if gw.ex == nil {
+		for t := range gw.handles {
+			for i := range gw.handles[t] {
+				gw.handles[t][i].Wait()
+			}
+		}
+	}
+	return loss
+}
+
+// computeStream runs the streamed backward when the replica supports it and
+// degrades to whole-backward-then-notify otherwise (same notification
+// order, no overlap).
+func computeStream(rep Replica, nLayers int, idx []int, gradDone func(layer int)) float64 {
+	if sr, ok := rep.(StreamReplica); ok {
+		return sr.ComputeGradientsStream(idx, gradDone)
+	}
+	loss := rep.ComputeGradients(idx)
+	for t := nLayers - 1; t >= 0; t-- {
+		gradDone(t)
+	}
+	return loss
+}
+
+// shardCache yields this rank's [lo,hi) share of an n-sample batch.
+// Batch sizes are fixed for a run except at epoch boundaries, where the
+// batcher emits a short tail batch as-is — the cache recomputes the split
+// only when n changes, keeping the steady state allocation-free while
+// still handling datasets that do not divide evenly into group batches.
+type shardCache struct {
+	rank, workers int
+	n, lo, hi     int
+}
+
+func (s *shardCache) shard(n int) (lo, hi int) {
+	if n != s.n {
+		sp := data.Split(n, s.workers)[s.rank]
+		s.n, s.lo, s.hi = n, sp[0], sp[1]
+	}
+	return s.lo, s.hi
+}
+
+// broadcastWeights fans the root's (freshly exchanged) model out to the
+// group.
+func (gw *groupWorker) broadcastWeights() {
+	for _, params := range gw.lparams {
+		for _, prm := range params {
+			gw.group.Broadcast(gw.rank, 0, prm.W.Data)
+		}
+	}
+}

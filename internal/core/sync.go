@@ -4,13 +4,18 @@ import (
 	"sync"
 
 	"deep15pf/internal/comm"
-	"deep15pf/internal/data"
 )
 
 // TrainSync runs fully synchronous data-parallel training (the paper's
 // baseline, Fig 1 left): cfg.WorkersPerGroup workers split each batch,
 // all-reduce mean gradients, and apply identical solver steps to their
 // replicas, which therefore stay in lockstep. cfg.Groups must be 1.
+//
+// With cfg.Overlap each layer's all-reduce starts the moment its backward
+// finishes, hiding the reduction behind the remaining backward compute; the
+// arithmetic — a fixed rank-order reduction per parameter — is bitwise
+// identical either way. There is no parameter server here, so cfg.Codec
+// does not apply (the intra-group wire is always fp32).
 func TrainSync(p Problem, cfg Config) Result {
 	cfg.validate()
 	if cfg.Groups != 1 {
@@ -39,21 +44,19 @@ func TrainSync(p Problem, cfg Config) Result {
 		go func(rank int) {
 			defer wg.Done()
 			rep := replicas[rank]
-			layers := rep.TrainableLayers()
+			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
 			solver := cfg.Solver.Clone()
+			shards := shardCache{rank: rank, workers: w}
 			for it := 0; it < cfg.Iterations; it++ {
-				shard := data.Split(len(batches[it]), w)[rank]
-				idx := batches[it][shard[0]:shard[1]]
+				lo, hi := shards.shard(len(batches[it]))
+				idx := batches[it][lo:hi]
 				rep.ZeroGrad()
-				loss := rep.ComputeGradients(idx)
 				// Mean over workers of per-shard means = batch mean
-				// (shards are equal-sized by construction).
-				for _, l := range layers {
-					for _, prm := range l.Params() {
-						group.AllReduceMean(rank, prm.Grad.Data)
-					}
-				}
-				if all := group.Gather(rank, 0, loss); all != nil {
+				// (shards are equal-sized by construction). With no
+				// exchanger attached, compute waits out every reduction
+				// before returning.
+				loss := gw.compute(idx)
+				if all := group.GatherInto(rank, 0, loss, gw.lossBuf); all != nil {
 					var sum float64
 					for _, v := range all {
 						sum += v
@@ -62,7 +65,7 @@ func TrainSync(p Problem, cfg Config) Result {
 				}
 				// Identical state + identical gradients → identical
 				// steps: replicas remain bitwise synchronised.
-				for _, l := range layers {
+				for _, l := range gw.layers {
 					solver.Step(l.Params())
 				}
 			}

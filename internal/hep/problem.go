@@ -61,6 +61,13 @@ func (r *replica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() 
 func (r *replica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
 
 func (r *replica) ComputeGradients(idx []int) float64 {
+	return r.ComputeGradientsStream(idx, nil)
+}
+
+// ComputeGradientsStream implements core.StreamReplica: the compiled plan's
+// backward pass notifies gradDone as each trainable layer's gradients become
+// final, letting the overlapped trainer exchange them mid-backward.
+func (r *replica) ComputeGradientsStream(idx []int, gradDone func(layer int)) float64 {
 	n := len(idx)
 	x := r.xStage.Batch(n)
 	grad := r.gradStage.Batch(n)
@@ -72,7 +79,7 @@ func (r *replica) ComputeGradients(idx []int) float64 {
 	plan := r.plans.Plan(n)
 	logits := plan.Forward(x)
 	loss := nn.SoftmaxCrossEntropyInto(logits, labels, grad)
-	plan.Backward(grad)
+	plan.BackwardStream(grad, gradDone)
 	return loss
 }
 

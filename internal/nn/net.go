@@ -90,8 +90,30 @@ func ReleaseGradients(params []*Param) {
 // Backward runs all layers in reverse, accumulating parameter gradients,
 // and returns the gradient with respect to the network input.
 func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return n.BackwardStream(dout, nil)
+}
+
+// BackwardStream is Backward with per-layer completion notification: after
+// the t-th trainable layer (TrainableLayers order) finishes its backward —
+// at which point its accumulated gradients are final — gradDone(t) fires on
+// the calling goroutine, in reverse topological order. It is the unplanned
+// counterpart of Plan.BackwardStream; gradDone == nil degrades to Backward.
+func (n *Network) BackwardStream(dout *tensor.Tensor, gradDone func(layer int)) *tensor.Tensor {
+	trainIdx := -1
+	if gradDone != nil {
+		for _, l := range n.Layers {
+			if len(l.Params()) > 0 {
+				trainIdx++
+			}
+		}
+	}
 	for i := len(n.Layers) - 1; i >= 0; i-- {
-		dout = n.Layers[i].Backward(dout)
+		l := n.Layers[i]
+		dout = l.Backward(dout)
+		if gradDone != nil && len(l.Params()) > 0 {
+			gradDone(trainIdx)
+			trainIdx--
+		}
 	}
 	return dout
 }

@@ -37,6 +37,7 @@ type Plan struct {
 type planStep struct {
 	layer    PlannedLayer
 	st       PlanState
+	trainIdx int   // index into TrainableLayers order, -1 if parameter-free
 	inShape  []int // per-sample
 	outShape []int // per-sample
 	inPer    int   // per-sample input elements
@@ -71,6 +72,7 @@ func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan 
 	}
 	in := net.InShape
 	p.steps = make([]planStep, len(net.Layers))
+	trainables := 0
 	for i, l := range net.Layers {
 		pl, ok := l.(PlannedLayer)
 		if !ok {
@@ -79,6 +81,11 @@ func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan 
 		out := l.OutShape(in)
 		s := &p.steps[i]
 		s.layer = pl
+		s.trainIdx = -1
+		if len(l.Params()) > 0 {
+			s.trainIdx = trainables
+			trainables++
+		}
 		s.inShape = append([]int(nil), in...)
 		s.outShape = append([]int(nil), out...)
 		s.inPer = shapeElems(in)
@@ -151,6 +158,19 @@ func (p *Plan) Forward(x *tensor.Tensor) *tensor.Tensor {
 // the plan-owned gradient with respect to the network input (valid until
 // the next Backward).
 func (p *Plan) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return p.BackwardStream(dout, nil)
+}
+
+// BackwardStream is Backward with per-layer completion notification: after
+// the t-th trainable layer's BackwardInto returns — the moment its
+// accumulated parameter gradients are final, since no other layer touches
+// them — gradDone(t) fires on the calling goroutine. Layers complete in
+// reverse topological order, so t runs from the deepest trainable layer
+// down to 0. This is the hook the overlapped trainer uses to start
+// exchanging layer t's gradients while the rest of the backward pass is
+// still executing (the paper's §III-E pipelining). gradDone == nil degrades
+// to plain Backward.
+func (p *Plan) BackwardStream(dout *tensor.Tensor, gradDone func(layer int)) *tensor.Tensor {
 	if !p.train {
 		panic("nn: Backward on an inference plan")
 	}
@@ -172,6 +192,9 @@ func (p *Plan) Backward(dout *tensor.Tensor) *tensor.Tensor {
 		dx := view(s.dx, s.dxSlab, p.n, s.inPer)
 		s.layer.BackwardInto(&s.st, dx, cur)
 		cur = dx
+		if gradDone != nil && s.trainIdx >= 0 {
+			gradDone(s.trainIdx)
+		}
 	}
 	return cur
 }

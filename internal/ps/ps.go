@@ -1,19 +1,33 @@
 // Package ps implements the paper's parameter servers (§II-B2, §III-E):
-// each *trainable layer* gets a dedicated server goroutine holding the
-// master copy of that layer's parameters and the solver state for them.
-// Compute groups send layer gradients asynchronously; the server applies
-// updates strictly in arrival order and returns the fresh model, tracking
-// per-update staleness (the number of updates other groups applied between
-// this group's read and its write — the quantity that degrades statistical
+// each *trainable layer* gets a dedicated server holding the master copy of
+// that layer's parameters and the solver state for them. Compute groups
+// send layer gradients asynchronously; the server applies updates strictly
+// in arrival order and returns the fresh model, tracking per-update
+// staleness (the number of updates other groups applied between this
+// group's read and its write — the quantity that degrades statistical
 // efficiency as group count grows).
+//
+// Two refinements beyond the original Fig 4 arrangement:
+//
+//   - Large layers shard by flat-parameter range: a server splits its
+//     concatenated parameter vector into chunk-aligned pieces, each with
+//     its own solver-state shard, applied concurrently on push. Elementwise
+//     solvers (SGD momentum, ADAM) make the sharded update bitwise
+//     identical to the unsharded one.
+//   - The streamed push path (PushWires) accepts codec-encoded gradients —
+//     the overlapped trainer starts pushing layer L+1 while layer L's
+//     backward is still executing — and writes the fresh weights into
+//     caller-owned buffers, so a steady-state push allocates nothing.
 package ps
 
 import (
 	"fmt"
 	"sync"
 
+	"deep15pf/internal/comm"
 	"deep15pf/internal/nn"
 	"deep15pf/internal/opt"
+	"deep15pf/internal/tensor"
 )
 
 // Response carries the post-update model state back to a group root.
@@ -23,22 +37,73 @@ type Response struct {
 	Staleness int         // updates applied since this group's last read
 }
 
+// PushResult is the streamed path's response metadata; the weights travel
+// through the caller's buffers instead.
+type PushResult struct {
+	Clock     int64
+	Staleness int
+	FirstPush bool // the group had never read this server before pushing
+}
+
+// WireStats accounts the bytes a real interconnect would move for the PS
+// traffic: encoded gradient payloads inbound, fp32 model payloads outbound.
+type WireStats struct {
+	GradBytes   int64
+	WeightBytes int64
+	Pushes      int64
+}
+
+// piece is one chunk-aligned slice of one master parameter blob, the unit a
+// shard owns. w and g alias the master storage.
+type piece struct {
+	param int // index into the server's params
+	off   int // element offset within that parameter
+	w, g  []float32
+}
+
+// shard is one flat-parameter range of a layer with its own solver state.
+// Shards are disjoint, so their solver steps run concurrently.
+type shard struct {
+	pieces []piece
+	params []*nn.Param // synthetic per-piece params the solver steps over
+	solver opt.Solver
+	elems  int
+}
+
 // Server owns one layer's master parameters.
 type Server struct {
 	LayerID int
 
-	mu        sync.Mutex
-	params    []*nn.Param // master storage (decoupled from any replica)
-	solver    opt.Solver
-	clock     int64
-	staleness map[int]int64 // histogram: staleness value → count
-	perGroup  map[int]int64 // groupID → clock at last read
+	mu         sync.Mutex
+	params     []*nn.Param // master storage (decoupled from any replica)
+	totalElems int
+	shards     []shard
+	stepFns    []func() // prebuilt per-shard step closures (no per-push allocs)
+	stepWG     sync.WaitGroup
+	clock      int64
+	staleness  map[int]int64 // histogram: staleness value → count
+	perGroup   map[int]int64 // groupID → clock at last read
+	seen       map[int]bool  // groups with at least one read (first-push accounting)
+	firstPush  int64
+	wire       WireStats
 }
 
-// NewServer builds a server for one layer, copying the initial parameter
-// values from template and cloning fresh solver state.
+// NewServer builds a single-shard server for one layer, copying the initial
+// parameter values from template and cloning fresh solver state.
 func NewServer(layerID int, template []*nn.Param, solver opt.Solver) *Server {
+	return NewServerSharded(layerID, template, solver, 0)
+}
+
+// NewServerSharded builds a server whose parameter vector is split into
+// shards of roughly maxShardElems elements (0 or ≥ the layer size gives a
+// single shard; the target is rounded up to the comm.ChunkElems grid, so
+// shards may hold up to that rounded size). Shard cuts fall on
+// comm.ChunkElems boundaries within each parameter blob, so a shard decodes
+// its slice of an encoded push without touching its neighbours' chunk
+// scales.
+func NewServerSharded(layerID int, template []*nn.Param, solver opt.Solver, maxShardElems int) *Server {
 	master := make([]*nn.Param, len(template))
+	total := 0
 	for i, p := range template {
 		master[i] = &nn.Param{
 			Name: p.Name,
@@ -46,15 +111,76 @@ func NewServer(layerID int, template []*nn.Param, solver opt.Solver) *Server {
 			Grad: p.Grad.Clone(),
 		}
 		master[i].Grad.Zero()
+		total += p.W.Len()
 	}
-	return &Server{
-		LayerID:   layerID,
-		params:    master,
-		solver:    solver.Clone(),
-		staleness: make(map[int]int64),
-		perGroup:  make(map[int]int64),
+	s := &Server{
+		LayerID:    layerID,
+		params:     master,
+		totalElems: total,
+		staleness:  make(map[int]int64),
+		perGroup:   make(map[int]int64),
+		seen:       make(map[int]bool),
 	}
+	if maxShardElems <= 0 || maxShardElems >= total {
+		maxShardElems = total
+	}
+	// Round the target up to the chunk grid so cuts align with the wire.
+	if rem := maxShardElems % comm.ChunkElems; rem != 0 && maxShardElems < total {
+		maxShardElems += comm.ChunkElems - rem
+	}
+	cur := shard{solver: solver.Clone()}
+	flush := func() {
+		if len(cur.pieces) > 0 {
+			s.shards = append(s.shards, cur)
+			cur = shard{solver: solver.Clone()}
+		}
+	}
+	for pi, p := range master {
+		n := p.W.Len()
+		for off := 0; off < n; {
+			take := n - off
+			if room := maxShardElems - cur.elems; take > room {
+				take = room
+				// Keep cuts on the chunk grid of this parameter.
+				if end := off + take; end%comm.ChunkElems != 0 && end < n {
+					end -= end % comm.ChunkElems
+					take = end - off
+				}
+			}
+			if take <= 0 {
+				flush()
+				continue
+			}
+			pc := piece{param: pi, off: off, w: p.W.Data[off : off+take], g: p.Grad.Data[off : off+take]}
+			cur.pieces = append(cur.pieces, pc)
+			cur.params = append(cur.params, &nn.Param{
+				Name: fmt.Sprintf("%s[%d:%d]", p.Name, off, off+take),
+				W:    tensor.FromSlice(pc.w, take),
+				Grad: tensor.FromSlice(pc.g, take),
+			})
+			cur.elems += take
+			off += take
+			if cur.elems >= maxShardElems {
+				flush()
+			}
+		}
+	}
+	flush()
+	// Prebuild the shard step closures so a multi-shard push spawns its
+	// goroutines without allocating closures or WaitGroups per push.
+	s.stepFns = make([]func(), len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.stepFns[i] = func() {
+			defer s.stepWG.Done()
+			sh.solver.Step(sh.params)
+		}
+	}
+	return s
 }
+
+// NumShards returns the number of flat-parameter shards.
+func (s *Server) NumShards() int { return len(s.shards) }
 
 // Fetch returns the current model without updating (a group's initial
 // read). It records the read clock for staleness accounting.
@@ -62,7 +188,47 @@ func (s *Server) Fetch(groupID int) Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.perGroup[groupID] = s.clock
+	s.seen[groupID] = true
+	// The initial model pull crosses the same wire as a push's return.
+	s.wire.WeightBytes += 4 * int64(s.totalElems)
 	return Response{Weights: s.copyWeightsLocked(), Clock: s.clock}
+}
+
+// accountLocked advances the clock and staleness books for one update from
+// groupID and returns the staleness metadata. A group's first-ever push
+// with no prior read has no read-to-write window to measure: it is counted
+// in the FirstPushes tally, not the staleness histogram, so the histogram
+// only ever aggregates genuine read→write intervals (previously such pushes
+// landed in whatever low bucket the zero-value read clock implied).
+func (s *Server) accountLocked(groupID int) (stale int, first bool) {
+	stale = int(s.clock - s.perGroup[groupID])
+	first = !s.seen[groupID]
+	if first {
+		s.firstPush++
+		s.seen[groupID] = true
+	} else {
+		s.staleness[stale]++
+	}
+	s.clock++
+	s.perGroup[groupID] = s.clock
+	return stale, first
+}
+
+// stepShardsLocked applies the solver to every shard over the freshly
+// written master gradients. Multi-shard servers step concurrently — the
+// "multiple server goroutines by flat-parameter range" arrangement — which
+// is safe because shards are disjoint and bitwise-neutral because the
+// solvers are elementwise.
+func (s *Server) stepShardsLocked() {
+	if len(s.shards) == 1 {
+		s.shards[0].solver.Step(s.shards[0].params)
+		return
+	}
+	s.stepWG.Add(len(s.stepFns))
+	for _, fn := range s.stepFns {
+		go fn()
+	}
+	s.stepWG.Wait()
 }
 
 // Update applies the group's layer gradient to the master model ("the PS
@@ -75,22 +241,73 @@ func (s *Server) Update(groupID int, grads [][]float32) Response {
 	if len(grads) != len(s.params) {
 		panic(fmt.Sprintf("ps: layer %d got %d grad blobs, want %d", s.LayerID, len(grads), len(s.params)))
 	}
-	stale := s.clock - s.perGroup[groupID]
-	s.staleness[int(stale)]++
 	for i, g := range grads {
 		if len(g) != s.params[i].Grad.Len() {
 			panic(fmt.Sprintf("ps: layer %d param %d size %d, want %d", s.LayerID, i, len(g), s.params[i].Grad.Len()))
 		}
 		copy(s.params[i].Grad.Data, g)
 	}
-	s.solver.Step(s.params)
-	s.clock++
-	s.perGroup[groupID] = s.clock
+	stale, _ := s.accountLocked(groupID)
+	s.stepShardsLocked()
+	s.wire.GradBytes += 4 * int64(s.totalElems)
+	s.wire.WeightBytes += 4 * int64(s.totalElems)
+	s.wire.Pushes++
 	return Response{
 		Weights:   s.copyWeightsLocked(),
 		Clock:     s.clock,
-		Staleness: int(stale),
+		Staleness: stale,
 	}
+}
+
+// PushWires is the streamed, allocation-free update path: wires carries one
+// codec-encoded blob per layer parameter; the decoded gradients drive the
+// shard solvers, and the fresh weights are written into weightsOut (one
+// caller-owned slice per parameter, full length; nil skips the model
+// return). The codec is the caller's — the server only decodes through it —
+// so fp32 pushes reproduce Update bit for bit.
+func (s *Server) PushWires(groupID int, codec comm.Codec, wires []*comm.Wire, weightsOut [][]float32) PushResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(wires) != len(s.params) {
+		panic(fmt.Sprintf("ps: layer %d got %d wires, want %d", s.LayerID, len(wires), len(s.params)))
+	}
+	var pushed int64
+	for i, w := range wires {
+		if w.N != s.params[i].Grad.Len() {
+			panic(fmt.Sprintf("ps: layer %d wire %d carries %d elems, want %d", s.LayerID, i, w.N, s.params[i].Grad.Len()))
+		}
+		pushed += w.Bytes()
+	}
+	// Decode shard by shard so a multi-shard server only ever touches its
+	// own flat range of the wire.
+	if len(s.shards) == 1 {
+		for i, w := range wires {
+			codec.Decode(w, s.params[i].Grad.Data)
+		}
+	} else {
+		for si := range s.shards {
+			for _, pc := range s.shards[si].pieces {
+				codec.DecodeRange(wires[pc.param], pc.off, pc.g)
+			}
+		}
+	}
+	stale, first := s.accountLocked(groupID)
+	s.stepShardsLocked()
+	s.wire.GradBytes += pushed
+	s.wire.Pushes++
+	if weightsOut != nil {
+		if len(weightsOut) != len(s.params) {
+			panic(fmt.Sprintf("ps: layer %d got %d weight buffers, want %d", s.LayerID, len(weightsOut), len(s.params)))
+		}
+		for i, p := range s.params {
+			if len(weightsOut[i]) != p.W.Len() {
+				panic(fmt.Sprintf("ps: layer %d weight buffer %d size %d, want %d", s.LayerID, i, len(weightsOut[i]), p.W.Len()))
+			}
+			copy(weightsOut[i], p.W.Data)
+		}
+		s.wire.WeightBytes += 4 * int64(s.totalElems)
+	}
+	return PushResult{Clock: s.clock, Staleness: stale, FirstPush: first}
 }
 
 // Clock returns the number of updates applied.
@@ -98,6 +315,15 @@ func (s *Server) Clock() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.clock
+}
+
+// FirstPushes returns how many updates arrived from groups that had never
+// read this server — pushes with no staleness window, tallied here instead
+// of polluting the histogram.
+func (s *Server) FirstPushes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstPush
 }
 
 // Weights returns a copy of the current master parameters.
@@ -133,17 +359,23 @@ type Fleet struct {
 	Servers []*Server
 }
 
-// NewFleet creates one server per trainable layer. layers must each own at
-// least one parameter; solver is cloned per server so solver state is
-// layer-local, exactly as in the sharded design.
+// NewFleet creates one single-shard server per trainable layer. layers must
+// each own at least one parameter; solver is cloned per server so solver
+// state is layer-local, exactly as in the sharded design.
 func NewFleet(layers []nn.Layer, solver opt.Solver) *Fleet {
+	return NewShardedFleet(layers, solver, 0)
+}
+
+// NewShardedFleet is NewFleet with large layers split into flat-range
+// shards of at most maxShardElems elements each (0 = unsharded).
+func NewShardedFleet(layers []nn.Layer, solver opt.Solver, maxShardElems int) *Fleet {
 	f := &Fleet{}
 	for i, l := range layers {
 		params := l.Params()
 		if len(params) == 0 {
 			panic(fmt.Sprintf("ps: layer %d (%s) has no parameters", i, l.Name()))
 		}
-		f.Servers = append(f.Servers, NewServer(i, params, solver))
+		f.Servers = append(f.Servers, NewServerSharded(i, params, solver, maxShardElems))
 	}
 	return f
 }
@@ -180,6 +412,25 @@ func (f *Fleet) UpdateAll(groupID int, grads [][][]float32) []Response {
 	}
 	wg.Wait()
 	return out
+}
+
+// PushWires forwards one layer's encoded push to its server — the streamed
+// entry point the overlapped trainer drives from its per-layer pushers.
+func (f *Fleet) PushWires(groupID, layer int, codec comm.Codec, wires []*comm.Wire, weightsOut [][]float32) PushResult {
+	return f.Servers[layer].PushWires(groupID, codec, wires, weightsOut)
+}
+
+// WireStats sums the per-server wire accounting.
+func (f *Fleet) WireStats() WireStats {
+	var total WireStats
+	for _, s := range f.Servers {
+		s.mu.Lock()
+		total.GradBytes += s.wire.GradBytes
+		total.WeightBytes += s.wire.WeightBytes
+		total.Pushes += s.wire.Pushes
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // MeanStaleness aggregates the staleness histograms across servers.

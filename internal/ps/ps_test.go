@@ -1,10 +1,12 @@
 package ps
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
 
+	"deep15pf/internal/comm"
 	"deep15pf/internal/nn"
 	"deep15pf/internal/opt"
 	"deep15pf/internal/tensor"
@@ -214,5 +216,231 @@ func TestAdamStateLivesOnServer(t *testing.T) {
 	step2 := math.Abs(float64(r2.Weights[0][0]) - w1)
 	if step2 > 0.05 {
 		t.Fatalf("second step %v not damped — state not persisted server-side", step2)
+	}
+}
+
+// TestFirstPushNotInStalenessHistogram is the regression test for the
+// first-push accounting fix: a push from a group that never read the server
+// has no read→write window, so it must land in the FirstPushes tally — not
+// in whatever low histogram bucket the zero-value read clock implies.
+func TestFirstPushNotInStalenessHistogram(t *testing.T) {
+	s := NewServer(0, layerParams(0), opt.NewSGD(0.1, 0))
+	// Group 0 reads, then applies three updates.
+	s.Fetch(0)
+	for i := 0; i < 3; i++ {
+		s.Update(0, [][]float32{{1}})
+	}
+	// Group 1 pushes cold: previously this polluted bucket 3 (clock −
+	// zero-value read clock); bucket 0 in the fresh-server case.
+	resp := s.Update(1, [][]float32{{1}})
+	if resp.Staleness != 3 {
+		t.Fatalf("cold push staleness %d, want 3 (informative)", resp.Staleness)
+	}
+	hist := s.StalenessHistogram()
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("histogram holds %d entries, want only group 0's 3 reads: %v", total, hist)
+	}
+	if s.FirstPushes() != 1 {
+		t.Fatalf("first pushes = %d, want 1", s.FirstPushes())
+	}
+	// Once warm, group 1's next push is histogrammed normally (staleness 0:
+	// its write doubled as its read).
+	s.Update(1, [][]float32{{1}})
+	if got := s.StalenessHistogram()[0]; got != 4 {
+		t.Fatalf("warm push not histogrammed: %v", s.StalenessHistogram())
+	}
+	// A fresh-server cold push must not create a bucket-0 entry either.
+	s2 := NewServer(0, layerParams(0), opt.NewSGD(0.1, 0))
+	s2.Update(7, [][]float32{{1}})
+	if len(s2.StalenessHistogram()) != 0 {
+		t.Fatalf("fresh-server cold push entered histogram: %v", s2.StalenessHistogram())
+	}
+	if s2.FirstPushes() != 1 {
+		t.Fatal("fresh-server cold push not tallied")
+	}
+}
+
+func randParams(seed uint64, sizes ...int) []*nn.Param {
+	rng := tensor.NewRNG(seed)
+	var out []*nn.Param
+	for i, n := range sizes {
+		w := tensor.New(n)
+		rng.FillNorm(w, 0, 1)
+		out = append(out, &nn.Param{Name: fmt.Sprintf("p%d", i), W: w, Grad: tensor.New(n)})
+	}
+	return out
+}
+
+// TestShardedUpdateBitwiseMatchesUnsharded: flat-range sharding only changes
+// who applies the elementwise solver math, never the math itself.
+func TestShardedUpdateBitwiseMatchesUnsharded(t *testing.T) {
+	sizes := []int{3 * comm.ChunkElems, 700, 5} // split + straggler params
+	for _, solver := range []opt.Solver{opt.NewSGD(0.05, 0.9), opt.NewAdam(1e-3)} {
+		plain := NewServer(0, randParams(42, sizes...), solver)
+		sharded := NewServerSharded(0, randParams(42, sizes...), solver, comm.ChunkElems)
+		if plain.NumShards() != 1 {
+			t.Fatal("default server must be single-shard")
+		}
+		if sharded.NumShards() < 3 {
+			t.Fatalf("expected ≥3 shards, got %d", sharded.NumShards())
+		}
+		rng := tensor.NewRNG(7)
+		grads := make([][]float32, len(sizes))
+		for i, n := range sizes {
+			grads[i] = make([]float32, n)
+		}
+		for step := 0; step < 4; step++ {
+			for i := range grads {
+				for j := range grads[i] {
+					grads[i][j] = float32(rng.Norm())
+				}
+			}
+			a := plain.Update(0, grads)
+			b := sharded.Update(0, grads)
+			for i := range a.Weights {
+				for j := range a.Weights[i] {
+					if a.Weights[i][j] != b.Weights[i][j] {
+						t.Fatalf("%s step %d: sharded weight diverges at param %d elem %d",
+							solver.Name(), step, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPushWiresFp32MatchesUpdate: the streamed path through the identity
+// codec must be bit-for-bit the legacy Update, with the weights landing in
+// the caller's buffers.
+func TestPushWiresFp32MatchesUpdate(t *testing.T) {
+	sizes := []int{513, 17}
+	legacy := NewServer(0, randParams(9, sizes...), opt.NewAdam(1e-2))
+	streamed := NewServerSharded(0, randParams(9, sizes...), opt.NewAdam(1e-2), 256)
+	codec, _ := comm.NewCodec("fp32", 0)
+	wires := []*comm.Wire{{}, {}}
+	weightsOut := [][]float32{make([]float32, sizes[0]), make([]float32, sizes[1])}
+	rng := tensor.NewRNG(3)
+	grads := [][]float32{make([]float32, sizes[0]), make([]float32, sizes[1])}
+	legacy.Fetch(0)
+	streamed.Fetch(0)
+	for step := 0; step < 3; step++ {
+		for i := range grads {
+			for j := range grads[i] {
+				grads[i][j] = float32(rng.Norm())
+			}
+			codec.Encode(wires[i], grads[i])
+		}
+		a := legacy.Update(0, grads)
+		res := streamed.PushWires(0, codec, wires, weightsOut)
+		if res.Clock != a.Clock || res.Staleness != a.Staleness || res.FirstPush {
+			t.Fatalf("push metadata %+v vs legacy %+v", res, a)
+		}
+		for i := range weightsOut {
+			for j := range weightsOut[i] {
+				if weightsOut[i][j] != a.Weights[i][j] {
+					t.Fatalf("step %d: streamed weight diverges at param %d elem %d", step, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPushWiresInt8ShardedMatchesWholeDecode: a sharded server decoding its
+// ranges piecewise must reconstruct exactly what a whole-blob decode gives.
+func TestPushWiresInt8ShardedMatchesWholeDecode(t *testing.T) {
+	sizes := []int{2*comm.ChunkElems + 100}
+	whole := NewServer(0, randParams(21, sizes...), opt.NewSGD(0.1, 0))
+	sharded := NewServerSharded(0, randParams(21, sizes...), opt.NewSGD(0.1, 0), comm.ChunkElems)
+	codec, _ := comm.NewCodec("int8", 5)
+	src := make([]float32, sizes[0])
+	rng := tensor.NewRNG(6)
+	for i := range src {
+		src[i] = float32(rng.Norm())
+	}
+	w := &comm.Wire{}
+	codec.Encode(w, src)
+	a := whole.PushWires(0, codec, []*comm.Wire{w}, nil)
+	b := sharded.PushWires(0, codec, []*comm.Wire{w}, nil)
+	if a.Clock != b.Clock {
+		t.Fatal("clock mismatch")
+	}
+	wa, wb := whole.Weights(), sharded.Weights()
+	for j := range wa[0] {
+		if wa[0][j] != wb[0][j] {
+			t.Fatalf("sharded int8 decode diverges at %d", j)
+		}
+	}
+}
+
+// TestWireStatsAccounting: grad bytes follow the codec's encoded size;
+// weight bytes only accrue when the model is returned.
+func TestWireStatsAccounting(t *testing.T) {
+	n := comm.ChunkElems + 10
+	f := NewFleet([]nn.Layer{nn.NewDense("fc", n/8, 8, tensor.NewRNG(1))}, opt.NewSGD(0.1, 0))
+	elems := 0
+	for _, p := range f.Servers[0].params {
+		elems += p.W.Len()
+	}
+	codec, _ := comm.NewCodec("int8", 1)
+	wires := make([]*comm.Wire, len(f.Servers[0].params))
+	for i, p := range f.Servers[0].params {
+		wires[i] = &comm.Wire{}
+		codec.Encode(wires[i], p.Grad.Data)
+	}
+	var encoded int64
+	for _, w := range wires {
+		encoded += w.Bytes()
+	}
+	f.PushWires(0, 0, codec, wires, nil)
+	st := f.WireStats()
+	if st.GradBytes != encoded || st.WeightBytes != 0 || st.Pushes != 1 {
+		t.Fatalf("wire stats %+v, want grad=%d weight=0 pushes=1", st, encoded)
+	}
+	if ratio := float64(4*elems) / float64(encoded); ratio < 3 {
+		t.Fatalf("int8 push reduction %.2fx < 3x", ratio)
+	}
+}
+
+// TestPushWiresSteadyStateDoesNotAllocate: the streamed exchange must be
+// allocation-free once wires and weight buffers exist — including on a
+// genuinely sharded server, whose per-shard solver goroutines run through
+// prebuilt closures.
+func TestPushWiresSteadyStateDoesNotAllocate(t *testing.T) {
+	for _, shardElems := range []int{0, comm.ChunkElems} {
+		n0, n1 := 3*comm.ChunkElems, 40
+		s := NewServerSharded(0, randParams(13, n0, n1), opt.NewSGD(0.01, 0.9), shardElems)
+		if shardElems > 0 && s.NumShards() < 3 {
+			t.Fatalf("gate must exercise sharding: %d shards", s.NumShards())
+		}
+		codec, _ := comm.NewCodec("int8", 2)
+		wires := []*comm.Wire{{}, {}}
+		weightsOut := [][]float32{make([]float32, n0), make([]float32, n1)}
+		grads := [][]float32{make([]float32, n0), make([]float32, n1)}
+		rng := tensor.NewRNG(4)
+		for i := range grads {
+			for j := range grads[i] {
+				grads[i][j] = float32(rng.Norm())
+			}
+		}
+		s.Fetch(0)
+		// Warm solver state, wire buffers and the runtime's goroutine pool.
+		for k := 0; k < 3; k++ {
+			for i := range grads {
+				codec.Encode(wires[i], grads[i])
+			}
+			s.PushWires(0, codec, wires, weightsOut)
+		}
+		if n := testing.AllocsPerRun(20, func() {
+			for i := range grads {
+				codec.Encode(wires[i], grads[i])
+			}
+			s.PushWires(0, codec, wires, weightsOut)
+		}); n != 0 {
+			t.Fatalf("shardElems=%d: streamed push steady state allocates %.1f per push", shardElems, n)
+		}
 	}
 }

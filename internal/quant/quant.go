@@ -27,8 +27,10 @@ type Quantized struct {
 // Bytes returns the wire size (payload + scale).
 func (q Quantized) Bytes() int { return len(q.Data) + 4 }
 
-// scaleFor returns the per-tensor scale mapping the max magnitude to 127.
-func scaleFor(src []float32) float32 {
+// ScaleFor returns the per-block scale mapping the max magnitude of src to
+// 127 (1 for an all-zero block). The streamed gradient wire calls it per
+// chunk, so one outlier only coarsens its own chunk's quantisation grid.
+func ScaleFor(src []float32) float32 {
 	var maxAbs float32
 	for _, v := range src {
 		a := v
@@ -45,11 +47,14 @@ func scaleFor(src []float32) float32 {
 	return maxAbs / 127
 }
 
-// Stochastic quantises with stochastic rounding: x/scale rounds up with
-// probability equal to its fractional part, making the estimator unbiased.
-func Stochastic(src []float32, rng *tensor.RNG) Quantized {
-	q := Quantized{Data: make([]int8, len(src)), Scale: scaleFor(src)}
-	inv := 1 / q.Scale
+// StochasticInto quantises src into dst (equal length) with the given scale
+// using stochastic rounding, allocating nothing. It is the building block
+// the comm wire codec assembles into chunked encodes over reused buffers.
+func StochasticInto(dst []int8, src []float32, scale float32, rng *tensor.RNG) {
+	if len(dst) != len(src) {
+		panic("quant: StochasticInto length mismatch")
+	}
+	inv := 1 / scale
 	for i, v := range src {
 		x := float64(v * inv)
 		lo := math.Floor(x)
@@ -58,18 +63,45 @@ func Stochastic(src []float32, rng *tensor.RNG) Quantized {
 		if rng.Float64() < frac {
 			r = lo + 1
 		}
-		q.Data[i] = clampInt8(r)
+		dst[i] = clampInt8(r)
 	}
+}
+
+// NearestInto quantises src into dst with round-to-nearest (the biased
+// baseline), allocating nothing.
+func NearestInto(dst []int8, src []float32, scale float32) {
+	if len(dst) != len(src) {
+		panic("quant: NearestInto length mismatch")
+	}
+	inv := 1 / scale
+	for i, v := range src {
+		dst[i] = clampInt8(math.Round(float64(v * inv)))
+	}
+}
+
+// DequantizeInto expands src into dst (equal length) at the given scale,
+// allocating nothing.
+func DequantizeInto(dst []float32, src []int8, scale float32) {
+	if len(dst) != len(src) {
+		panic("quant: DequantizeInto length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = float32(v) * scale
+	}
+}
+
+// Stochastic quantises with stochastic rounding: x/scale rounds up with
+// probability equal to its fractional part, making the estimator unbiased.
+func Stochastic(src []float32, rng *tensor.RNG) Quantized {
+	q := Quantized{Data: make([]int8, len(src)), Scale: ScaleFor(src)}
+	StochasticInto(q.Data, src, q.Scale, rng)
 	return q
 }
 
 // Nearest quantises with round-to-nearest (the biased baseline).
 func Nearest(src []float32) Quantized {
-	q := Quantized{Data: make([]int8, len(src)), Scale: scaleFor(src)}
-	inv := 1 / q.Scale
-	for i, v := range src {
-		q.Data[i] = clampInt8(math.Round(float64(v * inv)))
-	}
+	q := Quantized{Data: make([]int8, len(src)), Scale: ScaleFor(src)}
+	NearestInto(q.Data, src, q.Scale)
 	return q
 }
 
@@ -85,12 +117,7 @@ func clampInt8(v float64) int8 {
 
 // Dequantize expands q into dst (which must have matching length).
 func Dequantize(q Quantized, dst []float32) {
-	if len(dst) != len(q.Data) {
-		panic("quant: Dequantize length mismatch")
-	}
-	for i, v := range q.Data {
-		dst[i] = float32(v) * q.Scale
-	}
+	DequantizeInto(dst, q.Data, q.Scale)
 }
 
 // RoundTrip compresses and immediately decompresses in place — the exact

@@ -17,7 +17,7 @@ func TestRoundTripErrorBounded(t *testing.T) {
 	for _, stochastic := range []bool{true, false} {
 		data := append([]float32(nil), src...)
 		RoundTrip(data, rng, stochastic)
-		q := scaleFor(src)
+		q := ScaleFor(src)
 		for i := range data {
 			if err := math.Abs(float64(data[i] - src[i])); err > float64(q)*1.01 {
 				t.Fatalf("stochastic=%v: error %v exceeds one step %v", stochastic, err, q)
@@ -166,4 +166,73 @@ func TestRoundTripTensorMatchesSlice(t *testing.T) {
 			t.Fatal("RoundTripTensor disagrees with RoundTrip on the same RNG stream")
 		}
 	}
+}
+
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	// The non-allocating Into forms are what the comm wire codec runs in
+	// its steady state; they must be bit-for-bit the allocating forms.
+	rng := tensor.NewRNG(9)
+	src := make([]float32, 513)
+	for i := range src {
+		src[i] = float32(rng.Norm())
+	}
+	scale := ScaleFor(src)
+
+	qn := Nearest(src)
+	dn := make([]int8, len(src))
+	NearestInto(dn, src, scale)
+	for i := range dn {
+		if dn[i] != qn.Data[i] {
+			t.Fatalf("NearestInto diverges at %d: %d vs %d", i, dn[i], qn.Data[i])
+		}
+	}
+
+	// Stochastic rounding consumes the RNG identically in both forms.
+	qs := Stochastic(src, tensor.NewRNG(33))
+	ds := make([]int8, len(src))
+	StochasticInto(ds, src, scale, tensor.NewRNG(33))
+	for i := range ds {
+		if ds[i] != qs.Data[i] {
+			t.Fatalf("StochasticInto diverges at %d: %d vs %d", i, ds[i], qs.Data[i])
+		}
+	}
+
+	back := make([]float32, len(src))
+	DequantizeInto(back, qs.Data, qs.Scale)
+	back2 := make([]float32, len(src))
+	Dequantize(qs, back2)
+	for i := range back {
+		if back[i] != back2[i] {
+			t.Fatalf("DequantizeInto diverges at %d", i)
+		}
+	}
+}
+
+func TestIntoVariantsDoNotAllocate(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	src := make([]float32, 4096)
+	for i := range src {
+		src[i] = float32(rng.Norm())
+	}
+	dst8 := make([]int8, len(src))
+	dstF := make([]float32, len(src))
+	scale := ScaleFor(src)
+	if n := testing.AllocsPerRun(20, func() {
+		StochasticInto(dst8, src, scale, rng)
+		DequantizeInto(dstF, dst8, scale)
+	}); n != 0 {
+		t.Fatalf("quantize/dequantize steady state allocates %.1f per run", n)
+	}
+}
+
+func TestIntoVariantsValidate(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() { _ = recover() }()
+		f()
+		t.Fatal("expected panic")
+	}
+	rng := tensor.NewRNG(1)
+	mustPanic(func() { StochasticInto(make([]int8, 2), make([]float32, 3), 1, rng) })
+	mustPanic(func() { NearestInto(make([]int8, 2), make([]float32, 3), 1) })
+	mustPanic(func() { DequantizeInto(make([]float32, 2), make([]int8, 3), 1) })
 }
