@@ -28,6 +28,7 @@ func main() {
 	labeled := flag.Float64("labeled", 1.0, "labeled fraction (rest train the autoencoder only)")
 	lr := flag.Float64("lr", 1.5e-3, "learning rate")
 	conf := flag.Float64("conf", 0.8, "inference confidence threshold (paper uses 0.8)")
+	prefetch := flag.Int("prefetch", 1, "batches of ingest lookahead per worker (0 = legacy blocking staging)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		Iterations: *iters,
 		Solver:     opt.NewAdam(*lr),
 		Seed:       *seed,
+		Prefetch:   *prefetch,
 	}
 	var res core.Result
 	if *groups == 1 {
@@ -65,6 +67,10 @@ func main() {
 		if i%every == 0 || i == len(res.Stats)-1 {
 			fmt.Printf("  update %4d  group %d  loss %.4f\n", s.Seq, s.Group, s.Loss)
 		}
+	}
+	if ing := res.Ingest; ing.Batches > 0 {
+		fmt.Printf("ingest: %d batches staged in %.1f ms, %.1f ms exposed to compute (%.0f%% overlapped, prefetch=%d)\n",
+			ing.Batches, ing.StageSeconds*1e3, ing.WaitSeconds*1e3, 100*ing.Overlap(), *prefetch)
 	}
 
 	// Evaluate the trained model.

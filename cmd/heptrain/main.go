@@ -31,6 +31,7 @@ func main() {
 	units := flag.Int("units", 3, "conv+pool units (paper uses 5)")
 	lr := flag.Float64("lr", 2e-3, "ADAM learning rate")
 	beta1 := flag.Float64("beta1", 0.9, "ADAM beta1 (tune down for many groups, §VI-B4)")
+	prefetch := flag.Int("prefetch", 1, "batches of ingest lookahead per worker (0 = legacy blocking staging)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		Iterations: *iters,
 		Solver:     opt.NewAdamFull(*lr, *beta1, 0.999, 1e-8),
 		Seed:       *seed,
+		Prefetch:   *prefetch,
 	}
 
 	var res core.Result
@@ -71,7 +73,12 @@ func main() {
 			fmt.Printf("  update %4d  group %d  loss %.4f  staleness %.1f\n", s.Seq, s.Group, s.Loss, s.Staleness)
 		}
 	}
-	fmt.Printf("final loss %.4f, mean staleness %.2f\n\n", res.FinalLoss, res.MeanStaleness)
+	fmt.Printf("final loss %.4f, mean staleness %.2f\n", res.FinalLoss, res.MeanStaleness)
+	if ing := res.Ingest; ing.Batches > 0 {
+		fmt.Printf("ingest: %d batches staged in %.1f ms, %.1f ms exposed to compute (%.0f%% overlapped, prefetch=%d)\n",
+			ing.Batches, ing.StageSeconds*1e3, ing.WaitSeconds*1e3, 100*ing.Overlap(), *prefetch)
+	}
+	fmt.Println()
 
 	// Science evaluation of the trained model against the cut baseline.
 	scoreRep := problem.NewReplica()

@@ -1,0 +1,81 @@
+package climate
+
+import (
+	"testing"
+
+	"deep15pf/internal/core"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/tensor"
+)
+
+// TestClimatePrefetchMatchesBlocking pins the streaming-ingest identity on
+// the climate side, across the full staged tuple — fields, box targets and
+// the semi-supervised labeled flags: prefetched training must reproduce the
+// blocking trajectory bit for bit.
+func TestClimatePrefetchMatchesBlocking(t *testing.T) {
+	rng := tensor.NewRNG(91)
+	ds := GenerateDataset(DefaultGenConfig(64), 10, rng)
+	mk := func() *TrainingProblem {
+		p := NewTrainingProblem(ds, SmallConfig(), 11)
+		p.LabeledFrac = 0.5 // unlabeled tail exercises the flag staging
+		return p
+	}
+
+	base := core.Config{Groups: 1, WorkersPerGroup: 2, GroupBatch: 4, Iterations: 5, Seed: 13}
+	base.Solver = opt.NewAdam(1.5e-3)
+	blocking := core.TrainSync(mk(), base)
+
+	pf := base
+	pf.Solver = opt.NewAdam(1.5e-3)
+	pf.Prefetch = 1
+	prefetched := core.TrainSync(mk(), pf)
+
+	for i := range blocking.FinalWeights {
+		for j := range blocking.FinalWeights[i] {
+			for k, v := range blocking.FinalWeights[i][j] {
+				if prefetched.FinalWeights[i][j][k] != v {
+					t.Fatalf("prefetched weights diverge at layer %d blob %d elem %d", i, j, k)
+				}
+			}
+		}
+	}
+	for i := range blocking.Stats {
+		if blocking.Stats[i].Loss != prefetched.Stats[i].Loss {
+			t.Fatalf("iteration %d loss diverges: %v vs %v",
+				i, blocking.Stats[i].Loss, prefetched.Stats[i].Loss)
+		}
+	}
+	if prefetched.Ingest.Batches == 0 || prefetched.Ingest.StageSeconds <= 0 {
+		t.Fatalf("pipeline ingest accounting missing: %+v", prefetched.Ingest)
+	}
+}
+
+// TestClimatePrefetchedIterationZeroAllocs: the climate analogue of the
+// streamed-ingest allocation gate — staged Pipeline.Next plus a composed
+// TrainPlan step at zero steady-state allocations.
+func TestClimatePrefetchedIterationZeroAllocs(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	rng := tensor.NewRNG(95)
+	ds := GenerateDataset(DefaultGenConfig(64), 8, rng)
+	p := NewTrainingProblem(ds, SmallConfig(), 11)
+	p.LabeledFrac = 0.5
+	rep := p.NewReplica().(*climReplica)
+
+	batches := make([][]int, 60)
+	for i := range batches {
+		batches[i] = []int{0, 6, 3, 7}
+	}
+	rep.StartIngest(batches, 1)
+	defer rep.StopIngest()
+
+	iter := func() {
+		rep.ZeroGrad()
+		rep.ComputeStagedStream(nil)
+	}
+	iter() // warm
+	iter()
+	if allocs := testing.AllocsPerRun(10, iter); allocs != 0 {
+		t.Fatalf("warmed prefetched climate iteration allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package climate
 
 import (
+	"time"
+
 	"deep15pf/internal/core"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
@@ -63,10 +65,37 @@ type climReplica struct {
 	xStage  *tensor.Staging
 	boxes   [][]Box
 	labeled []bool
+
+	// Streaming ingest (core.PipelineReplica): fields, box targets and
+	// labeled flags are staged per slot by the background prefetcher.
+	pipe   *data.Pipeline[*climSlot]
+	ingest data.IngestStats // blocking-path account (pipeline keeps its own)
+}
+
+// climSlot is one staged batch in the prefetch ring: the 16-channel field
+// tensor plus per-sample box targets and semi-supervised labeled flags —
+// everything the composed TrainPlan consumes.
+type climSlot struct {
+	stage   *tensor.Staging
+	x       *tensor.Tensor // view for the staged batch size, set by the stager
+	boxes   [][]Box
+	labeled []bool
+	n       int
 }
 
 func (r *climReplica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
 func (r *climReplica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
+
+// stageInto copies batch idx — fields, box lists (shared, not copied) and
+// labeled flags — into caller-owned staging. Both the blocking path and the
+// pipeline's prefetch goroutine run exactly this, so the two are bitwise
+// equal.
+func (r *climReplica) stageInto(x *tensor.Tensor, boxes [][]Box, labeled []bool, idx []int) {
+	r.ds.BatchInto(x, boxes, idx)
+	for i, sample := range idx {
+		labeled[i] = sample < r.labeledN
+	}
+}
 
 func (r *climReplica) ComputeGradients(idx []int) float64 {
 	return r.ComputeGradientsStream(idx, nil)
@@ -74,7 +103,8 @@ func (r *climReplica) ComputeGradients(idx []int) float64 {
 
 // ComputeGradientsStream implements core.StreamReplica over the composed
 // train plan: per-layer completion fires across the encoder, heads and
-// decoder in TrainPlan.StepStream's documented order.
+// decoder in TrainPlan.StepStream's documented order. This is the blocking
+// ingest path; staging time is booked as exposed wait.
 func (r *climReplica) ComputeGradientsStream(idx []int, gradDone func(layer int)) float64 {
 	n := len(idx)
 	x := r.xStage.Batch(n)
@@ -83,10 +113,19 @@ func (r *climReplica) ComputeGradientsStream(idx []int, gradDone func(layer int)
 		r.labeled = make([]bool, n)
 	}
 	boxes, labeled := r.boxes[:n], r.labeled[:n]
-	r.ds.BatchInto(x, boxes, idx)
-	for i, sample := range idx {
-		labeled[i] = sample < r.labeledN
-	}
+	t0 := time.Now()
+	r.stageInto(x, boxes, labeled, idx)
+	dt := time.Since(t0).Seconds()
+	r.ingest.Batches++
+	r.ingest.Samples += int64(n)
+	r.ingest.StageSeconds += dt
+	r.ingest.WaitSeconds += dt // blocking: staging sits on the critical path
+	return r.computeOn(x, boxes, labeled, gradDone)
+}
+
+// computeOn is the shared planned step over an already-staged batch.
+func (r *climReplica) computeOn(x *tensor.Tensor, boxes [][]Box, labeled []bool, gradDone func(layer int)) float64 {
+	n := x.Shape[0]
 	tp := r.plans[n]
 	if tp == nil {
 		tp = r.net.NewTrainPlan(n, r.arena)
@@ -94,6 +133,65 @@ func (r *climReplica) ComputeGradientsStream(idx []int, gradDone func(layer int)
 	}
 	parts := tp.StepStream(x, boxes, labeled, r.weights, gradDone)
 	return parts.Total()
+}
+
+// StartIngest implements core.PipelineReplica (see the hep replica for the
+// contract): pre-sized slots, background staging in blocking order.
+func (r *climReplica) StartIngest(batches [][]int, lookahead int) {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	maxN := 0
+	for _, b := range batches {
+		if len(b) > maxN {
+			maxN = len(b)
+		}
+	}
+	if maxN == 0 {
+		r.pipe = nil
+		return
+	}
+	slots := make([]*climSlot, lookahead+1)
+	for i := range slots {
+		st := tensor.NewStaging(r.arena, NumChannels, r.ds.Size, r.ds.Size)
+		st.Batch(maxN)
+		slots[i] = &climSlot{stage: st, boxes: make([][]Box, maxN), labeled: make([]bool, maxN)}
+	}
+	r.pipe = data.NewPipeline(slots, data.SliceSource(batches),
+		func(dst *climSlot, idx []int) error {
+			dst.n = len(idx)
+			dst.x = dst.stage.Batch(dst.n)
+			r.stageInto(dst.x, dst.boxes[:dst.n], dst.labeled[:dst.n], idx)
+			return nil
+		})
+	r.pipe.Start()
+}
+
+// ComputeStagedStream implements core.PipelineReplica.
+func (r *climReplica) ComputeStagedStream(gradDone func(layer int)) float64 {
+	slot, ok := r.pipe.Next()
+	if !ok {
+		if err := r.pipe.Err(); err != nil {
+			panic("climate: ingest pipeline: " + err.Error())
+		}
+		panic("climate: ingest pipeline exhausted before training finished")
+	}
+	return r.computeOn(slot.x, slot.boxes[:slot.n], slot.labeled[:slot.n], gradDone)
+}
+
+// StopIngest implements core.PipelineReplica.
+func (r *climReplica) StopIngest() {
+	if r.pipe != nil {
+		r.pipe.Stop()
+	}
+}
+
+// IngestStats implements core.IngestReporter over whichever path ran.
+func (r *climReplica) IngestStats() data.IngestStats {
+	if r.pipe != nil {
+		return r.ingest.Add(r.pipe.Stats())
+	}
+	return r.ingest
 }
 
 // Net exposes the underlying network of a replica created by this problem

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIngestModelOffIsBitwiseNeutral: with IngestIO off (the default for
+// every existing caller) the model must reproduce the pre-ingest timeline
+// draw for draw — the read time is deterministic, so the jitter RNG stream
+// is untouched either way.
+func TestIngestModelOffIsBitwiseNeutral(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	cfg := RunConfig{Nodes: 16, Groups: 2, BatchPerGroup: 64, Iterations: 5, Seed: 9}
+	a := Simulate(m, p, cfg)
+	p2 := HEPProfile()
+	p2.SampleBytes, p2.ReadEff = 0, 0 // profile without ingest calibration
+	b := Simulate(m, p2, cfg)
+	if a.WallTime != b.WallTime {
+		t.Fatalf("ingest-capable profile changed the timeline with IngestIO off: %v vs %v",
+			a.WallTime, b.WallTime)
+	}
+	if a.IOSeconds != 0 || a.ExposedIOSeconds != 0 {
+		t.Fatalf("IngestIO off must account zero I/O, got %v/%v", a.IOSeconds, a.ExposedIOSeconds)
+	}
+}
+
+// TestPrefetchIngestHidesIO is the timing-model half of the Fig 5 ingest
+// A/B: same run, blocking reader vs double-buffered prefetch. The read work
+// (IOSeconds) must be identical; the exposed part must shrink — to zero
+// when compute covers the read — and the wall clock with it.
+func TestPrefetchIngestHidesIO(t *testing.T) {
+	m := CoriPhaseII()
+	for _, p := range []NetProfile{HEPProfile(), ClimateProfile()} {
+		blocking := RunConfig{Nodes: 8, Groups: 1, BatchPerGroup: 64, Iterations: 6, Seed: 3, IngestIO: true}
+		prefetch := blocking
+		prefetch.PrefetchIngest = true
+
+		b := Simulate(m, p, blocking)
+		f := Simulate(m, p, prefetch)
+
+		if b.IOSeconds <= 0 {
+			t.Fatalf("%s: blocking run modelled no read work", p.Name)
+		}
+		if math.Abs(b.IOSeconds-f.IOSeconds) > 1e-12 {
+			t.Fatalf("%s: prefetch changed the read work: %v vs %v", p.Name, f.IOSeconds, b.IOSeconds)
+		}
+		if b.ExposedIOSeconds != b.IOSeconds {
+			t.Fatalf("%s: blocking reader must expose all its I/O: %v of %v",
+				p.Name, b.ExposedIOSeconds, b.IOSeconds)
+		}
+		// At batch 8/node the read fits inside the compute phase for both
+		// networks, so the double buffer hides everything except iteration
+		// 0's warmup stage — the first Next has no compute to hide behind.
+		warmup := f.IOSeconds / float64(blocking.Iterations)
+		if math.Abs(f.ExposedIOSeconds-warmup) > 1e-12 {
+			t.Fatalf("%s: prefetch exposed %v s of I/O, want exactly the %v s warmup read",
+				p.Name, f.ExposedIOSeconds, warmup)
+		}
+		if f.WallTime >= b.WallTime {
+			t.Fatalf("%s: prefetch did not shorten the run: %v vs %v", p.Name, f.WallTime, b.WallTime)
+		}
+	}
+}
+
+// TestIngestSharesMatchFig5 pins the calibration the profiles advertise:
+// the blocking I/O share of a single-node batch-8 iteration must land near
+// the paper's measured Fig 5 breakdown — ≈2% for HEP, ≈13% for climate.
+func TestIngestSharesMatchFig5(t *testing.T) {
+	m := CoriPhaseII()
+	cases := []struct {
+		p        NetProfile
+		lo, hi   float64
+		paperPct float64
+	}{
+		{HEPProfile(), 0.01, 0.04, 2},
+		{ClimateProfile(), 0.10, 0.16, 13},
+	}
+	for _, tc := range cases {
+		compute := tc.p.ComputeTime(m, 8)
+		read := tc.p.ReadTime(m, 8)
+		share := read / (read + compute)
+		if share < tc.lo || share > tc.hi {
+			t.Errorf("%s: blocking I/O share %.1f%% outside [%.0f%%, %.0f%%] (paper: ≈%.0f%%)",
+				tc.p.Name, 100*share, 100*tc.lo, 100*tc.hi, tc.paperPct)
+		}
+	}
+}
+
+// TestIngestUnderOverlapStillExposesReads: composing PrefetchIngest with
+// the PR 3 comm overlap must keep both accountings coherent — exposed I/O
+// cannot exceed total I/O, exposed comm cannot exceed total comm, and a
+// fully hidden ingest phase leaves the overlap speedup intact.
+func TestIngestUnderOverlapStillExposesReads(t *testing.T) {
+	m := CoriPhaseII()
+	p := ClimateProfile()
+	cfg := RunConfig{Nodes: 16, Groups: 2, BatchPerGroup: 128, Iterations: 5, Seed: 11,
+		IngestIO: true, PrefetchIngest: true, Overlap: true}
+	r := Simulate(m, p, cfg)
+	if r.ExposedIOSeconds > r.IOSeconds {
+		t.Fatalf("exposed I/O %v exceeds total %v", r.ExposedIOSeconds, r.IOSeconds)
+	}
+	if r.ExposedCommSeconds > r.CommSeconds {
+		t.Fatalf("exposed comm %v exceeds total %v", r.ExposedCommSeconds, r.CommSeconds)
+	}
+	if r.WallTime <= 0 || r.Throughput <= 0 {
+		t.Fatalf("degenerate run: %+v", r)
+	}
+}

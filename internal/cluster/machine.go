@@ -49,6 +49,11 @@ type MachineSpec struct {
 
 	// Checkpointing (sustained-rate overhead, §VI-B3).
 	CheckpointBandwidth float64 // bytes/second to the filesystem
+
+	// ReadBandwidth is the per-node input-read bandwidth from the parallel
+	// filesystem (the paper's non-threaded HDF5 path, §VI-A). Used only
+	// when a run models ingest (RunConfig.IngestBytesPerSample > 0).
+	ReadBandwidth float64 // bytes/second per node
 }
 
 // CoriPhaseII returns the calibrated model of a Cori Phase II KNL node
@@ -72,6 +77,7 @@ func CoriPhaseII() MachineSpec {
 
 		EndpointFactor:      1.5,
 		CheckpointBandwidth: 1e9,
+		ReadBandwidth:       4e9, // per-node Lustre read peak; see NetProfile.ReadEff
 	}
 }
 

@@ -31,6 +31,20 @@ type RunConfig struct {
 	// identity. Intra-group allreduce always stays fp32, as in core.
 	Codec string
 
+	// IngestIO models the input pipeline (§VI-A): every iteration each node
+	// reads its batch share from the filesystem through the single-threaded
+	// reader (NetProfile.SampleBytes at NetProfile.ReadEff of the machine's
+	// ReadBandwidth). Off — the default — reproduces the pre-ingest model
+	// draw for draw; the read time is deterministic, so turning it on never
+	// perturbs the jitter RNG stream either.
+	IngestIO bool
+	// PrefetchIngest double-buffers the modelled reads: iteration k+1's
+	// batch is staged while iteration k computes, so only the part of the
+	// read that outlasts the compute phase stays on the critical path —
+	// the timing-model analogue of core.Config.Prefetch, and the knob the
+	// Fig 5 ingest A/B flips.
+	PrefetchIngest bool
+
 	// SinglePS shares one parameter server across all layers (the
 	// ablation for §III-E's per-layer PS design). Default false =
 	// one dedicated PS per trainable layer, as in the paper.
@@ -82,6 +96,14 @@ type RunResult struct {
 	// zero while CommSeconds stays put.
 	CommSeconds        float64
 	ExposedCommSeconds float64
+
+	// Input-I/O accounting, the ingest analogue of the comm split (active
+	// with IngestIO): IOSeconds is the read work performed per group
+	// iteration summed over the run; ExposedIOSeconds is the part left on
+	// the critical path — all of it for the blocking reader, only the
+	// compute-outlasting remainder with PrefetchIngest.
+	IOSeconds        float64
+	ExposedIOSeconds float64
 }
 
 // Simulate runs the discrete-event model of one training run.
@@ -117,6 +139,10 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 	groupNodes := cfg.Nodes / cfg.Groups
 	batchPerNode := float64(cfg.BatchPerGroup) / float64(groupNodes)
 	baseCompute := p.ComputeTime(m, batchPerNode)
+	ioTime := 0.0
+	if cfg.IngestIO {
+		ioTime = p.ReadTime(m, batchPerNode)
+	}
 
 	// Gradient-push wire size per layer through the run's codec (the model
 	// pull stays fp32, handled by PSServiceTimeAsym).
@@ -132,6 +158,7 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 	durations := make([][]float64, cfg.Groups)
 	halted := false
 	var commSeconds, exposedSeconds float64
+	var ioSeconds, exposedIOSeconds float64
 
 	// Each group is an independent chain of events; PS resources couple
 	// them through FIFO queueing. computePlusCkpt is the iteration's
@@ -168,7 +195,24 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 		if cfg.CheckpointEvery > 0 && iter > 0 && iter%cfg.CheckpointEvery == 0 {
 			checkpoint = float64(p.TotalModelBytes) / m.CheckpointBandwidth
 		}
-		floor := compute + checkpoint
+		// Ingest phase (§VI-A): the blocking reader stages the batch before
+		// the forward pass — all of ioTime sits on the critical path. With
+		// PrefetchIngest the batch was staged during the previous
+		// iteration's compute, so only the compute-outlasting remainder is
+		// exposed (the double buffer can hide at most one compute phase) —
+		// except iteration 0, whose first batch has no compute to hide
+		// behind: the real pipeline's first Next always blocks for the
+		// warmup stage, and so does the model.
+		exposedIO := ioTime
+		if cfg.PrefetchIngest && iter > 0 {
+			exposedIO -= compute
+			if exposedIO < 0 {
+				exposedIO = 0
+			}
+		}
+		ioSeconds += ioTime
+		exposedIOSeconds += exposedIO
+		floor := exposedIO + compute + checkpoint
 
 		// Gradient allreduce per trainable layer (§III-D, MLSL), and the
 		// time each layer's PS exchange may start. Lockstep: every
@@ -185,7 +229,9 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 			arFree, cum := 0.0, 0.0
 			for l := nL - 1; l >= 0; l-- {
 				cum += p.LayerBwdFracs[l]
-				ready := compute * (p.FwdShare + (1-p.FwdShare)*cum)
+				// Gradients appear only after the exposed ingest phase and
+				// the layer's share of the backward pass.
+				ready := exposedIO + compute*(p.FwdShare+(1-p.FwdShare)*cum)
 				ar := m.AllReduceTime(rng, groupNodes, p.LayerBytes[l])
 				commSeconds += ar
 				if ready > arFree {
@@ -202,18 +248,18 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 				commSeconds += ar
 				comm += ar
 			}
-			arDone = compute + comm
+			arDone = exposedIO + compute + comm
 			for l := range psStart {
 				psStart[l] = arDone + checkpoint
 			}
 		}
 
 		if cfg.Groups == 1 {
-			end := arDone + checkpoint // lockstep: compute + comm + checkpoint
+			end := arDone + checkpoint // lockstep: ingest + compute + comm + checkpoint
 			if cfg.Overlap {
 				end = arDone
-				if compute > end {
-					end = compute
+				if busy := exposedIO + compute; busy > end {
+					end = busy
 				}
 				end += checkpoint
 			}
@@ -267,6 +313,7 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 	res := RunResult{
 		Config: cfg, IterDurations: durations, PSNodes: psNodes, Halted: halted,
 		CommSeconds: commSeconds, ExposedCommSeconds: exposedSeconds,
+		IOSeconds: ioSeconds, ExposedIOSeconds: exposedIOSeconds,
 	}
 	var totalIters int
 	for g := range durations {

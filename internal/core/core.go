@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"deep15pf/internal/comm"
+	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
 	"deep15pf/internal/opt"
 	"deep15pf/internal/ps"
@@ -64,6 +65,40 @@ type StreamReplica interface {
 	ComputeGradientsStream(idx []int, gradDone func(layer int)) float64
 }
 
+// PipelineReplica is a StreamReplica whose batch staging can run ahead of
+// compute through a data.Pipeline: StartIngest launches a background
+// prefetch goroutine that stages the given batch index sequence (in order,
+// skipping empty shards) into a bounded slot ring, and ComputeStagedStream
+// consumes the next staged batch instead of copying at iteration start —
+// the §VI-A input-pipeline overlap that takes ingest off the critical path
+// the way PR 3's streamed exchange took communication off it.
+//
+// Determinism contract: prefetched staging is the same copy in the same
+// order as the blocking path, so with identical batch sequences the weight
+// trajectories are bitwise identical either way.
+type PipelineReplica interface {
+	StreamReplica
+	// StartIngest begins background staging of batches with the given
+	// lookahead (staged batches ahead of the one training; ring size is
+	// lookahead+1). Index sets are consumed strictly in slice order; empty
+	// sets are skipped, and the consumer must skip them symmetrically.
+	StartIngest(batches [][]int, lookahead int)
+	// ComputeStagedStream is ComputeGradientsStream over the next staged
+	// batch. It panics if the pipeline is exhausted or staging failed —
+	// the trainers size the sequence to the run, so that is a bug or an
+	// I/O fault, never a steady state.
+	ComputeStagedStream(gradDone func(layer int)) float64
+	// StopIngest terminates the prefetcher (ingest stats stay readable).
+	StopIngest()
+}
+
+// IngestReporter exposes a replica's input staging account — real for both
+// paths: the blocking path books every staging second as exposed wait, the
+// pipeline books only the time the consumer actually sat blocked.
+type IngestReporter interface {
+	IngestStats() data.IngestStats
+}
+
 // BatchSource yields batch index sets (typically epoch-shuffled).
 type BatchSource interface {
 	Next(size int) []int
@@ -102,6 +137,15 @@ type Config struct {
 	// PSShardElems splits parameter-server layers larger than this many
 	// elements across flat-range solver shards (0 = unsharded).
 	PSShardElems int
+
+	// Prefetch enables the streaming input pipeline: each worker replica
+	// stages its upcoming shard batches on a background goroutine while the
+	// current batch trains, keeping Prefetch batches of lookahead (1 = the
+	// classic double buffer). 0 — the default — is the legacy blocking
+	// path: stage at iteration start, then compute. Replicas that do not
+	// implement PipelineReplica fall back to blocking regardless. The
+	// weight trajectory is bitwise identical either way.
+	Prefetch int
 }
 
 func (c Config) validate() {
@@ -116,6 +160,9 @@ func (c Config) validate() {
 	}
 	if c.Solver == nil {
 		panic("core: solver required")
+	}
+	if c.Prefetch < 0 {
+		panic("core: negative prefetch lookahead")
 	}
 	if _, err := comm.NewCodec(c.Codec, 0); err != nil {
 		panic("core: " + err.Error())
@@ -146,6 +193,11 @@ type Result struct {
 	// have moved: codec-encoded gradients in, fp32 weights out. Zero for
 	// sync runs (no PS involved).
 	Wire ps.WireStats
+	// Ingest accounts input staging across all replicas: total staging time
+	// versus the part the compute loop actually waited on (exposed I/O).
+	// With Config.Prefetch the wait collapses toward zero while the staging
+	// work stays put — the Fig 5 ingest A/B in one pair of numbers.
+	Ingest data.IngestStats
 }
 
 // ExtractWeights copies a layer set's current parameter values into the

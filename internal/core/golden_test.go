@@ -92,6 +92,85 @@ func TestGoldenTrajectoriesMatchPreRefactor(t *testing.T) {
 		Solver: opt.NewSGD(0.02, 0.9), Seed: 5, Codec: "fp32"}))
 }
 
+// TestPrefetchTrajectoriesMatchGolden extends the golden pins to the
+// streaming input pipeline: with background-prefetched staging (and with
+// prefetch composed with the PR 3 overlap) every deterministic
+// configuration must still reproduce the pre-refactor fingerprints bit for
+// bit — prefetch moved the staging copies off the critical path, not the
+// arithmetic.
+func TestPrefetchTrajectoriesMatchGolden(t *testing.T) {
+	p := goldenProblem()
+	check := func(name string, want uint64, res core.Result) {
+		t.Helper()
+		if got := weightHash(res.FinalWeights); got != want {
+			t.Errorf("%s: prefetched weight trajectory diverged from golden: %#016x, want %#016x",
+				name, got, want)
+		}
+		if res.Ingest.Batches == 0 {
+			t.Errorf("%s: prefetched run recorded no staged batches", name)
+		}
+	}
+	check("sync-w1-prefetch", goldenSyncW1, core.TrainSync(p, core.Config{
+		Groups: 1, WorkersPerGroup: 1, GroupBatch: 16, Iterations: 10,
+		Solver: opt.NewSGD(0.02, 0.9), Seed: 5, Prefetch: 2}))
+	check("sync-w4-prefetch", goldenSyncW4, core.TrainSync(p, core.Config{
+		Groups: 1, WorkersPerGroup: 4, GroupBatch: 16, Iterations: 10,
+		Solver: opt.NewAdam(2e-3), Seed: 5, Prefetch: 1}))
+	check("hybrid-g1w2-prefetch", goldenHybridG1W2, core.TrainHybrid(p, core.Config{
+		Groups: 1, WorkersPerGroup: 2, GroupBatch: 16, Iterations: 10,
+		Solver: opt.NewAdam(2e-3), Seed: 5, Prefetch: 2}))
+	check("hybrid-g1w2-prefetch-overlap", goldenHybridG1W2, core.TrainHybrid(p, core.Config{
+		Groups: 1, WorkersPerGroup: 2, GroupBatch: 16, Iterations: 10,
+		Solver: opt.NewAdam(2e-3), Seed: 5, Prefetch: 2, Overlap: true}))
+	check("sched-g2-prefetch", goldenSchedG2, core.TrainScheduled(p, core.Config{
+		Groups: 2, WorkersPerGroup: 1, GroupBatch: 16, Iterations: 8,
+		Solver: opt.NewAdam(2e-3), Seed: 5, Prefetch: 2}, goldenSchedule()))
+}
+
+// TestEmptyShardIsSkippedNotStaged is the Split(parts > n) regression: a
+// dataset whose epoch tail batch is smaller than the worker group leaves
+// some ranks with zero-sample shards. Those ranks must idle through the
+// iteration (still joining every collective) rather than staging a zero
+// batch or compiling a zero-sample plan — on both the blocking and the
+// prefetched path, with identical trajectories.
+func TestEmptyShardIsSkippedNotStaged(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	ds := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(16), 14, 0.5, rng)
+	cfg := hep.ModelConfig{Name: "tail", ImageSize: 16, Filters: 6, ConvUnits: 3, Classes: 2}
+	p := hep.NewTrainingProblem(ds, cfg, 77)
+
+	// 14 samples, batch 12, 4 workers: iteration 2 draws the 2-sample epoch
+	// tail, splitting 1/1/0/0 — two workers idle.
+	base := core.Config{Groups: 1, WorkersPerGroup: 4, GroupBatch: 12, Iterations: 4, Seed: 5}
+	base.Solver = opt.NewSGD(0.02, 0.9)
+	blocking := core.TrainSync(p, base)
+
+	pf := base
+	pf.Solver = opt.NewSGD(0.02, 0.9)
+	pf.Prefetch = 2
+	prefetched := core.TrainSync(p, pf)
+
+	if weightHash(blocking.FinalWeights) != weightHash(prefetched.FinalWeights) {
+		t.Error("empty-shard run: prefetched trajectory diverged from blocking")
+	}
+	for _, res := range []core.Result{blocking, prefetched} {
+		for i, s := range res.Stats {
+			if math.IsNaN(s.Loss) || math.IsInf(s.Loss, 0) {
+				t.Fatalf("iteration %d produced loss %v", i, s.Loss)
+			}
+		}
+	}
+	// Only the non-empty shards were staged: the epoch alternates full
+	// 12-sample batches (4 shards of 3) with 2-sample tails (2 singleton
+	// shards, 2 workers idle) — 4+2+4+2 staged batches over 28 samples.
+	if got := prefetched.Ingest.Batches; got != 12 {
+		t.Errorf("prefetched run staged %d batches, want 12 (zero shards skipped)", got)
+	}
+	if got := prefetched.Ingest.Samples; got != 28 {
+		t.Errorf("prefetched run staged %d samples, want 28", got)
+	}
+}
+
 // TestOverlapIsBitwiseNeutral: pipelining the exchange with the backward
 // pass reorders work, not arithmetic — on deterministic configurations the
 // overlapped trajectories must equal the lockstep ones bit for bit.

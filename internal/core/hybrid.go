@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"deep15pf/internal/comm"
+	"deep15pf/internal/data"
 	"deep15pf/internal/ps"
 )
 
@@ -38,11 +39,12 @@ func TrainHybrid(p Problem, cfg Config) Result {
 	recCh := make(chan rec, cfg.Groups*cfg.Iterations)
 
 	var wg sync.WaitGroup
+	ingests := make([]data.IngestStats, cfg.Groups)
 	for g := 0; g < cfg.Groups; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			runGroup(p, cfg, g, fleet, func(stat IterStat) {
+			ingests[g] = runGroup(p, cfg, g, fleet, func(stat IterStat) {
 				stat.Seq = int(seq.Add(1)) - 1
 				recCh <- rec{stat}
 			})
@@ -59,6 +61,9 @@ func TrainHybrid(p Problem, cfg Config) Result {
 	res := finalize(stats, cfg.Groups)
 	res.FinalWeights = fleetWeights(fleet)
 	res.Wire = fleet.WireStats()
+	for _, ing := range ingests {
+		res.Ingest = res.Ingest.Add(ing)
+	}
 	return res
 }
 
@@ -73,8 +78,9 @@ func fleetWeights(fleet *ps.Fleet) [][][]float32 {
 
 // runGroup executes one compute group's synchronous inner loop and its
 // asynchronous PS exchanges. record is called once per completed iteration
-// with the group-batch mean loss and staleness.
-func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterStat)) {
+// with the group-batch mean loss and staleness; the return value is the
+// group's aggregated input-staging account.
+func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterStat)) data.IngestStats {
 	w := cfg.WorkersPerGroup
 	src := p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
 	batches := make([][]int, cfg.Iterations)
@@ -95,6 +101,10 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 			defer wg.Done()
 			rep := replicas[rank]
 			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
+			gw.pipe = startIngest(rep, batches, rank, w, cfg.Prefetch)
+			if gw.pipe != nil {
+				defer gw.pipe.StopIngest()
+			}
 			if rank == 0 {
 				// The exchanger waits on the worker's own handle table: the
 				// worker fills row t, then the trigger send publishes it.
@@ -146,4 +156,9 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 		}(rank)
 	}
 	wg.Wait()
+	var ing data.IngestStats
+	for _, rep := range replicas {
+		ing = ing.Add(ingestOf(rep))
+	}
+	return ing
 }

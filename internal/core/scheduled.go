@@ -50,12 +50,25 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 	fleet := ps.NewShardedFleet(template.TrainableLayers(), cfg.Solver, cfg.PSShardElems)
 
 	replicas := make([]Replica, cfg.Groups)
-	sources := make([]BatchSource, cfg.Groups)
+	batches := make([][][]int, cfg.Groups) // per group, per iteration
+	pipes := make([]PipelineReplica, cfg.Groups)
 	xfers := make([][]*layerXfer, cfg.Groups) // per group, per layer wire state
 	iters := make([]int, cfg.Groups)
 	for g := range replicas {
 		replicas[g] = p.NewReplica()
-		sources[g] = p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
+		// Pre-draw every iteration's batch from the group's own source —
+		// the same per-group RNG sequence the lazy draw consumed, so
+		// trajectories are unchanged — which is what lets the prefetcher
+		// stage ahead of the schedule.
+		src := p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
+		batches[g] = make([][]int, cfg.Iterations)
+		for i := range batches[g] {
+			batches[g][i] = append([]int(nil), src.Next(cfg.GroupBatch)...)
+		}
+		pipes[g] = startIngest(replicas[g], batches[g], 0, 1, cfg.Prefetch)
+		if pipes[g] != nil {
+			defer pipes[g].StopIngest()
+		}
 		// Start every group from the master model.
 		resps := fleet.FetchAll(g)
 		weights := make([][][]float32, len(resps))
@@ -79,9 +92,14 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 			continue // schedule longer than requested training
 		}
 		rep := replicas[g]
-		idx := sources[g].Next(cfg.GroupBatch)
+		idx := batches[g][iters[g]]
 		rep.ZeroGrad()
-		loss := rep.ComputeGradients(idx)
+		var loss float64
+		if pipes[g] != nil && len(idx) > 0 {
+			loss = pipes[g].ComputeStagedStream(nil)
+		} else if len(idx) > 0 {
+			loss = rep.ComputeGradients(idx)
+		}
 		var stale float64
 		for t, x := range xfers[g] {
 			for i, prm := range x.params {
@@ -103,6 +121,17 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 	res := finalize(stats, cfg.Groups)
 	res.FinalWeights = fleetWeights(fleet)
 	res.Wire = fleet.WireStats()
+	// Quiesce the prefetchers before reading their accounts (a short
+	// schedule can leave them mid-stage; StopIngest is idempotent, so the
+	// deferred stops become no-ops).
+	for _, pr := range pipes {
+		if pr != nil {
+			pr.StopIngest()
+		}
+	}
+	for _, rep := range replicas {
+		res.Ingest = res.Ingest.Add(ingestOf(rep))
+	}
 	return res
 }
 

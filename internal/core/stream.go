@@ -140,7 +140,8 @@ type groupWorker struct {
 	layers  []nn.Layer
 	lparams [][]*nn.Param
 	handles [][]comm.Handle
-	ex      *exchanger // rank 0 only; nil for sync training
+	ex      *exchanger      // rank 0 only; nil for sync training
+	pipe    PipelineReplica // non-nil when this rank's ingest is prefetched
 	overlap bool
 	notify  func(layer int) // prebuilt gradDone closure
 	lossBuf []float64       // rank 0 only
@@ -177,13 +178,33 @@ func newGroupWorker(rank int, group *comm.Group, rep Replica, ex *exchanger, ove
 // compute runs one forward/backward over idx with the group-mean reduction
 // of every layer's gradients in flight: overlapped with the backward pass
 // when cfg.Overlap is set, issued en bloc after it otherwise (the lockstep
-// schedule, same arithmetic). On return, the root's layers are being
-// exchanged by the pushers; non-root ranks have fully reduced gradients.
+// schedule, same arithmetic). With a prefetched pipeline attached the batch
+// comes pre-staged (idx then only identifies the iteration's shard — the
+// pipeline staged the same indices in the same order). On return, the
+// root's layers are being exchanged by the pushers; non-root ranks have
+// fully reduced gradients.
+//
+// An empty idx is an epoch-tail shard with zero samples (data.Split with
+// more workers than samples): the rank skips staging and compute entirely —
+// never compiling a zero-sample plan — but still joins every collective
+// with its zeroed gradients so the group stays in lockstep.
 func (gw *groupWorker) compute(idx []int) float64 {
 	var loss float64
-	if gw.overlap {
+	switch {
+	case len(idx) == 0:
+		for t := len(gw.layers) - 1; t >= 0; t-- {
+			gw.notify(t)
+		}
+	case gw.pipe != nil && gw.overlap:
+		loss = gw.pipe.ComputeStagedStream(gw.notify)
+	case gw.pipe != nil:
+		loss = gw.pipe.ComputeStagedStream(nil)
+		for t := len(gw.layers) - 1; t >= 0; t-- {
+			gw.notify(t)
+		}
+	case gw.overlap:
 		loss = computeStream(gw.rep, len(gw.layers), idx, gw.notify)
-	} else {
+	default:
 		loss = gw.rep.ComputeGradients(idx)
 		for t := len(gw.layers) - 1; t >= 0; t-- {
 			gw.notify(t)
@@ -231,6 +252,37 @@ func (s *shardCache) shard(n int) (lo, hi int) {
 		s.n, s.lo, s.hi = n, sp[0], sp[1]
 	}
 	return s.lo, s.hi
+}
+
+// startIngest launches rank's prefetch pipeline over its per-iteration
+// shard shares of the pre-drawn group batches: the exact index sets the
+// blocking path would stage at each iteration start, in the exact order.
+// Returns nil when prefetch is off or the replica has no pipeline support
+// (the blocking fallback — older Replica implementations keep working).
+func startIngest(rep Replica, batches [][]int, rank, workers, lookahead int) PipelineReplica {
+	if lookahead <= 0 {
+		return nil
+	}
+	pr, ok := rep.(PipelineReplica)
+	if !ok {
+		return nil
+	}
+	seq := make([][]int, len(batches))
+	sc := shardCache{rank: rank, workers: workers}
+	for it, b := range batches {
+		lo, hi := sc.shard(len(b))
+		seq[it] = b[lo:hi]
+	}
+	pr.StartIngest(seq, lookahead)
+	return pr
+}
+
+// ingestOf reads a replica's staging account (zero when not reported).
+func ingestOf(rep Replica) data.IngestStats {
+	if ir, ok := rep.(IngestReporter); ok {
+		return ir.IngestStats()
+	}
+	return data.IngestStats{}
 }
 
 // broadcastWeights fans the root's (freshly exchanged) model out to the

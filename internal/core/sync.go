@@ -45,6 +45,10 @@ func TrainSync(p Problem, cfg Config) Result {
 			defer wg.Done()
 			rep := replicas[rank]
 			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
+			gw.pipe = startIngest(rep, batches, rank, w, cfg.Prefetch)
+			if gw.pipe != nil {
+				defer gw.pipe.StopIngest()
+			}
 			solver := cfg.Solver.Clone()
 			shards := shardCache{rank: rank, workers: w}
 			for it := 0; it < cfg.Iterations; it++ {
@@ -80,5 +84,8 @@ func TrainSync(p Problem, cfg Config) Result {
 	res := finalize(stats, 1)
 	// Replicas are in lockstep; rank 0's weights are the trained model.
 	res.FinalWeights = ExtractWeights(replicas[0].TrainableLayers())
+	for _, rep := range replicas {
+		res.Ingest = res.Ingest.Add(ingestOf(rep))
+	}
 	return res
 }

@@ -59,9 +59,18 @@ func (b *Batcher) Next() []int {
 // Split partitions n samples into parts nearly equal shares, returning
 // [lo,hi) bounds per part. Used to shard a group batch across workers the
 // way data-parallel training splits a minibatch.
+//
+// parts may exceed n (an epoch's short tail batch split over a large worker
+// group): the trailing parts come back as empty [x,x) ranges. Consumers
+// must skip those — an empty shard is a worker idling this iteration, never
+// a zero-sample batch to stage or compile a plan for (the trainers and
+// Pipeline sources uphold this; see SliceSource).
 func Split(n, parts int) [][2]int {
 	if parts <= 0 {
 		panic("data: Split with non-positive parts")
+	}
+	if n < 0 {
+		panic("data: Split with negative n")
 	}
 	out := make([][2]int, parts)
 	base := n / parts

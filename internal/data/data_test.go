@@ -61,6 +61,93 @@ func TestBatcherReshufflesBetweenEpochs(t *testing.T) {
 	}
 }
 
+// TestBatcherEpochCounterAcrossReshuffles: Epoch must tick exactly once per
+// completed pass, including passes that end on a short tail batch, across
+// several reshuffles.
+func TestBatcherEpochCounterAcrossReshuffles(t *testing.T) {
+	b := NewBatcher(7, 3, tensor.NewRNG(21))
+	for epoch := 0; epoch < 4; epoch++ {
+		total := 0
+		for total < 7 {
+			total += len(b.Next())
+			// The counter ticks lazily, on the draw that wraps into the
+			// next permutation — so every batch of a pass reports the same
+			// epoch, including the short tail.
+			if got := b.Epoch(); got != epoch {
+				t.Fatalf("counter = %d mid-epoch, want %d (at %d samples)", got, epoch, total)
+			}
+		}
+		if total != 7 {
+			t.Fatalf("epoch %d emitted %d samples, want exactly 7", epoch, total)
+		}
+	}
+}
+
+// TestBatcherShortFinalBatchEveryEpoch: the tail batch stays short in every
+// epoch (no silent padding or carry-over between permutations), and each
+// epoch is a permutation of [0,n).
+func TestBatcherShortFinalBatchEveryEpoch(t *testing.T) {
+	const n, batch = 10, 4
+	b := NewBatcher(n, batch, tensor.NewRNG(22))
+	for epoch := 0; epoch < 3; epoch++ {
+		var sizes []int
+		seen := make(map[int]bool)
+		total := 0
+		for total < n {
+			idx := b.Next()
+			sizes = append(sizes, len(idx))
+			for _, i := range idx {
+				if i < 0 || i >= n || seen[i] {
+					t.Fatalf("epoch %d: index %d out of range or repeated", epoch, i)
+				}
+				seen[i] = true
+			}
+			total += len(idx)
+		}
+		if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+			t.Fatalf("epoch %d batch sizes = %v, want [4 4 2]", epoch, sizes)
+		}
+	}
+}
+
+// TestBatcherDeterministicForFixedSeed: two batchers over the same RNG seed
+// must emit identical permutations — the reproducibility every golden-
+// fingerprint trainer (and the prefetch pipeline) relies on.
+func TestBatcherDeterministicForFixedSeed(t *testing.T) {
+	a := NewBatcher(23, 5, tensor.NewRNG(77))
+	b := NewBatcher(23, 5, tensor.NewRNG(77))
+	for draw := 0; draw < 20; draw++ {
+		ia, ib := a.Next(), b.Next()
+		if len(ia) != len(ib) {
+			t.Fatalf("draw %d sizes diverge: %d vs %d", draw, len(ia), len(ib))
+		}
+		for j := range ia {
+			if ia[j] != ib[j] {
+				t.Fatalf("draw %d diverges at %d: %v vs %v", draw, j, ia, ib)
+			}
+		}
+	}
+}
+
+// TestSplitMorePartsThanSamples pins the documented empty-range contract:
+// Split(n, parts) with parts > n yields n singleton shares followed by
+// empty [x,x) ranges that consumers skip (see the core trainer regression
+// test for the skip itself).
+func TestSplitMorePartsThanSamples(t *testing.T) {
+	parts := Split(3, 5)
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {3, 3}}
+	for i, p := range parts {
+		if p != want[i] {
+			t.Fatalf("Split(3,5)[%d] = %v, want %v", i, p, want[i])
+		}
+	}
+	for _, p := range Split(0, 4) {
+		if p != [2]int{0, 0} {
+			t.Fatalf("Split(0,4) must be all empty, got %v", p)
+		}
+	}
+}
+
 func TestBatcherValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -71,7 +72,9 @@ type ShardReader struct {
 	Count, FeatLen, LabLen int
 }
 
-// OpenShard opens a shard file and validates its header.
+// OpenShard opens a shard file and validates its header against the actual
+// file size, so corruption surfaces as an explicit error at open time — not
+// as a panic or short read deep inside a training run's prefetch goroutine.
 func OpenShard(path string) (*ShardReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -80,37 +83,79 @@ func OpenShard(path string) (*ShardReader, error) {
 	hdr := make([]byte, headerBytes)
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("data: short shard header: %w", err)
+		return nil, fmt.Errorf("data: %s: short shard header: %w", path, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
 		f.Close()
-		return nil, fmt.Errorf("data: %s is not a shard file", path)
+		return nil, fmt.Errorf("data: %s is not a shard file (bad magic)", path)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
 		f.Close()
-		return nil, fmt.Errorf("data: unsupported shard version %d", v)
+		return nil, fmt.Errorf("data: %s: unsupported shard version %d", path, v)
+	}
+	count := int64(binary.LittleEndian.Uint32(hdr[8:]))
+	featLen := int64(binary.LittleEndian.Uint32(hdr[12:]))
+	labLen := int64(binary.LittleEndian.Uint32(hdr[16:]))
+	// Impossible counts: the per-sample element total must not overflow the
+	// payload arithmetic (a corrupt header can promise ~2^64 bytes).
+	per := featLen + labLen
+	if per > 0 && count > (math.MaxInt64/4-headerBytes)/per {
+		f.Close()
+		return nil, fmt.Errorf("data: %s: impossible shard header (count %d × %d elems/sample overflows)",
+			path, count, per)
+	}
+	want := int64(headerBytes) + 4*count*per
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("data: %s: stat: %w", path, err)
+	}
+	if st.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("data: %s: payload is %d bytes, header promises %d (truncated or corrupt)",
+			path, st.Size(), want)
 	}
 	return &ShardReader{
 		f:       f,
-		Count:   int(binary.LittleEndian.Uint32(hdr[8:])),
-		FeatLen: int(binary.LittleEndian.Uint32(hdr[12:])),
-		LabLen:  int(binary.LittleEndian.Uint32(hdr[16:])),
+		Count:   int(count),
+		FeatLen: int(featLen),
+		LabLen:  int(labLen),
 	}, nil
 }
 
 // Close releases the underlying file.
 func (r *ShardReader) Close() error { return r.f.Close() }
 
+// ScratchLen returns the byte-scratch size the *Into read paths need (one
+// sample's worth of raw encoding, feature or label, whichever is larger).
+func (r *ShardReader) ScratchLen() int {
+	n := r.FeatLen
+	if r.LabLen > n {
+		n = r.LabLen
+	}
+	return 4 * n
+}
+
 // ReadSample reads sample i's features (and labels if labels is non-nil)
 // into the provided slices.
 func (r *ShardReader) ReadSample(i int, features []float32, labels []int32) error {
+	return r.ReadSampleInto(i, features, labels, make([]byte, r.ScratchLen()))
+}
+
+// ReadSampleInto is ReadSample decoding through caller-owned scratch (at
+// least ScratchLen bytes) — the allocation-free form the ingest hot paths
+// run per sample, on every iteration, from prefetch goroutines.
+func (r *ShardReader) ReadSampleInto(i int, features []float32, labels []int32, scratch []byte) error {
 	if i < 0 || i >= r.Count {
 		return fmt.Errorf("data: sample %d out of range [0,%d)", i, r.Count)
 	}
 	if len(features) != r.FeatLen {
 		return fmt.Errorf("data: feature buffer %d != %d", len(features), r.FeatLen)
 	}
-	buf := make([]byte, 4*r.FeatLen)
+	if len(scratch) < r.ScratchLen() {
+		return fmt.Errorf("data: scratch buffer %d < %d", len(scratch), r.ScratchLen())
+	}
+	buf := scratch[:4*r.FeatLen]
 	off := int64(headerBytes) + int64(i)*int64(4*r.FeatLen)
 	if _, err := r.f.ReadAt(buf, off); err != nil {
 		return err
@@ -122,7 +167,7 @@ func (r *ShardReader) ReadSample(i int, features []float32, labels []int32) erro
 		if len(labels) != r.LabLen {
 			return fmt.Errorf("data: label buffer %d != %d", len(labels), r.LabLen)
 		}
-		lbuf := make([]byte, 4*r.LabLen)
+		lbuf := scratch[:4*r.LabLen]
 		loff := int64(headerBytes) + int64(r.Count)*int64(4*r.FeatLen) + int64(i)*int64(4*r.LabLen)
 		if _, err := r.f.ReadAt(lbuf, loff); err != nil {
 			return err
@@ -137,12 +182,13 @@ func (r *ShardReader) ReadSample(i int, features []float32, labels []int32) erro
 // ReadBatch reads the indexed samples into a contiguous feature buffer of
 // len(idx)·FeatLen floats and, if labels is non-nil, len(idx)·LabLen labels.
 func (r *ShardReader) ReadBatch(idx []int, features []float32, labels []int32) error {
+	scratch := make([]byte, r.ScratchLen())
 	for bi, i := range idx {
 		var lab []int32
 		if labels != nil {
 			lab = labels[bi*r.LabLen : (bi+1)*r.LabLen]
 		}
-		if err := r.ReadSample(i, features[bi*r.FeatLen:(bi+1)*r.FeatLen], lab); err != nil {
+		if err := r.ReadSampleInto(i, features[bi*r.FeatLen:(bi+1)*r.FeatLen], lab, scratch); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,237 @@
+package data
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+// writeTestShard produces a valid shard and returns its raw bytes.
+func writeTestShard(t *testing.T, path string, count, featLen, labLen int) []byte {
+	t.Helper()
+	feats := make([]float32, count*featLen)
+	for i := range feats {
+		feats[i] = float32(i)
+	}
+	labs := make([]int32, count*labLen)
+	for i := range labs {
+		labs[i] = int32(i)
+	}
+	if err := WriteShard(path, count, featLen, labLen, feats, labs); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestOpenShardRejectsCorruptFiles is the table-driven error-path gate for
+// the hardened reader: bad magic, impossible counts, and payloads shorter
+// (or longer) than the header promises must all fail OpenShard with an
+// explicit error — never a panic or a short read later.
+func TestOpenShardRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	valid := writeTestShard(t, filepath.Join(dir, "valid.shard"), 4, 3, 1)
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		wantSub string
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:10] }, "short shard header"},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[0:], 0xDEADBEEF)
+			return c
+		}, "bad magic"},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[4:], 99)
+			return c
+		}, "unsupported shard version"},
+		{"count larger than payload", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[8:], 1000)
+			return c
+		}, "header promises"},
+		{"impossible count overflows", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint32(c[8:], 0xFFFFFFFF)
+			binary.LittleEndian.PutUint32(c[12:], 0xFFFFFFFF)
+			binary.LittleEndian.PutUint32(c[16:], 0xFFFFFFFF)
+			return c
+		}, "impossible shard header"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "truncated or corrupt"},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 1, 2, 3) }, "header promises"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "-")+".shard")
+			if err := os.WriteFile(path, tc.corrupt(valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := OpenShard(path)
+			if err == nil {
+				r.Close()
+				t.Fatalf("OpenShard accepted a corrupt file (%s)", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The untouched file still opens — the fixture itself is good.
+	r, err := OpenShard(filepath.Join(dir, "valid.shard"))
+	if err != nil {
+		t.Fatalf("valid shard rejected: %v", err)
+	}
+	r.Close()
+}
+
+// TestShardSetGlobalIndexing: a set of unevenly sized shards must behave as
+// one dataset — global index i reads the same bytes the single-file layout
+// would hold at i.
+func TestShardSetGlobalIndexing(t *testing.T) {
+	dir := t.TempDir()
+	const featLen, labLen = 3, 1
+	rng := tensor.NewRNG(11)
+	var allFeats []float32
+	var allLabs []int32
+	var paths []string
+	for k, count := range []int{2, 5, 1} {
+		feats := make([]float32, count*featLen)
+		labs := make([]int32, count*labLen)
+		for i := range feats {
+			feats[i] = float32(rng.Norm())
+		}
+		for i := range labs {
+			labs[i] = int32(rng.Intn(10))
+		}
+		path := filepath.Join(dir, []string{"a", "b", "c"}[k]+".shard")
+		if err := WriteShard(path, count, featLen, labLen, feats, labs); err != nil {
+			t.Fatal(err)
+		}
+		allFeats = append(allFeats, feats...)
+		allLabs = append(allLabs, labs...)
+		paths = append(paths, path)
+	}
+	set, err := OpenShardSet(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.Count != 8 || set.FeatLen != featLen || set.LabLen != labLen {
+		t.Fatalf("set header %d/%d/%d", set.Count, set.FeatLen, set.LabLen)
+	}
+	f := make([]float32, featLen)
+	l := make([]int32, labLen)
+	for i := 0; i < set.Count; i++ {
+		if err := set.ReadSample(i, f, l); err != nil {
+			t.Fatal(err)
+		}
+		for j := range f {
+			if f[j] != allFeats[i*featLen+j] {
+				t.Fatalf("sample %d feature %d: %v != %v", i, j, f[j], allFeats[i*featLen+j])
+			}
+		}
+		if l[0] != allLabs[i] {
+			t.Fatalf("sample %d label: %v != %v", i, l[0], allLabs[i])
+		}
+	}
+	// Batched, out of order, across shard boundaries.
+	idx := []int{7, 0, 3, 2}
+	bf := make([]float32, len(idx)*featLen)
+	bl := make([]int32, len(idx)*labLen)
+	if err := set.ReadBatchInto(idx, bf, bl, nil); err != nil {
+		t.Fatal(err)
+	}
+	for bi, i := range idx {
+		if bf[bi*featLen] != allFeats[i*featLen] || bl[bi] != allLabs[i] {
+			t.Fatalf("batched sample %d mismatched", i)
+		}
+	}
+	if err := set.ReadSample(8, f, l); err == nil {
+		t.Fatal("out-of-range global index must error")
+	}
+	if err := set.ReadBatchInto(idx, bf[:1], nil, nil); err == nil {
+		t.Fatal("short feature buffer must error")
+	}
+	if err := set.ReadBatchInto(idx, bf, bl[:1], nil); err == nil {
+		t.Fatal("short label buffer must error")
+	}
+	if err := set.ReadBatchInto(idx, bf, bl, make([]byte, 1)); err == nil {
+		t.Fatal("undersized scratch must error")
+	}
+}
+
+// TestShardSetRejectsMixedLayouts: shards disagreeing on per-sample layout
+// cannot form a set.
+func TestShardSetRejectsMixedLayouts(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.shard")
+	b := filepath.Join(dir, "b.shard")
+	if err := WriteShard(a, 1, 3, 0, make([]float32, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShard(b, 1, 4, 0, make([]float32, 4), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShardSet(a, b); err == nil {
+		t.Fatal("mixed layouts must be rejected")
+	}
+	if _, err := OpenShardSet(); err == nil {
+		t.Fatal("empty set must be rejected")
+	}
+}
+
+// TestWriteShardsRoundTrip: WriteShards must split deterministically, skip
+// empty tails when shards outnumber samples, and read back exactly through
+// a ShardSet.
+func TestWriteShardsRoundTrip(t *testing.T) {
+	const count, featLen = 7, 2
+	feats := make([]float32, count*featLen)
+	for i := range feats {
+		feats[i] = float32(i) * 0.5
+	}
+	paths, err := WriteShards(t.TempDir(), 3, count, featLen, 0, feats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("wrote %d shards, want 3", len(paths))
+	}
+	set, err := OpenShardSet(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	got := make([]float32, count*featLen)
+	idx := make([]int, count)
+	for i := range idx {
+		idx[i] = i
+	}
+	if err := set.ReadBatchInto(idx, got, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range feats {
+		if got[i] != feats[i] {
+			t.Fatalf("round trip diverged at %d", i)
+		}
+	}
+
+	// More shards than samples: empty ranges are skipped, not written.
+	paths, err = WriteShards(t.TempDir(), 5, 2, featLen, 0, feats[:2*featLen], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("5-way split of 2 samples wrote %d shards, want 2 non-empty", len(paths))
+	}
+}

@@ -3,6 +3,7 @@ package hep
 import (
 	"math"
 
+	"deep15pf/internal/data"
 	"deep15pf/internal/tensor"
 )
 
@@ -120,6 +121,16 @@ func (d *Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
 	labels := make([]int, len(idx))
 	d.BatchInto(x, labels, idx)
 	return x, labels
+}
+
+// SaveShards persists the dataset's images to numShards shard files under
+// dir and returns their paths — the on-disk input layout a shard-backed
+// TrainingProblem (and its prefetch pipeline) reads from. Shards store the
+// exact float bits, so file-backed training is bitwise-equal to in-memory.
+func (d *Dataset) SaveShards(dir string, numShards int) ([]string, error) {
+	s := d.Images.Shape
+	per := s[1] * s[2] * s[3]
+	return data.WriteShards(dir, numShards, s[0], per, 0, d.Images.Data, nil)
 }
 
 // BatchInto is Batch writing into caller-owned staging — the

@@ -1,6 +1,8 @@
 package hep
 
 import (
+	"time"
+
 	"deep15pf/internal/core"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
@@ -10,10 +12,21 @@ import (
 // TrainingProblem adapts the HEP classification task to the distributed
 // trainer (core.Problem): replicas share one in-memory dataset and are
 // initialised from a common seed so every worker starts bitwise identical.
+//
+// With Backing set, replicas read their image features from shard files
+// instead of the in-memory tensor — the paper's HDF5-style input path, with
+// honest per-batch file I/O. Shards round-trip float bits exactly, so a
+// shard-backed run's trajectory equals the in-memory run's bit for bit.
 type TrainingProblem struct {
 	DS       *Dataset
 	Model    ModelConfig
 	InitSeed uint64
+
+	// Backing, when non-nil, is the on-disk feature source: sample i's
+	// image is read from the shard set at global index i (labels stay in
+	// memory — they are a handful of ints). Safe to share across replicas;
+	// reads are concurrent-safe.
+	Backing *data.ShardSet
 }
 
 // NewTrainingProblem builds the adapter.
@@ -28,15 +41,20 @@ func NewTrainingProblem(ds *Dataset, model ModelConfig, initSeed uint64) *Traini
 func (p *TrainingProblem) NewReplica() core.Replica {
 	net := BuildNet(p.Model, tensor.NewRNG(p.InitSeed))
 	arena := tensor.NewArena()
-	return &replica{
+	r := &replica{
 		net:       net,
 		ds:        p.DS,
+		backing:   p.Backing,
 		params:    net.Params(),
 		arena:     arena,
 		plans:     nn.NewPlanCache(net, true, arena),
 		xStage:    tensor.NewStaging(arena, net.InShape...),
 		gradStage: tensor.NewStaging(arena, p.Model.Classes),
 	}
+	if r.backing != nil {
+		r.ioScratch = make([]byte, r.backing.ScratchLen())
+	}
+	return r
 }
 
 // NewBatchSource implements core.Problem.
@@ -45,20 +63,59 @@ func (p *TrainingProblem) NewBatchSource(seed uint64) core.BatchSource {
 }
 
 type replica struct {
-	net    *nn.Network
-	ds     *Dataset
-	params []*nn.Param // cached: per-iteration ZeroGrads must not rebuild the slice
-	arena  *tensor.Arena
-	plans  *nn.PlanCache
+	net     *nn.Network
+	ds      *Dataset
+	backing *data.ShardSet
+	params  []*nn.Param // cached: per-iteration ZeroGrads must not rebuild the slice
+	arena   *tensor.Arena
+	plans   *nn.PlanCache
 
 	// Reusable per-iteration staging: the input batch, its labels and the
 	// loss gradient. Grown to the largest batch seen, then stable.
 	xStage, gradStage *tensor.Staging
 	labels            []int
+
+	// Streaming ingest (core.PipelineReplica): slots are staged by the
+	// pipeline's background goroutine while the previous batch trains.
+	pipe   *data.Pipeline[*hepSlot]
+	ingest data.IngestStats // blocking-path account (pipeline keeps its own)
+
+	// ioScratch decodes shard reads without allocating. Exactly one stager
+	// runs at a time per replica — the consumer goroutine (blocking path)
+	// or the prefetch goroutine (pipeline path), with goroutine start/stop
+	// ordering the handoff — so one buffer suffices.
+	ioScratch []byte
+}
+
+// hepSlot is one staged batch in the prefetch ring: an arena-backed image
+// tensor plus its labels, pre-sized to the run's largest shard.
+type hepSlot struct {
+	stage  *tensor.Staging
+	x      *tensor.Tensor // view for the staged batch size, set by the stager
+	labels []int
+	n      int
 }
 
 func (r *replica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
 func (r *replica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
+
+// stageInto copies batch idx into caller-owned staging, from the shard
+// backing when configured (real file reads) or the in-memory dataset. It is
+// the single staging primitive both the blocking path and the pipeline's
+// prefetch goroutine run, which is what makes the two paths bitwise equal.
+func (r *replica) stageInto(x *tensor.Tensor, labels []int, idx []int) error {
+	if r.backing != nil {
+		if err := r.backing.ReadBatchInto(idx, x.Data, nil, r.ioScratch); err != nil {
+			return err
+		}
+		for bi, i := range idx {
+			labels[bi] = r.ds.Labels[i]
+		}
+		return nil
+	}
+	r.ds.BatchInto(x, labels, idx)
+	return nil
+}
 
 func (r *replica) ComputeGradients(idx []int) float64 {
 	return r.ComputeGradientsStream(idx, nil)
@@ -66,21 +123,99 @@ func (r *replica) ComputeGradients(idx []int) float64 {
 
 // ComputeGradientsStream implements core.StreamReplica: the compiled plan's
 // backward pass notifies gradDone as each trainable layer's gradients become
-// final, letting the overlapped trainer exchange them mid-backward.
+// final, letting the overlapped trainer exchange them mid-backward. This is
+// the blocking ingest path — stage now, then compute — and it books every
+// staging second as exposed wait time in the replica's ingest account.
 func (r *replica) ComputeGradientsStream(idx []int, gradDone func(layer int)) float64 {
 	n := len(idx)
 	x := r.xStage.Batch(n)
-	grad := r.gradStage.Batch(n)
 	if cap(r.labels) < n {
 		r.labels = make([]int, n)
 	}
 	labels := r.labels[:n]
-	r.ds.BatchInto(x, labels, idx)
+	t0 := time.Now()
+	if err := r.stageInto(x, labels, idx); err != nil {
+		panic("hep: batch staging failed: " + err.Error())
+	}
+	dt := time.Since(t0).Seconds()
+	r.ingest.Batches++
+	r.ingest.Samples += int64(n)
+	r.ingest.StageSeconds += dt
+	r.ingest.WaitSeconds += dt // blocking: staging sits on the critical path
+	return r.computeOn(x, labels, gradDone)
+}
+
+// computeOn is the shared forward/loss/backward over an already-staged
+// batch.
+func (r *replica) computeOn(x *tensor.Tensor, labels []int, gradDone func(layer int)) float64 {
+	n := x.Shape[0]
+	grad := r.gradStage.Batch(n)
 	plan := r.plans.Plan(n)
 	logits := plan.Forward(x)
 	loss := nn.SoftmaxCrossEntropyInto(logits, labels, grad)
 	plan.BackwardStream(grad, gradDone)
 	return loss
+}
+
+// StartIngest implements core.PipelineReplica: it sizes a slot ring for the
+// largest shard in the sequence (so staging never touches the arena again)
+// and launches the background prefetcher over the same index order the
+// blocking path would consume.
+func (r *replica) StartIngest(batches [][]int, lookahead int) {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	maxN := 0
+	for _, b := range batches {
+		if len(b) > maxN {
+			maxN = len(b)
+		}
+	}
+	if maxN == 0 {
+		r.pipe = nil
+		return // nothing will ever be staged (all shards empty)
+	}
+	slots := make([]*hepSlot, lookahead+1)
+	for i := range slots {
+		st := tensor.NewStaging(r.arena, r.net.InShape...)
+		st.Batch(maxN) // pre-size: all later Batch(n≤maxN) calls are realloc-free
+		slots[i] = &hepSlot{stage: st, labels: make([]int, maxN)}
+	}
+	r.pipe = data.NewPipeline(slots, data.SliceSource(batches),
+		func(dst *hepSlot, idx []int) error {
+			dst.n = len(idx)
+			dst.x = dst.stage.Batch(dst.n)
+			return r.stageInto(dst.x, dst.labels[:dst.n], idx)
+		})
+	r.pipe.Start()
+}
+
+// ComputeStagedStream implements core.PipelineReplica: the batch was staged
+// in the background; consume it and run the planned forward/backward.
+func (r *replica) ComputeStagedStream(gradDone func(layer int)) float64 {
+	slot, ok := r.pipe.Next()
+	if !ok {
+		if err := r.pipe.Err(); err != nil {
+			panic("hep: ingest pipeline: " + err.Error())
+		}
+		panic("hep: ingest pipeline exhausted before training finished")
+	}
+	return r.computeOn(slot.x, slot.labels[:slot.n], gradDone)
+}
+
+// StopIngest implements core.PipelineReplica.
+func (r *replica) StopIngest() {
+	if r.pipe != nil {
+		r.pipe.Stop()
+	}
+}
+
+// IngestStats implements core.IngestReporter over whichever path ran.
+func (r *replica) IngestStats() data.IngestStats {
+	if r.pipe != nil {
+		return r.ingest.Add(r.pipe.Stats())
+	}
+	return r.ingest
 }
 
 // Scores runs inference over the whole dataset and returns P(signal).
