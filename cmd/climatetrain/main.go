@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"deep15pf/internal/ckpt"
 	"deep15pf/internal/climate"
 	"deep15pf/internal/core"
 	"deep15pf/internal/opt"
@@ -29,6 +31,11 @@ func main() {
 	lr := flag.Float64("lr", 1.5e-3, "learning rate")
 	conf := flag.Float64("conf", 0.8, "inference confidence threshold (paper uses 0.8)")
 	prefetch := flag.Int("prefetch", 1, "batches of ingest lookahead per worker (0 = legacy blocking staging)")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint store directory (versioned snapshots; enables -ckpt-every/-resume)")
+	ckptEvery := flag.Int("ckpt-every", 10, "snapshot every N iterations (the paper's 1-in-10 climate cadence; needs -ckpt-dir)")
+	ckptAsync := flag.Bool("ckpt-async", true, "flush snapshots on a background writer (staging only on the critical path)")
+	ckptKeep := flag.Int("ckpt-keep", 5, "retain only the newest N versions (0 = keep all)")
+	resume := flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir (bit-exact; empty store = fresh start)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
 
@@ -49,6 +56,15 @@ func main() {
 		Solver:     opt.NewAdam(*lr),
 		Seed:       *seed,
 		Prefetch:   *prefetch,
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = core.CheckpointConfig{
+			Dir: *ckptDir, Every: *ckptEvery, Async: *ckptAsync, Keep: *ckptKeep,
+			Arch: "climatetrain", SamplesPerEpoch: *trainN, Resume: *resume,
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "climatetrain: -resume needs -ckpt-dir")
+		os.Exit(2)
 	}
 	var res core.Result
 	if *groups == 1 {
@@ -72,6 +88,11 @@ func main() {
 		fmt.Printf("ingest: %d batches staged in %.1f ms, %.1f ms exposed to compute (%.0f%% overlapped, prefetch=%d)\n",
 			ing.Batches, ing.StageSeconds*1e3, ing.WaitSeconds*1e3, 100*ing.Overlap(), *prefetch)
 	}
+	if ck := res.Ckpt; ck.Snapshots > 0 {
+		fmt.Printf("ckpt: %d snapshots (latest v%d) — staged %.1f ms, written %.1f ms, %.1f ms exposed to compute (%.0f%% hidden)\n",
+			ck.Snapshots, ck.LastVersion, ck.StageSeconds*1e3, ck.WriteSeconds*1e3, ck.ExposedSeconds*1e3, 100*ck.Overlap())
+	}
+	fmt.Printf("final weight fingerprint %016x\n", ckpt.FingerprintWeights(res.FinalWeights))
 
 	// Evaluate the trained model.
 	rep := problem.NewReplica()

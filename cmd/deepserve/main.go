@@ -20,6 +20,8 @@
 //	deepserve -requests 50000 -batch 64    # bigger study
 //	deepserve -int8                        # serve the int8 weight/activation path
 //	deepserve -arch hep-small -checkpoint model.d15w
+//	deepserve -watch /tmp/ckpts            # hot-reload demo: train→publish→swap under load
+//	deepserve -watch /tmp/ckpts -canary .2 # stage new versions behind 20% canary traffic
 package main
 
 import (
@@ -28,8 +30,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"deep15pf/internal/ckpt"
 	"deep15pf/internal/core"
 	"deep15pf/internal/hep"
 	"deep15pf/internal/nn"
@@ -56,12 +61,26 @@ func main() {
 	noPlans := flag.Bool("noplans", false, "disable compiled execution plans (A/B the legacy per-pass allocation path)")
 	int8Mode := flag.Bool("int8", false, "serve the int8 weight/activation path")
 	compare := flag.Bool("compare", true, "also run the batch-size-1 baseline and report the speedup")
+	watch := flag.String("watch", "", "serve out of this checkpoint store, hot-reloading new versions (train→serve loop demo)")
+	canary := flag.Float64("canary", 0, "with -watch: route this traffic fraction to an incoming version before cutover")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
 
 	registry := serve.DefaultRegistry()
 	demoCfg := hep.ModelConfig{Name: "hep-demo", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
 	serve.RegisterHEP(registry, "hep-demo", demoCfg)
+
+	if *watch != "" {
+		prec := serve.Float32
+		if *int8Mode {
+			prec = serve.Int8
+		}
+		runWatchDemo(registry, demoCfg, *watch, prec, serve.DeployConfig{
+			Server: serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers},
+			Canary: *canary,
+		}, *trainEvents, *trainIters, *lr, *requests, *clients, *seed)
+		return
+	}
 
 	path := *checkpoint
 	archName := *arch
@@ -118,6 +137,108 @@ func main() {
 		}
 	}
 }
+
+// runWatchDemo is the continuous-deployment loop, self-contained: train a
+// demo model into a checkpoint store, serve it through a hot-reloading
+// Deployment, keep closed-loop traffic flowing while training publishes an
+// improved version, and report the swap — zero dropped requests — with
+// per-version serving metrics (and canary routing with -canary > 0).
+func runWatchDemo(registry *serve.Registry, cfg hep.ModelConfig, dir string, prec serve.Precision,
+	dcfg serve.DeployConfig, events, iters int, lr float64, requests, clients int, seed uint64) {
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rng := tensor.NewRNG(seed)
+	r := hep.NewRenderer(cfg.ImageSize)
+	train := hep.GenerateDataset(hep.DefaultGenConfig(), r, events, 0.5, rng)
+	problem := hep.NewTrainingProblem(train, cfg, seed+1)
+
+	// Version 1: a half-trained model, published through the trainer's own
+	// checkpoint hook (the store IS the train→serve interface).
+	half := iters / 2
+	if half < 1 {
+		half = 1
+	}
+	publish := func(totalIters int) {
+		res := core.TrainSync(problem, core.Config{
+			Groups: 1, WorkersPerGroup: 1, GroupBatch: 32, Iterations: totalIters,
+			Solver: opt.NewAdam(lr), Seed: seed,
+			Checkpoint: core.CheckpointConfig{Dir: dir, Every: totalIters, Async: true,
+				Arch: cfg.Name, Resume: true},
+		})
+		m, _, _ := store.Latest()
+		fmt.Printf("published v%d at step %d (loss %.4f, fingerprint %s)\n",
+			m.Version, m.Step, res.FinalLoss, m.Fingerprint)
+	}
+	if _, ok, _ := store.Latest(); !ok {
+		fmt.Printf("training %s to step %d for the initial version...\n", cfg.Name, half)
+		publish(half)
+	}
+
+	dcfg.Poll = 20 * time.Millisecond
+	d, err := serve.NewDeployment(registry, cfg.Name, prec, store, dcfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer d.Close()
+	d.Watch()
+	fmt.Printf("\nserving v%d from %s (canary fraction %.2f)\n", d.CurrentVersion(), dir, dcfg.Canary)
+
+	inputs := requestPool(loadedModelInputs(d), 256, seed+3)
+	var (
+		next, completed, failed atomic.Int64
+		wg                      sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				if _, err := d.Submit(inputs[i%len(inputs)].X); err != nil {
+					failed.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	// Mid-load: continue training to full depth and publish — the watcher
+	// picks the new version up while the clients keep hammering.
+	for next.Load() < int64(requests/3) {
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("resuming training to step %d while serving...\n", iters)
+	publish(iters)
+	swapDeadline := time.Now().Add(10 * time.Second)
+	for d.Swaps() == 0 && time.Now().Before(swapDeadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+
+	fmt.Printf("\nhot reload: %d swap(s), %d rejected, final version v%d\n",
+		d.Swaps(), d.Rejected(), d.CurrentVersion())
+	fmt.Printf("traffic: %d/%d requests completed, %d failed across the swap\n",
+		completed.Load(), requests, failed.Load())
+	for _, vs := range d.Versions() {
+		role := "live"
+		if vs.Canary {
+			role = "canary"
+		}
+		fmt.Printf("  v%d (%s): %s\n", vs.Version, role, vs.Stats)
+	}
+	if failed.Load() > 0 {
+		fatalf("hot reload dropped %d requests", failed.Load())
+	}
+}
+
+// loadedModelInputs adapts the deployment's live model shape for the
+// request pool builder.
+func loadedModelInputs(d *serve.Deployment) *serve.LoadedModel { return d.Loaded() }
 
 // trainDemo trains the demo classifier synchronously (quickstart-style),
 // evaluates it on held-out events, and checkpoints it to a temp file.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"deep15pf/internal/ckpt"
 	"deep15pf/internal/core"
 	"deep15pf/internal/hep"
 	"deep15pf/internal/opt"
@@ -32,6 +33,11 @@ func main() {
 	lr := flag.Float64("lr", 2e-3, "ADAM learning rate")
 	beta1 := flag.Float64("beta1", 0.9, "ADAM beta1 (tune down for many groups, §VI-B4)")
 	prefetch := flag.Int("prefetch", 1, "batches of ingest lookahead per worker (0 = legacy blocking staging)")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint store directory (versioned snapshots; enables -ckpt-every/-resume)")
+	ckptEvery := flag.Int("ckpt-every", 10, "snapshot every N iterations (paper's climate cadence is 10; needs -ckpt-dir)")
+	ckptAsync := flag.Bool("ckpt-async", true, "flush snapshots on a background writer (staging only on the critical path)")
+	ckptKeep := flag.Int("ckpt-keep", 5, "retain only the newest N versions (0 = keep all)")
+	resume := flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir (bit-exact; empty store = fresh start)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
 
@@ -50,6 +56,15 @@ func main() {
 		Solver:     opt.NewAdamFull(*lr, *beta1, 0.999, 1e-8),
 		Seed:       *seed,
 		Prefetch:   *prefetch,
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = core.CheckpointConfig{
+			Dir: *ckptDir, Every: *ckptEvery, Async: *ckptAsync, Keep: *ckptKeep,
+			Arch: "heptrain", SamplesPerEpoch: *trainN, Resume: *resume,
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "heptrain: -resume needs -ckpt-dir")
+		os.Exit(2)
 	}
 
 	var res core.Result
@@ -78,6 +93,13 @@ func main() {
 		fmt.Printf("ingest: %d batches staged in %.1f ms, %.1f ms exposed to compute (%.0f%% overlapped, prefetch=%d)\n",
 			ing.Batches, ing.StageSeconds*1e3, ing.WaitSeconds*1e3, 100*ing.Overlap(), *prefetch)
 	}
+	if ck := res.Ckpt; ck.Snapshots > 0 {
+		fmt.Printf("ckpt: %d snapshots (latest v%d) — staged %.1f ms, written %.1f ms, %.1f ms exposed to compute (%.0f%% hidden)\n",
+			ck.Snapshots, ck.LastVersion, ck.StageSeconds*1e3, ck.WriteSeconds*1e3, ck.ExposedSeconds*1e3, 100*ck.Overlap())
+	}
+	// The fingerprint is FNV-1a over the final weights, comparable across
+	// processes and with store manifests — the CI resume smoke diffs it.
+	fmt.Printf("final weight fingerprint %016x\n", ckpt.FingerprintWeights(res.FinalWeights))
 	fmt.Println()
 
 	// Science evaluation of the trained model against the cut baseline.

@@ -44,6 +44,7 @@ func main() {
 		"climscience": harness.ClimateScience,
 		"resilience":  harness.Resilience,
 		"ablations":   harness.Ablations,
+		"checkpoint":  harness.Checkpoint,
 	}
 
 	var body string

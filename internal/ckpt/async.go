@@ -1,0 +1,198 @@
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats accounts a run's checkpoint cost the way data.IngestStats accounts
+// ingest: StageSeconds is the iteration-boundary clone into the staging
+// buffer (always on the compute goroutine), WriteSeconds is the
+// encode+flush of the snapshot files (on the background writer when
+// async), and ExposedSeconds is the part the training loop actually
+// stalled on — staging plus, for synchronous writes, the whole flush, or,
+// for async, any wait for a free staging buffer when the writer falls
+// behind. The async target is ExposedSeconds → StageSeconds while
+// WriteSeconds stays put, exactly like the PR 3/4 overlap splits.
+type Stats struct {
+	Snapshots      int64
+	LastVersion    int
+	StageSeconds   float64
+	WriteSeconds   float64
+	ExposedSeconds float64
+}
+
+// Add merges two accounts.
+func (s Stats) Add(o Stats) Stats {
+	last := s.LastVersion
+	if o.LastVersion > last {
+		last = o.LastVersion
+	}
+	return Stats{
+		Snapshots:      s.Snapshots + o.Snapshots,
+		LastVersion:    last,
+		StageSeconds:   s.StageSeconds + o.StageSeconds,
+		WriteSeconds:   s.WriteSeconds + o.WriteSeconds,
+		ExposedSeconds: s.ExposedSeconds + o.ExposedSeconds,
+	}
+}
+
+// Overlap returns the fraction of total checkpoint work (stage + write)
+// hidden from the training loop, in [0,1]. A synchronous writer scores 0.
+func (s Stats) Overlap() float64 {
+	total := s.StageSeconds + s.WriteSeconds
+	if total <= 0 {
+		return 0
+	}
+	f := 1 - s.ExposedSeconds/total
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Writer flushes staged snapshots to a Store, optionally on a background
+// goroutine so the write overlaps training compute (the input-pipeline
+// prefetch idiom pointed at output I/O). The caller owns a fixed pool of
+// staging snapshots, registered at construction; Begin hands one out
+// (blocking only when every buffer is still being written — an exposed
+// stall, booked), the caller stages into it, and Commit either enqueues it
+// (async) or writes it in place (sync).
+type Writer struct {
+	store *Store
+	keep  int
+	async bool
+
+	free chan *Snapshot
+	work chan *Snapshot
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	stats Stats
+	err   error
+}
+
+// NewWriter builds a writer over the given staging buffers (at least one;
+// two make the classic double buffer — one being written while the next
+// stages). keep > 0 prunes the store to the newest keep versions after
+// every write.
+func NewWriter(store *Store, async bool, keep int, staging ...*Snapshot) *Writer {
+	if len(staging) == 0 {
+		panic("ckpt: Writer needs at least one staging snapshot")
+	}
+	w := &Writer{
+		store: store,
+		keep:  keep,
+		async: async,
+		free:  make(chan *Snapshot, len(staging)),
+		work:  make(chan *Snapshot, len(staging)),
+	}
+	for _, s := range staging {
+		w.free <- s
+	}
+	if async {
+		w.wg.Add(1)
+		go w.run()
+	}
+	return w
+}
+
+func (w *Writer) run() {
+	defer w.wg.Done()
+	for s := range w.work {
+		w.flush(s)
+		w.free <- s
+	}
+}
+
+// flush writes one staged snapshot and applies retention, booking the
+// write time and recording the first error.
+func (w *Writer) flush(s *Snapshot) {
+	t0 := time.Now()
+	m, err := w.store.Save(s)
+	if err == nil && w.keep > 0 {
+		_, err = w.store.Prune(w.keep)
+	}
+	dt := time.Since(t0).Seconds()
+	w.mu.Lock()
+	w.stats.WriteSeconds += dt
+	if err == nil {
+		w.stats.Snapshots++
+		w.stats.LastVersion = m.Version
+	} else if w.err == nil {
+		w.err = err
+	}
+	if !w.async {
+		w.stats.ExposedSeconds += dt // sync: the flush sat on the critical path
+	}
+	w.mu.Unlock()
+}
+
+// Begin returns a free staging snapshot to fill. With the async writer
+// keeping up this returns immediately; when it is behind, the wait is
+// booked as exposed stall time.
+func (w *Writer) Begin() *Snapshot {
+	select {
+	case s := <-w.free:
+		return s
+	default:
+	}
+	t0 := time.Now()
+	s := <-w.free
+	dt := time.Since(t0).Seconds()
+	w.mu.Lock()
+	w.stats.ExposedSeconds += dt
+	w.mu.Unlock()
+	return s
+}
+
+// Commit hands a staged snapshot to the writer. stageSeconds is the time
+// the caller spent cloning into the buffer (on the compute goroutine), and
+// is booked as both staging work and exposed stall.
+func (w *Writer) Commit(s *Snapshot, stageSeconds float64) {
+	w.mu.Lock()
+	w.stats.StageSeconds += stageSeconds
+	w.stats.ExposedSeconds += stageSeconds
+	w.mu.Unlock()
+	if w.async {
+		w.work <- s // buffered to pool size: never blocks (Begin gated entry)
+		return
+	}
+	w.flush(s)
+	w.free <- s
+}
+
+// Close drains in-flight writes and returns the first write error. The
+// writer must not be used afterwards.
+func (w *Writer) Close() error {
+	if w.async {
+		close(w.work)
+		w.wg.Wait()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Err returns the first write error so far (nil while healthy). A
+// checkpointing trainer checks it at every snapshot: a run that believes
+// it is durable but is not must fail loudly, not at restore time.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return fmt.Errorf("ckpt: snapshot write failed: %w", w.err)
+	}
+	return nil
+}
+
+// Stats snapshots the writer's accounting.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

@@ -1,0 +1,131 @@
+package ckpt
+
+import (
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestWriterSyncAndAsyncProduceIdenticalStores: the write mode is a timing
+// choice, never a content one.
+func TestWriterSyncAndAsyncProduceIdenticalStores(t *testing.T) {
+	fingerprints := map[bool][]string{}
+	for _, async := range []bool{false, true} {
+		st, _ := Open(t.TempDir())
+		params := testParams(5)
+		staging := []*Snapshot{NewStaging(params), NewStaging(params)}
+		w := NewWriter(st, async, 0, staging...)
+		for k := 0; k < 4; k++ {
+			params[0].W.Data[0] = float32(k) // the "training" between snapshots
+			s := w.Begin()
+			s.Step, s.Arch = k+1, "w-test"
+			s.StageWeights(params)
+			w.Commit(s, 0)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		vs, err := st.Versions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 4 {
+			t.Fatalf("async=%v: %d versions, want 4", async, len(vs))
+		}
+		for _, m := range vs {
+			if m.Step != m.Version {
+				t.Fatalf("async=%v: version %d carries step %d", async, m.Version, m.Step)
+			}
+			fingerprints[async] = append(fingerprints[async], m.Fingerprint)
+		}
+		stats := w.Stats()
+		if stats.Snapshots != 4 || stats.LastVersion != 4 {
+			t.Fatalf("async=%v stats %+v", async, stats)
+		}
+		if !async && stats.ExposedSeconds < stats.WriteSeconds {
+			t.Fatal("sync writer must expose every write second")
+		}
+	}
+	for i := range fingerprints[false] {
+		if fingerprints[false][i] != fingerprints[true][i] {
+			t.Fatalf("version %d differs between sync and async writers", i+1)
+		}
+	}
+}
+
+// TestWriterRetention: keep=K prunes after every flush.
+func TestWriterRetention(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	params := testParams(6)
+	w := NewWriter(st, false, 2, NewStaging(params))
+	for k := 0; k < 5; k++ {
+		s := w.Begin()
+		s.Step = k + 1
+		s.StageWeights(params)
+		w.Commit(s, 0)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := st.Versions()
+	if len(vs) != 2 || vs[0].Version != 4 || vs[1].Version != 5 {
+		t.Fatalf("retention left %v", vs)
+	}
+}
+
+// TestWriterReportsWriteErrors: a doomed store surfaces through Err and
+// Close, not as silently missing versions.
+func TestWriterReportsWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := Open(dir)
+	params := testParams(7)
+	w := NewWriter(st, false, 0, NewStaging(params))
+	// Destroy the store directory out from under the writer.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Replace it with a file so MkdirAll cannot recreate it.
+	if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := w.Begin()
+	s.StageWeights(params)
+	w.Commit(s, 0)
+	if w.Err() == nil {
+		t.Fatal("writer swallowed the write error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the write error")
+	}
+}
+
+// TestWriterBackpressure: with one staging buffer, Begin after an async
+// Commit waits for the in-flight write instead of racing the writer for
+// the buffer.
+func TestWriterBackpressure(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	params := testParams(8)
+	w := NewWriter(st, true, 0, NewStaging(params))
+	var wg sync.WaitGroup
+	for k := 0; k < 6; k++ {
+		s := w.Begin() // must always return a quiescent buffer
+		s.Step = k + 1
+		s.StageWeights(params)
+		w.Commit(s, 0.001)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := st.Versions()
+	if len(vs) != 6 {
+		t.Fatalf("%d versions, want 6", len(vs))
+	}
+	stats := w.Stats()
+	if stats.StageSeconds == 0 {
+		t.Fatal("stage seconds not booked")
+	}
+	if stats.ExposedSeconds < stats.StageSeconds {
+		t.Fatal("staging must always be exposed")
+	}
+}

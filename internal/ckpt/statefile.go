@@ -1,0 +1,385 @@
+package ckpt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"deep15pf/internal/opt"
+)
+
+// state.bin carries everything beyond the weights: solver state (worker-
+// side and/or per-PS-shard) and the progress cursors. Format (little
+// endian):
+//
+//	magic   uint32 'D15S'
+//	version uint32 (1)
+//	step, epoch        int64
+//	groupIters         count uint32, then count int64
+//	solver present     uint8; if 1, one encoded State
+//	server layer count uint32; per layer: shard count uint32, then one
+//	                   encoded State per shard
+//
+// An encoded State: algoLen+algo, steps int64, slot count uint32; per
+// slot: nameLen+name, param count uint32; per param: numel uint32 +
+// float32 data (batch-encoded, like the D15W blobs).
+const (
+	stateMagic   = 0x44313553 // "D15S"
+	stateVersion = 1
+	// stateBufBytes sizes the transcode buffer (see nn's checkpoint codec).
+	stateBufBytes = 64 << 10
+)
+
+type stateEncoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+func (e *stateEncoder) u32(v uint32) error {
+	binary.LittleEndian.PutUint32(e.buf[:4], v)
+	_, err := e.w.Write(e.buf[:4])
+	return err
+}
+
+func (e *stateEncoder) i64(v int64) error {
+	binary.LittleEndian.PutUint64(e.buf[:8], uint64(v))
+	_, err := e.w.Write(e.buf[:8])
+	return err
+}
+
+func (e *stateEncoder) str(s string) error {
+	if err := e.u32(uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := e.w.WriteString(s)
+	return err
+}
+
+func (e *stateEncoder) floats(src []float32) error {
+	per := len(e.buf) / 4
+	for off := 0; off < len(src); off += per {
+		run := src[off:]
+		if len(run) > per {
+			run = run[:per]
+		}
+		for i, v := range run {
+			binary.LittleEndian.PutUint32(e.buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := e.w.Write(e.buf[:len(run)*4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *stateEncoder) state(st *opt.State) error {
+	if err := e.str(st.Algo); err != nil {
+		return err
+	}
+	if err := e.i64(st.Steps); err != nil {
+		return err
+	}
+	if err := e.u32(uint32(len(st.Slots))); err != nil {
+		return err
+	}
+	for _, sl := range st.Slots {
+		if err := e.str(sl.Name); err != nil {
+			return err
+		}
+		if err := e.u32(uint32(len(sl.Data))); err != nil {
+			return err
+		}
+		for _, d := range sl.Data {
+			if err := e.u32(uint32(len(d))); err != nil {
+				return err
+			}
+			if err := e.floats(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeState serialises the snapshot's non-weight payload to w.
+func writeState(w io.Writer, s *Snapshot) error {
+	e := &stateEncoder{w: bufio.NewWriter(w), buf: make([]byte, stateBufBytes)}
+	if err := e.u32(stateMagic); err != nil {
+		return err
+	}
+	if err := e.u32(stateVersion); err != nil {
+		return err
+	}
+	if err := e.i64(int64(s.Step)); err != nil {
+		return err
+	}
+	if err := e.i64(int64(s.Epoch)); err != nil {
+		return err
+	}
+	if err := e.u32(uint32(len(s.GroupIters))); err != nil {
+		return err
+	}
+	for _, it := range s.GroupIters {
+		if err := e.i64(int64(it)); err != nil {
+			return err
+		}
+	}
+	present := uint32(0)
+	if s.Solver != nil {
+		present = 1
+	}
+	if err := e.u32(present); err != nil {
+		return err
+	}
+	if s.Solver != nil {
+		if err := e.state(s.Solver); err != nil {
+			return err
+		}
+	}
+	if err := e.u32(uint32(len(s.Servers))); err != nil {
+		return err
+	}
+	for _, layer := range s.Servers {
+		if err := e.u32(uint32(len(layer))); err != nil {
+			return err
+		}
+		for i := range layer {
+			if err := e.state(&layer[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := e.u32(uint32(len(s.GroupWeights))); err != nil {
+		return err
+	}
+	for _, group := range s.GroupWeights {
+		if err := e.u32(uint32(len(group))); err != nil {
+			return err
+		}
+		for _, blob := range group {
+			if err := e.u32(uint32(len(blob))); err != nil {
+				return err
+			}
+			if err := e.floats(blob); err != nil {
+				return err
+			}
+		}
+	}
+	return e.w.Flush()
+}
+
+type stateDecoder struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func (d *stateDecoder) u32() (uint32, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(d.buf[:4]), nil
+}
+
+func (d *stateDecoder) i64() (int64, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:8]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(d.buf[:8])), nil
+}
+
+func (d *stateDecoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > 4096 {
+		return "", fmt.Errorf("ckpt: implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *stateDecoder) floats(dst []float32) error {
+	per := len(d.buf) / 4
+	for off := 0; off < len(dst); off += per {
+		run := dst[off:]
+		if len(run) > per {
+			run = run[:per]
+		}
+		if _, err := io.ReadFull(d.r, d.buf[:len(run)*4]); err != nil {
+			return err
+		}
+		for i := range run {
+			run[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.buf[i*4:]))
+		}
+	}
+	return nil
+}
+
+// maxStateElems caps a single decoded array so a corrupt header cannot ask
+// for terabytes (2^28 float32s = 1 GiB — far above any real layer here).
+const maxStateElems = 1 << 28
+
+func (d *stateDecoder) state() (opt.State, error) {
+	var st opt.State
+	var err error
+	if st.Algo, err = d.str(); err != nil {
+		return st, err
+	}
+	if st.Steps, err = d.i64(); err != nil {
+		return st, err
+	}
+	nSlots, err := d.u32()
+	if err != nil {
+		return st, err
+	}
+	if nSlots > 16 {
+		return st, fmt.Errorf("ckpt: implausible slot count %d", nSlots)
+	}
+	st.Slots = make([]opt.StateSlot, nSlots)
+	for i := range st.Slots {
+		if st.Slots[i].Name, err = d.str(); err != nil {
+			return st, err
+		}
+		nParams, err := d.u32()
+		if err != nil {
+			return st, err
+		}
+		if nParams > maxStateElems {
+			return st, fmt.Errorf("ckpt: implausible param count %d", nParams)
+		}
+		st.Slots[i].Data = make([][]float32, nParams)
+		for j := range st.Slots[i].Data {
+			numel, err := d.u32()
+			if err != nil {
+				return st, err
+			}
+			if numel > maxStateElems {
+				return st, fmt.Errorf("ckpt: implausible element count %d", numel)
+			}
+			st.Slots[i].Data[j] = make([]float32, numel)
+			if err := d.floats(st.Slots[i].Data[j]); err != nil {
+				return st, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// readState parses a state.bin payload.
+func readState(r io.Reader) (*Restored, error) {
+	d := &stateDecoder{r: bufio.NewReader(r), buf: make([]byte, stateBufBytes)}
+	magic, err := d.u32()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: short state header: %w", err)
+	}
+	if magic != stateMagic {
+		return nil, fmt.Errorf("ckpt: not a checkpoint state file")
+	}
+	ver, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != stateVersion {
+		return nil, fmt.Errorf("ckpt: state format version %d, want %d", ver, stateVersion)
+	}
+	out := &Restored{}
+	if _, err := d.i64(); err != nil { // step (authoritative copy in manifest)
+		return nil, err
+	}
+	if _, err := d.i64(); err != nil { // epoch
+		return nil, err
+	}
+	nGroups, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nGroups > 1<<20 {
+		return nil, fmt.Errorf("ckpt: implausible group count %d", nGroups)
+	}
+	if nGroups > 0 {
+		out.GroupIters = make([]int, nGroups)
+		for i := range out.GroupIters {
+			v, err := d.i64()
+			if err != nil {
+				return nil, err
+			}
+			out.GroupIters[i] = int(v)
+		}
+	}
+	present, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if present == 1 {
+		st, err := d.state()
+		if err != nil {
+			return nil, err
+		}
+		out.Solver = &st
+	}
+	nLayers, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nLayers > 1<<20 {
+		return nil, fmt.Errorf("ckpt: implausible layer count %d", nLayers)
+	}
+	if nLayers > 0 {
+		out.Servers = make([][]opt.State, nLayers)
+		for l := range out.Servers {
+			nShards, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if nShards > 1<<20 {
+				return nil, fmt.Errorf("ckpt: implausible shard count %d", nShards)
+			}
+			out.Servers[l] = make([]opt.State, nShards)
+			for s := range out.Servers[l] {
+				if out.Servers[l][s], err = d.state(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	nGW, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nGW > 1<<20 {
+		return nil, fmt.Errorf("ckpt: implausible group-weight count %d", nGW)
+	}
+	if nGW > 0 {
+		out.GroupWeights = make([][][]float32, nGW)
+		for g := range out.GroupWeights {
+			nParams, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			if nParams > 1<<20 {
+				return nil, fmt.Errorf("ckpt: implausible group-weight param count %d", nParams)
+			}
+			out.GroupWeights[g] = make([][]float32, nParams)
+			for i := range out.GroupWeights[g] {
+				numel, err := d.u32()
+				if err != nil {
+					return nil, err
+				}
+				if numel > maxStateElems {
+					return nil, fmt.Errorf("ckpt: implausible group-weight element count %d", numel)
+				}
+				out.GroupWeights[g][i] = make([]float32, numel)
+				if err := d.floats(out.GroupWeights[g][i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}

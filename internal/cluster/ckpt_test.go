@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAsyncCheckpointNeutralWhenDisabled: with CheckpointEvery == 0 the
+// AsyncCheckpoint flag must be a pure no-op, draw for draw.
+func TestAsyncCheckpointNeutralWhenDisabled(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	base := RunConfig{Nodes: 64, Groups: 1, BatchPerGroup: 256, Iterations: 12, Seed: 5}
+	a := Simulate(m, p, base)
+	async := base
+	async.AsyncCheckpoint = true
+	b := Simulate(m, p, async)
+	if a.WallTime != b.WallTime {
+		t.Fatalf("AsyncCheckpoint without checkpointing changed wall time: %v vs %v", a.WallTime, b.WallTime)
+	}
+	if b.CkptSeconds != 0 || b.ExposedCkptSeconds != 0 {
+		t.Fatalf("no snapshots, but checkpoint accounting %v/%v", b.CkptSeconds, b.ExposedCkptSeconds)
+	}
+}
+
+// TestAsyncCheckpointHidesWriteBehindCompute: same run, same seed, 1-in-10
+// snapshots (the paper's climate cadence): the async writer performs the
+// same write work but exposes only the compute-outlasting remainder, so
+// wall time can only shrink.
+func TestAsyncCheckpointHidesWriteBehindCompute(t *testing.T) {
+	m := CoriPhaseII()
+	p := ClimateProfile()
+	base := RunConfig{Nodes: 64, Groups: 1, BatchPerGroup: 256, Iterations: 21, Seed: 5,
+		CheckpointEvery: 10}
+	sync := Simulate(m, p, base)
+	async := base
+	async.AsyncCheckpoint = true
+	over := Simulate(m, p, async)
+
+	if sync.CkptSeconds <= 0 {
+		t.Fatal("checkpointing run booked no snapshot work")
+	}
+	if math.Abs(sync.CkptSeconds-over.CkptSeconds) > 1e-12 {
+		t.Fatalf("async changed the write work: %v vs %v", over.CkptSeconds, sync.CkptSeconds)
+	}
+	if sync.ExposedCkptSeconds != sync.CkptSeconds {
+		t.Fatalf("sync writer must expose every write second: %v of %v", sync.ExposedCkptSeconds, sync.CkptSeconds)
+	}
+	if over.ExposedCkptSeconds >= sync.ExposedCkptSeconds {
+		t.Fatalf("async exposed %v, sync %v — nothing hidden", over.ExposedCkptSeconds, sync.ExposedCkptSeconds)
+	}
+	if over.WallTime > sync.WallTime {
+		t.Fatalf("async checkpointing slowed the run: %v vs %v", over.WallTime, sync.WallTime)
+	}
+	// The hidden time shows up exactly in the wall-clock delta (single
+	// group, lockstep: the checkpoint term is additive per iteration).
+	saved := sync.WallTime - over.WallTime
+	hidden := sync.ExposedCkptSeconds - over.ExposedCkptSeconds
+	if math.Abs(saved-hidden) > 1e-9 {
+		t.Fatalf("wall-clock saving %v != hidden checkpoint time %v", saved, hidden)
+	}
+}
+
+// TestCheckpointCadenceScalesExposure: halving the snapshot interval
+// doubles the booked write work (same run length).
+func TestCheckpointCadenceScalesExposure(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	base := RunConfig{Nodes: 32, Groups: 1, BatchPerGroup: 128, Iterations: 41, Seed: 9}
+	every10 := base
+	every10.CheckpointEvery = 10
+	every5 := base
+	every5.CheckpointEvery = 5
+	a := Simulate(m, p, every10)
+	b := Simulate(m, p, every5)
+	if a.CkptSeconds <= 0 || math.Abs(b.CkptSeconds-2*a.CkptSeconds) > 1e-9 {
+		t.Fatalf("cadence scaling broken: every10=%v every5=%v", a.CkptSeconds, b.CkptSeconds)
+	}
+}

@@ -161,3 +161,81 @@ func TestLockstepWorkerSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("lockstep worker steady state allocates %.1f per iteration", n)
 	}
 }
+
+// TestCheckpointStagingAllocFree gates the compute-thread cost of an async
+// snapshot: once staging buffers and solver-state slots are warm, staging
+// a checkpoint — clone weights, capture solver state, record cursors — is
+// allocation-free. (The background flush itself pays a bounded handful of
+// file-I/O allocations per snapshot, off the training goroutine; the
+// training loop only ever sees the staging copy measured here.)
+func TestCheckpointStagingAllocFree(t *testing.T) {
+	p := newAllocProblem(32)
+	rep := p.NewReplica()
+	layers := rep.TrainableLayers()
+	cfg := Config{Groups: 1, WorkersPerGroup: 1, GroupBatch: 4, Iterations: 1,
+		Solver: opt.NewSGD(0.01, 0.9), Seed: 1,
+		Checkpoint: CheckpointConfig{Dir: t.TempDir(), Every: 1, Async: true}}
+	cfg.validate()
+	ck := newCheckpointer(cfg, layers, nil)
+	params := flatParams(layers)
+	solver := cfg.Solver.Clone()
+	rep.ZeroGrad()
+	rep.ComputeGradients([]int{0, 1, 2, 3})
+	solver.Step(params) // materialise solver state
+	s := ck.writer.Begin()
+	stage := func() {
+		s.Step = 1
+		s.StageWeights(params)
+		opt.CaptureState(solver, s.Solver, params)
+	}
+	stage() // warm: sizes the state slots
+	if n := testing.AllocsPerRun(30, stage); n != 0 {
+		t.Fatalf("warm sync-mode checkpoint staging allocates %.1f per snapshot", n)
+	}
+	ck.writer.Commit(s, 0)
+	if st := ck.close(); st.Snapshots != 1 {
+		t.Fatalf("staged snapshot was not written: %+v", st)
+	}
+}
+
+// TestFleetCheckpointStagingAllocFree is the same gate for the PS-backed
+// trainers: staging fleet masters, per-shard solver state, group cursors
+// and per-group replica views all recycle.
+func TestFleetCheckpointStagingAllocFree(t *testing.T) {
+	p := newAllocProblem(32)
+	rep := p.NewReplica()
+	layers := rep.TrainableLayers()
+	fleet := ps.NewFleet(layers, opt.NewSGD(0.01, 0.9))
+	cfg := Config{Groups: 1, WorkersPerGroup: 1, GroupBatch: 4, Iterations: 1,
+		Solver: opt.NewSGD(0.01, 0.9), Seed: 1,
+		Checkpoint: CheckpointConfig{Dir: t.TempDir(), Every: 1, Async: true}}
+	cfg.validate()
+	ck := newCheckpointer(cfg, layers, fleet)
+	// Materialise server-side solver state with one real exchange.
+	rep.ZeroGrad()
+	rep.ComputeGradients([]int{0, 1, 2, 3})
+	grads := make([][][]float32, len(layers))
+	for i, l := range layers {
+		for _, prm := range l.Params() {
+			grads[i] = append(grads[i], prm.Grad.Data)
+		}
+	}
+	fleet.UpdateAll(0, grads)
+	iters := []int{3}
+	groupParams := [][]*nn.Param{flatParams(layers)}
+	s := ck.writer.Begin()
+	stage := func() {
+		s.Step = 1
+		ck.fleet.SnapshotInto(ck.views[s], s.Servers)
+		s.GroupIters = append(s.GroupIters[:0], iters...)
+		s.StageGroupWeights(groupParams)
+	}
+	stage() // warm
+	if n := testing.AllocsPerRun(30, stage); n != 0 {
+		t.Fatalf("warm fleet-mode checkpoint staging allocates %.1f per snapshot", n)
+	}
+	ck.writer.Commit(s, 0)
+	if st := ck.close(); st.Snapshots != 1 {
+		t.Fatalf("staged snapshot was not written: %+v", st)
+	}
+}

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"deep15pf/internal/ckpt"
 	"deep15pf/internal/comm"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
@@ -146,6 +147,12 @@ type Config struct {
 	// implement PipelineReplica fall back to blocking regardless. The
 	// weight trajectory is bitwise identical either way.
 	Prefetch int
+
+	// Checkpoint wires the run to a versioned snapshot store: periodic
+	// (optionally asynchronous) snapshots of weights + optimizer state +
+	// progress cursors, and bit-exact resume from the newest one. The zero
+	// value disables both.
+	Checkpoint CheckpointConfig
 }
 
 func (c Config) validate() {
@@ -167,6 +174,7 @@ func (c Config) validate() {
 	if _, err := comm.NewCodec(c.Codec, 0); err != nil {
 		panic("core: " + err.Error())
 	}
+	c.Checkpoint.validate()
 }
 
 // IterStat records one completed group iteration.
@@ -198,6 +206,10 @@ type Result struct {
 	// With Config.Prefetch the wait collapses toward zero while the staging
 	// work stays put — the Fig 5 ingest A/B in one pair of numbers.
 	Ingest data.IngestStats
+	// Ckpt accounts the run's snapshots: staging time versus background
+	// write time versus the stall the training loop actually saw — the
+	// output-I/O mirror of Ingest. Zero when checkpointing is off.
+	Ckpt ckpt.Stats
 }
 
 // ExtractWeights copies a layer set's current parameter values into the

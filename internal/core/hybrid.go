@@ -23,20 +23,43 @@ import (
 // still executing, the §III-D/E overlap that keeps communication off the
 // critical path. With Overlap off and the fp32 codec the update arithmetic
 // is bitwise identical to the fully serialized original.
+//
+// With cfg.Checkpoint, group 0's root snapshots the PS fleet (master
+// weights + per-shard solver state) at its iteration boundaries. On
+// asynchronous (multi-group) runs the snapshot is per-layer consistent —
+// the same consistency the fleet itself ever has; on the deterministic
+// single-group configuration it is a clean point between updates, which
+// is what makes resume bit-exact there.
 func TrainHybrid(p Problem, cfg Config) Result {
 	cfg.validate()
 
 	// The PS fleet owns the master model: one server per trainable layer
 	// (sharded by flat-parameter range above cfg.PSShardElems), initialised
-	// from a template replica, solver state server-side.
+	// from a template replica, solver state server-side. On resume the
+	// snapshot weights land in the template first (so the fleet masters
+	// start from them), then the per-shard solver state restores on top.
 	template := p.NewReplica()
-	fleet := ps.NewShardedFleet(template.TrainableLayers(), cfg.Solver, cfg.PSShardElems)
+	layers := template.TrainableLayers()
+	start := 0
+	restored := resumeInto(cfg, flatParams(layers))
+	fleet := ps.NewShardedFleet(layers, cfg.Solver, cfg.PSShardElems)
+	if restored != nil {
+		start = restored.Manifest.Step
+		checkResumeStep(start, cfg.Iterations)
+		if restored.Servers != nil {
+			weights := layerWeightViews(layers)
+			if err := fleet.RestoreSnapshot(weights, restored.Servers); err != nil {
+				panic("core: resume: " + err.Error())
+			}
+		}
+	}
+	ck := newCheckpointer(cfg, layers, fleet)
 
 	var seq atomic.Int64
 	type rec struct {
 		stat IterStat
 	}
-	recCh := make(chan rec, cfg.Groups*cfg.Iterations)
+	recCh := make(chan rec, cfg.Groups*(cfg.Iterations-start))
 
 	var wg sync.WaitGroup
 	ingests := make([]data.IngestStats, cfg.Groups)
@@ -44,7 +67,7 @@ func TrainHybrid(p Problem, cfg Config) Result {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			ingests[g] = runGroup(p, cfg, g, fleet, func(stat IterStat) {
+			ingests[g] = runGroup(p, cfg, g, start, fleet, ck, func(stat IterStat) {
 				stat.Seq = int(seq.Add(1)) - 1
 				recCh <- rec{stat}
 			})
@@ -53,7 +76,7 @@ func TrainHybrid(p Problem, cfg Config) Result {
 	wg.Wait()
 	close(recCh)
 
-	stats := make([]IterStat, 0, cfg.Groups*cfg.Iterations)
+	stats := make([]IterStat, 0, cfg.Groups*(cfg.Iterations-start))
 	for r := range recCh {
 		stats = append(stats, r.stat)
 	}
@@ -64,6 +87,7 @@ func TrainHybrid(p Problem, cfg Config) Result {
 	for _, ing := range ingests {
 		res.Ingest = res.Ingest.Add(ing)
 	}
+	res.Ckpt = ck.close()
 	return res
 }
 
@@ -77,10 +101,11 @@ func fleetWeights(fleet *ps.Fleet) [][][]float32 {
 }
 
 // runGroup executes one compute group's synchronous inner loop and its
-// asynchronous PS exchanges. record is called once per completed iteration
+// asynchronous PS exchanges, starting at group-local iteration `start`
+// (non-zero when resuming). record is called once per completed iteration
 // with the group-batch mean loss and staleness; the return value is the
 // group's aggregated input-staging account.
-func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterStat)) data.IngestStats {
+func runGroup(p Problem, cfg Config, g, start int, fleet *ps.Fleet, ck *checkpointer, record func(IterStat)) data.IngestStats {
 	w := cfg.WorkersPerGroup
 	src := p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
 	batches := make([][]int, cfg.Iterations)
@@ -101,7 +126,7 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 			defer wg.Done()
 			rep := replicas[rank]
 			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
-			gw.pipe = startIngest(rep, batches, rank, w, cfg.Prefetch)
+			gw.pipe = startIngest(rep, batches[start:], rank, w, cfg.Prefetch)
 			if gw.pipe != nil {
 				defer gw.pipe.StopIngest()
 			}
@@ -126,7 +151,7 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 			gw.broadcastWeights()
 
 			shards := shardCache{rank: rank, workers: w}
-			for it := 0; it < cfg.Iterations; it++ {
+			for it := start; it < cfg.Iterations; it++ {
 				lo, hi := shards.shard(len(batches[it]))
 				idx := batches[it][lo:hi]
 				rep.ZeroGrad()
@@ -149,6 +174,12 @@ func runGroup(p Problem, cfg Config, g int, fleet *ps.Fleet, record func(IterSta
 						Loss:      lossSum / float64(len(lossAll)),
 						Staleness: stale,
 					})
+					// Group 0's root paces the snapshots; with one group
+					// (the deterministic config) every push has completed,
+					// so the fleet is exactly the post-iteration state.
+					if g == 0 && ck.due(it+1) {
+						ck.fleetSnapshot(it+1, nil, nil)
+					}
 				}
 				// Broadcast the fresh model to the group.
 				gw.broadcastWeights()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"deep15pf/internal/nn"
 	"deep15pf/internal/ps"
 )
 
@@ -44,28 +45,55 @@ func BuildSchedule(iterDurations [][]float64) []ScheduledEvent {
 // Fig 8 study couples real low-precision SGD dynamics to the simulated
 // timeline. cfg.Overlap does not change the math here (ordering is the
 // schedule's); its timing effect lives in the cluster model.
+//
+// With cfg.Checkpoint the run snapshots the fleet (plus each group's
+// progress cursor) after every cfg.Checkpoint.Every-th schedule update.
+// On resume the SAME schedule must be passed again: the trainer replays
+// past it — skipping each group's first GroupIters[g] events without
+// computing — and continues, bit-exact for the fp32 wire (the int8
+// codec's rounding streams restart at resume, a documented divergence).
 func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 	cfg.validate()
 	template := p.NewReplica()
-	fleet := ps.NewShardedFleet(template.TrainableLayers(), cfg.Solver, cfg.PSShardElems)
+	tlayers := template.TrainableLayers()
+	restored := resumeInto(cfg, flatParams(tlayers))
+	fleet := ps.NewShardedFleet(tlayers, cfg.Solver, cfg.PSShardElems)
+	resumeIters := make([]int, cfg.Groups)
+	if restored != nil {
+		if restored.Servers != nil {
+			if err := fleet.RestoreSnapshot(layerWeightViews(tlayers), restored.Servers); err != nil {
+				panic("core: resume: " + err.Error())
+			}
+		}
+		if len(restored.GroupIters) != cfg.Groups {
+			panic(fmt.Sprintf("core: resume: checkpoint has %d group cursors, run has %d groups",
+				len(restored.GroupIters), cfg.Groups))
+		}
+		copy(resumeIters, restored.GroupIters)
+	}
+	ck := newCheckpointer(cfg, tlayers, fleet)
 
 	replicas := make([]Replica, cfg.Groups)
 	batches := make([][][]int, cfg.Groups) // per group, per iteration
 	pipes := make([]PipelineReplica, cfg.Groups)
-	xfers := make([][]*layerXfer, cfg.Groups) // per group, per layer wire state
+	xfers := make([][]*layerXfer, cfg.Groups)      // per group, per layer wire state
+	groupParams := make([][]*nn.Param, cfg.Groups) // per group flat replica params (snapshot staging)
 	iters := make([]int, cfg.Groups)
+	skip := make([]int, cfg.Groups) // schedule events to replay past (resume)
 	for g := range replicas {
 		replicas[g] = p.NewReplica()
 		// Pre-draw every iteration's batch from the group's own source —
 		// the same per-group RNG sequence the lazy draw consumed, so
 		// trajectories are unchanged — which is what lets the prefetcher
-		// stage ahead of the schedule.
+		// stage ahead of the schedule (and the resumed run fast-forward).
 		src := p.NewBatchSource(cfg.Seed + uint64(g)*0x9E37)
 		batches[g] = make([][]int, cfg.Iterations)
 		for i := range batches[g] {
 			batches[g][i] = append([]int(nil), src.Next(cfg.GroupBatch)...)
 		}
-		pipes[g] = startIngest(replicas[g], batches[g], 0, 1, cfg.Prefetch)
+		iters[g] = resumeIters[g]
+		skip[g] = resumeIters[g]
+		pipes[g] = startIngest(replicas[g], batches[g][iters[g]:], 0, 1, cfg.Prefetch)
 		if pipes[g] != nil {
 			defer pipes[g].StopIngest()
 		}
@@ -77,17 +105,40 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 		}
 		layers := replicas[g].TrainableLayers()
 		installWeights(layers, weights)
+		groupParams[g] = flatParams(layers)
+		// A resumed group's replica holds the master as of its own last
+		// push — stale relative to the restored master by every later
+		// push from other groups. The snapshot carried that view; install
+		// it over the fresh fetch (which only served the staleness books).
+		if restored != nil && restored.GroupWeights != nil {
+			if len(restored.GroupWeights[g]) != len(groupParams[g]) {
+				panic(fmt.Sprintf("core: resume: group %d has %d weight blobs, model has %d",
+					g, len(restored.GroupWeights[g]), len(groupParams[g])))
+			}
+			for i, p := range groupParams[g] {
+				if len(restored.GroupWeights[g][i]) != p.W.Len() {
+					panic(fmt.Sprintf("core: resume: group %d blob %d (%s) has %d elements, model has %d",
+						g, i, p.Name, len(restored.GroupWeights[g][i]), p.W.Len()))
+				}
+				copy(p.W.Data, restored.GroupWeights[g][i])
+			}
+		}
 		for t, l := range layers {
 			xfers[g] = append(xfers[g], newLayerXfer(l.Params(), cfg.Codec, cfg.Seed, g, t))
 		}
 	}
 
+	updates := sumInts(resumeIters) // completed updates, pacing the snapshots
 	stats := make([]IterStat, 0, len(schedule))
 	for seqNo, ev := range schedule {
 		if ev.Group < 0 || ev.Group >= cfg.Groups {
 			panic(fmt.Sprintf("core: schedule references group %d of %d", ev.Group, cfg.Groups))
 		}
 		g := ev.Group
+		if skip[g] > 0 {
+			skip[g]-- // already executed before the checkpoint: replay past it
+			continue
+		}
 		if iters[g] >= cfg.Iterations {
 			continue // schedule longer than requested training
 		}
@@ -117,6 +168,10 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 			Time:      ev.Time,
 		})
 		iters[g]++
+		updates++
+		if ck.due(updates) {
+			ck.fleetSnapshot(updates, iters, groupParams)
+		}
 	}
 	res := finalize(stats, cfg.Groups)
 	res.FinalWeights = fleetWeights(fleet)
@@ -132,7 +187,16 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 	for _, rep := range replicas {
 		res.Ingest = res.Ingest.Add(ingestOf(rep))
 	}
+	res.Ckpt = ck.close()
 	return res
+}
+
+func sumInts(v []int) int {
+	s := 0
+	for _, x := range v {
+		s += x
+	}
+	return s
 }
 
 // TimeToLoss scans a scheduled result for the first simulated time at

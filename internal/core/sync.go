@@ -16,6 +16,13 @@ import (
 // arithmetic — a fixed rank-order reduction per parameter — is bitwise
 // identical either way. There is no parameter server here, so cfg.Codec
 // does not apply (the intra-group wire is always fp32).
+//
+// With cfg.Checkpoint the run snapshots rank 0's replica and solver at
+// iteration boundaries (ranks are in lockstep, so rank 0 IS the model),
+// and cfg.Checkpoint.Resume continues from the newest snapshot: weights
+// and solver state restore from the store, and the batch stream replays to
+// the resume point — the same draws in the same order — so the resumed
+// trajectory is bitwise identical to the uninterrupted one.
 func TrainSync(p Problem, cfg Config) Result {
 	cfg.validate()
 	if cfg.Groups != 1 {
@@ -24,7 +31,8 @@ func TrainSync(p Problem, cfg Config) Result {
 	w := cfg.WorkersPerGroup
 
 	// Pre-draw every iteration's batch so workers agree without racing
-	// on the source.
+	// on the source. A resumed run re-draws the full sequence from the
+	// same seed — the checkpoint's batch cursor is the step count.
 	src := p.NewBatchSource(cfg.Seed)
 	batches := make([][]int, cfg.Iterations)
 	for i := range batches {
@@ -35,6 +43,22 @@ func TrainSync(p Problem, cfg Config) Result {
 	for r := range replicas {
 		replicas[r] = p.NewReplica()
 	}
+
+	// Resume: weights land in replica 0, then fan out so every rank
+	// starts from the snapshot; each rank's solver state restores inside
+	// its worker goroutine (the solvers are clones, state is positional).
+	start := 0
+	restored := resumeInto(cfg, flatParams(replicas[0].TrainableLayers()))
+	if restored != nil {
+		start = restored.Manifest.Step
+		checkResumeStep(start, cfg.Iterations)
+		weights := ExtractWeights(replicas[0].TrainableLayers())
+		for r := 1; r < w; r++ {
+			installWeights(replicas[r].TrainableLayers(), weights)
+		}
+	}
+	ck := newCheckpointer(cfg, replicas[0].TrainableLayers(), nil)
+
 	group := comm.NewGroup(w)
 	losses := make([]float64, cfg.Iterations)
 
@@ -45,13 +69,19 @@ func TrainSync(p Problem, cfg Config) Result {
 			defer wg.Done()
 			rep := replicas[rank]
 			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
-			gw.pipe = startIngest(rep, batches, rank, w, cfg.Prefetch)
+			gw.pipe = startIngest(rep, batches[start:], rank, w, cfg.Prefetch)
 			if gw.pipe != nil {
 				defer gw.pipe.StopIngest()
 			}
 			solver := cfg.Solver.Clone()
+			params := flatParams(gw.layers)
+			if restored != nil && restored.Solver != nil {
+				if err := restoreSolver(solver, params, restored); err != nil {
+					panic("core: resume: " + err.Error())
+				}
+			}
 			shards := shardCache{rank: rank, workers: w}
-			for it := 0; it < cfg.Iterations; it++ {
+			for it := start; it < cfg.Iterations; it++ {
 				lo, hi := shards.shard(len(batches[it]))
 				idx := batches[it][lo:hi]
 				rep.ZeroGrad()
@@ -72,14 +102,19 @@ func TrainSync(p Problem, cfg Config) Result {
 				for _, l := range gw.layers {
 					solver.Step(l.Params())
 				}
+				// Rank 0 checkpoints the lockstep state at the boundary
+				// (its own replica and solver — nothing shared, no race).
+				if rank == 0 && ck.due(it+1) {
+					ck.syncSnapshot(it+1, params, solver)
+				}
 			}
 		}(rank)
 	}
 	wg.Wait()
 
-	stats := make([]IterStat, cfg.Iterations)
-	for it := range stats {
-		stats[it] = IterStat{Seq: it, Group: 0, Iter: it, Loss: losses[it]}
+	stats := make([]IterStat, 0, cfg.Iterations-start)
+	for it := start; it < cfg.Iterations; it++ {
+		stats = append(stats, IterStat{Seq: it, Group: 0, Iter: it, Loss: losses[it]})
 	}
 	res := finalize(stats, 1)
 	// Replicas are in lockstep; rank 0's weights are the trained model.
@@ -87,5 +122,6 @@ func TrainSync(p Problem, cfg Config) Result {
 	for _, rep := range replicas {
 		res.Ingest = res.Ingest.Add(ingestOf(rep))
 	}
+	res.Ckpt = ck.close()
 	return res
 }

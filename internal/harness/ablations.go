@@ -173,7 +173,7 @@ func All(opts Options) string {
 		Table1(opts), Table2(opts), Fig5(opts),
 		Fig6(opts), Fig7(opts), FullSystem(opts),
 		Fig8(opts), HEPScience(opts), ClimateScience(opts),
-		Resilience(opts), Ablations(opts),
+		Resilience(opts), Ablations(opts), Checkpoint(opts),
 	}
 	var b strings.Builder
 	for _, r := range reports {

@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+// benchParams is a checkpoint-shaped parameter set: one large conv-like blob
+// plus a few small ones, ~4 MiB total — the scale where the encode loop, not
+// the filesystem, decides SaveWeights/LoadWeights throughput.
+func benchParams(b *testing.B) []*Param {
+	b.Helper()
+	rng := tensor.NewRNG(9)
+	mk := func(name string, shape ...int) *Param {
+		w := tensor.New(shape...)
+		rng.FillNorm(w, 0, 1)
+		return &Param{Name: name, W: w, Grad: tensor.New(shape...)}
+	}
+	return []*Param{
+		mk("conv.w", 128, 128, 3, 3),
+		mk("conv.b", 128),
+		mk("fc.w", 512, 1024),
+		mk("fc.b", 512),
+	}
+}
+
+func paramBytes(params []*Param) int64 {
+	var n int64
+	for _, p := range params {
+		n += p.Bytes()
+	}
+	return n
+}
+
+func BenchmarkSaveWeights(b *testing.B) {
+	params := benchParams(b)
+	b.SetBytes(paramBytes(params))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SaveWeights(io.Discard, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadWeights(b *testing.B) {
+	params := benchParams(b)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, params); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.SetBytes(paramBytes(params))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := LoadWeights(bytes.NewReader(blob), params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

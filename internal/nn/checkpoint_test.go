@@ -3,6 +3,7 @@ package nn
 import (
 	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"deep15pf/internal/tensor"
@@ -81,6 +82,71 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 	}
 	if err := LoadWeights(bytes.NewReader(nil), net.Params()); err == nil {
 		t.Fatal("empty input must be rejected")
+	}
+}
+
+// TestLoadWeightsErrorPaths drives every malformed-checkpoint class through
+// LoadWeights and requires an explicit error naming the problem — the
+// OpenShard hardening contract applied to the weight format: corruption
+// surfaces at load time as a diagnosis, never as a silent misload or a
+// panic deeper in.
+func TestLoadWeightsErrorPaths(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := tinyNet(rng)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// The first blob's layout inside the file: magic+count (8 bytes), then
+	// nameLen (4), name, numel (4), data.
+	name0 := net.Params()[0].Name
+	numelOff := 8 + 4 + len(name0)
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		want string // substring the error must carry
+	}{
+		{"empty input", nil, "header"},
+		{"truncated header", good[:6], "header"},
+		{"bad magic", corrupt(func(b []byte) []byte {
+			b[0], b[1], b[2], b[3] = 'J', 'U', 'N', 'K'
+			return b
+		}), "not a checkpoint"},
+		{"blob count mismatch", corrupt(func(b []byte) []byte {
+			b[4]++ // one more blob than the model has
+			return b
+		}), "blobs"},
+		{"name mismatch", corrupt(func(b []byte) []byte {
+			b[8+4] ^= 0xff // flip the first byte of the first blob's name
+			return b
+		}), "does not match parameter"},
+		{"size mismatch", corrupt(func(b []byte) []byte {
+			b[numelOff]++ // first blob claims one extra element
+			return b
+		}), "elements in checkpoint"},
+		{"truncated name", good[:8+4+1], ""},
+		{"truncated blob", good[:len(good)-5], "short weight blob"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LoadWeights(bytes.NewReader(tc.blob), net.Params())
+			if err == nil {
+				t.Fatalf("%s: LoadWeights accepted a corrupt checkpoint", tc.name)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s: error %q does not name the problem (want %q)", tc.name, err, tc.want)
+			}
+		})
+	}
+	// The table must not have poisoned the reference blob.
+	if err := LoadWeights(bytes.NewReader(good), net.Params()); err != nil {
+		t.Fatalf("pristine checkpoint no longer loads: %v", err)
 	}
 }
 

@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"fmt"
+
+	"deep15pf/internal/nn"
+)
+
+// Solver state export/restore, the optimizer half of bit-exact resume: a
+// checkpoint that carries only weights restarts momentum and the ADAM
+// moments from zero, so the post-restore trajectory diverges from the
+// uninterrupted one on the first step. State captures the per-parameter
+// slots (and the ADAM step counter, which drives bias correction) so a
+// restored solver continues exactly where the snapshotted one stopped.
+//
+// Slots are positional: Data[i] belongs to params[i] of the capture call,
+// so restore must present the same parameter set in the same order — the
+// same contract the D15W weight format enforces by name.
+
+// State is one solver's complete training state.
+type State struct {
+	Algo  string // algorithm name, validated on restore
+	Steps int64  // update count (ADAM bias correction); 0 for SGD
+	Slots []StateSlot
+}
+
+// StateSlot is one named per-parameter state array (velocity, m, v, ...).
+type StateSlot struct {
+	Name string
+	Data [][]float32 // aligned with the captured parameter slice
+}
+
+// Elems returns the total element count across slots.
+func (st *State) Elems() int {
+	n := 0
+	for _, sl := range st.Slots {
+		for _, d := range sl.Data {
+			n += len(d)
+		}
+	}
+	return n
+}
+
+// Stateful is implemented by solvers whose state can be checkpointed.
+// Solvers that do not implement it still train and still checkpoint their
+// weights; resume just restarts their state cold (documented, not silent:
+// CaptureState reports ok=false).
+type Stateful interface {
+	// CaptureStateInto copies the solver's state for params into st,
+	// growing st's storage on first use and recycling it afterwards — a
+	// warm capture touches no allocator, which is what lets the async
+	// checkpointer stage at iteration boundaries for free. A parameter the
+	// solver has never stepped captures as zeros (exactly the state a
+	// fresh slot would hold).
+	CaptureStateInto(st *State, params []*nn.Param)
+	// RestoreState installs a captured state for params, replacing any
+	// existing state. It fails loudly on algorithm, slot or size mismatch.
+	RestoreState(params []*nn.Param, st *State) error
+}
+
+// ensureSlots shapes st to the given slot names over params, recycling
+// existing storage when the geometry already matches.
+func ensureSlots(st *State, params []*nn.Param, names ...string) {
+	if len(st.Slots) != len(names) {
+		st.Slots = make([]StateSlot, len(names))
+	}
+	for i, name := range names {
+		sl := &st.Slots[i]
+		sl.Name = name
+		if len(sl.Data) != len(params) {
+			sl.Data = make([][]float32, len(params))
+		}
+		for j, p := range params {
+			if len(sl.Data[j]) != p.W.Len() {
+				sl.Data[j] = make([]float32, p.W.Len())
+			}
+		}
+	}
+}
+
+// validateState checks the restore geometry shared by both solvers.
+func validateState(algo string, params []*nn.Param, st *State, names ...string) error {
+	if st.Algo != algo {
+		return fmt.Errorf("opt: restoring %q state into a %s solver", st.Algo, algo)
+	}
+	if len(st.Slots) != len(names) {
+		return fmt.Errorf("opt: %s state has %d slots, want %d", algo, len(st.Slots), len(names))
+	}
+	for i, name := range names {
+		sl := st.Slots[i]
+		if sl.Name != name {
+			return fmt.Errorf("opt: %s state slot %d is %q, want %q", algo, i, sl.Name, name)
+		}
+		if len(sl.Data) != len(params) {
+			return fmt.Errorf("opt: %s state slot %q covers %d parameters, model has %d", algo, name, len(sl.Data), len(params))
+		}
+		for j, d := range sl.Data {
+			if len(d) != params[j].W.Len() {
+				return fmt.Errorf("opt: %s state slot %q param %d (%s) has %d elements, model has %d",
+					algo, name, j, params[j].Name, len(d), params[j].W.Len())
+			}
+		}
+	}
+	return nil
+}
+
+// CaptureStateInto implements Stateful.
+func (s *SGD) CaptureStateInto(st *State, params []*nn.Param) {
+	st.Algo, st.Steps = s.Name(), 0
+	ensureSlots(st, params, "velocity")
+	for j, p := range params {
+		dst := st.Slots[0].Data[j]
+		if v, ok := s.velocity[p.W]; ok {
+			copy(dst, v)
+		} else {
+			clear(dst)
+		}
+	}
+}
+
+// RestoreState implements Stateful.
+func (s *SGD) RestoreState(params []*nn.Param, st *State) error {
+	if err := validateState(s.Name(), params, st, "velocity"); err != nil {
+		return err
+	}
+	for j, p := range params {
+		v, ok := s.velocity[p.W]
+		if !ok {
+			v = make([]float32, p.W.Len())
+			s.velocity[p.W] = v
+		}
+		copy(v, st.Slots[0].Data[j])
+	}
+	return nil
+}
+
+// CaptureStateInto implements Stateful.
+func (a *Adam) CaptureStateInto(st *State, params []*nn.Param) {
+	st.Algo, st.Steps = a.Name(), int64(a.t)
+	ensureSlots(st, params, "m", "v")
+	for j, p := range params {
+		if m, ok := a.m[p.W]; ok {
+			copy(st.Slots[0].Data[j], m)
+			copy(st.Slots[1].Data[j], a.v[p.W])
+		} else {
+			clear(st.Slots[0].Data[j])
+			clear(st.Slots[1].Data[j])
+		}
+	}
+}
+
+// RestoreState implements Stateful.
+func (a *Adam) RestoreState(params []*nn.Param, st *State) error {
+	if err := validateState(a.Name(), params, st, "m", "v"); err != nil {
+		return err
+	}
+	a.t = int(st.Steps)
+	for j, p := range params {
+		m, ok := a.m[p.W]
+		if !ok {
+			m = make([]float32, p.W.Len())
+			a.m[p.W] = m
+			a.v[p.W] = make([]float32, p.W.Len())
+		}
+		copy(m, st.Slots[0].Data[j])
+		copy(a.v[p.W], st.Slots[1].Data[j])
+	}
+	return nil
+}
+
+// CaptureState captures solver state for params when the solver supports
+// it; ok=false means the solver keeps no exportable state (resume restarts
+// it cold).
+func CaptureState(s Solver, st *State, params []*nn.Param) (ok bool) {
+	sf, ok := s.(Stateful)
+	if !ok {
+		return false
+	}
+	sf.CaptureStateInto(st, params)
+	return true
+}
+
+// RestoreState restores captured state when the solver supports it.
+func RestoreState(s Solver, params []*nn.Param, st *State) error {
+	sf, ok := s.(Stateful)
+	if !ok {
+		return fmt.Errorf("opt: solver %q cannot restore state", s.Name())
+	}
+	return sf.RestoreState(params, st)
+}

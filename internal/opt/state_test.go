@@ -1,0 +1,174 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// stateParams builds a two-blob parameter set with deterministic weights
+// and gradients.
+func stateParams(seed uint64) []*nn.Param {
+	rng := tensor.NewRNG(seed)
+	mk := func(name string, n int) *nn.Param {
+		w := tensor.New(n)
+		g := tensor.New(n)
+		rng.FillNorm(w, 0, 1)
+		rng.FillNorm(g, 0, 1)
+		return &nn.Param{Name: name, W: w, Grad: g}
+	}
+	return []*nn.Param{mk("a", 7), mk("b", 130)}
+}
+
+// step applies k solver steps with fresh deterministic pseudo-gradients.
+func step(s Solver, params []*nn.Param, k int, seed uint64) {
+	rng := tensor.NewRNG(seed)
+	for i := 0; i < k; i++ {
+		for _, p := range params {
+			rng.FillNorm(p.Grad, 0, 1)
+		}
+		s.Step(params)
+	}
+}
+
+// TestStateRoundTripIsBitExact is the resume contract at the solver level:
+// N steps, capture, restore into a FRESH solver over a cloned parameter
+// set, then M more steps on both — trajectories must match bit for bit.
+func TestStateRoundTripIsBitExact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Solver
+	}{
+		{"sgd", func() Solver { return NewSGD(0.05, 0.9) }},
+		{"adam", func() Solver { return NewAdam(1e-2) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.mk()
+			pOrig := stateParams(1)
+			step(orig, pOrig, 5, 42)
+
+			var st State
+			if ok := CaptureState(orig, &st, pOrig); !ok {
+				t.Fatalf("%s must be Stateful", tc.name)
+			}
+
+			// Fresh solver + cloned params seeded with the snapshot weights.
+			fresh := tc.mk()
+			pFresh := stateParams(1)
+			for i := range pFresh {
+				copy(pFresh[i].W.Data, pOrig[i].W.Data)
+			}
+			if err := RestoreState(fresh, pFresh, &st); err != nil {
+				t.Fatal(err)
+			}
+
+			step(orig, pOrig, 5, 99)
+			step(fresh, pFresh, 5, 99)
+			for i := range pOrig {
+				for j := range pOrig[i].W.Data {
+					if pOrig[i].W.Data[j] != pFresh[i].W.Data[j] {
+						t.Fatalf("%s: param %s[%d] diverged after restore: %v vs %v",
+							tc.name, pOrig[i].Name, j, pOrig[i].W.Data[j], pFresh[i].W.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColdRestartDiverges documents why solver state belongs in the
+// checkpoint at all: restoring weights alone (state restarted cold) does
+// NOT reproduce the uninterrupted trajectory.
+func TestColdRestartDiverges(t *testing.T) {
+	orig := NewSGD(0.05, 0.9)
+	pOrig := stateParams(1)
+	step(orig, pOrig, 5, 42)
+
+	cold := NewSGD(0.05, 0.9) // no RestoreState
+	pCold := stateParams(1)
+	for i := range pCold {
+		copy(pCold[i].W.Data, pOrig[i].W.Data)
+	}
+	step(orig, pOrig, 3, 99)
+	step(cold, pCold, 3, 99)
+	same := true
+	for i := range pOrig {
+		for j := range pOrig[i].W.Data {
+			if pOrig[i].W.Data[j] != pCold[i].W.Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("cold restart reproduced the momentum trajectory — the test lost its meaning")
+	}
+}
+
+// TestCaptureBeforeFirstStepIsZeros: capturing a never-stepped solver must
+// yield zero slots (the state a fresh solver holds), not garbage or a
+// panic.
+func TestCaptureBeforeFirstStepIsZeros(t *testing.T) {
+	params := stateParams(3)
+	var st State
+	NewAdam(1e-3).CaptureStateInto(&st, params)
+	if st.Algo != "adam" || st.Steps != 0 {
+		t.Fatalf("fresh capture: algo %q steps %d", st.Algo, st.Steps)
+	}
+	for _, sl := range st.Slots {
+		for _, d := range sl.Data {
+			for _, v := range d {
+				if v != 0 {
+					t.Fatalf("fresh %s slot holds %v", sl.Name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestCaptureRecyclesStorage: a warm capture reuses the State's slices —
+// the property the async checkpointer's 0-alloc staging rests on.
+func TestCaptureRecyclesStorage(t *testing.T) {
+	params := stateParams(5)
+	s := NewAdam(1e-3)
+	step(s, params, 2, 7)
+	var st State
+	s.CaptureStateInto(&st, params)
+	if n := testing.AllocsPerRun(20, func() { s.CaptureStateInto(&st, params) }); n != 0 {
+		t.Fatalf("warm CaptureStateInto allocates %.1f times", n)
+	}
+	sgd := NewSGD(0.1, 0.9)
+	step(sgd, params, 2, 7)
+	var st2 State
+	sgd.CaptureStateInto(&st2, params)
+	if n := testing.AllocsPerRun(20, func() { sgd.CaptureStateInto(&st2, params) }); n != 0 {
+		t.Fatalf("warm SGD CaptureStateInto allocates %.1f times", n)
+	}
+}
+
+// TestRestoreValidation: mismatched algorithm, slot geometry and sizes must
+// all fail loudly, naming the offender.
+func TestRestoreValidation(t *testing.T) {
+	params := stateParams(1)
+	var sgdState State
+	NewSGD(0.1, 0).CaptureStateInto(&sgdState, params)
+
+	if err := NewAdam(1e-3).RestoreState(params, &sgdState); err == nil ||
+		!strings.Contains(err.Error(), "sgd") {
+		t.Fatalf("algo mismatch error = %v", err)
+	}
+	var adamState State
+	NewAdam(1e-3).CaptureStateInto(&adamState, params)
+	short := stateParams(1)[:1]
+	if err := NewAdam(1e-3).RestoreState(short, &adamState); err == nil ||
+		!strings.Contains(err.Error(), "parameters") {
+		t.Fatalf("param-count mismatch error = %v", err)
+	}
+	resized := stateParams(1)
+	resized[1] = &nn.Param{Name: "b", W: tensor.New(2), Grad: tensor.New(2)}
+	if err := NewAdam(1e-3).RestoreState(resized, &adamState); err == nil ||
+		!strings.Contains(err.Error(), "elements") {
+		t.Fatalf("size mismatch error = %v", err)
+	}
+}

@@ -341,6 +341,72 @@ func (s *Server) copyWeightsLocked() [][]float32 {
 	return out
 }
 
+// SnapshotInto copies the master parameters into weightsOut (one
+// caller-owned, full-length slice per parameter) and captures each shard's
+// solver state into states (len NumShards) — the checkpointer's staging
+// read. The server lock is held for the duration, so the snapshot is a
+// consistent point between updates for this layer; warm staging touches no
+// allocator (the caller recycles weightsOut and states across snapshots).
+// A shard whose solver keeps no exportable state captures as an empty
+// State carrying only the algorithm name.
+func (s *Server) SnapshotInto(weightsOut [][]float32, states []opt.State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(weightsOut) != len(s.params) {
+		panic(fmt.Sprintf("ps: layer %d snapshot got %d weight buffers, want %d", s.LayerID, len(weightsOut), len(s.params)))
+	}
+	for i, p := range s.params {
+		if len(weightsOut[i]) != p.W.Len() {
+			panic(fmt.Sprintf("ps: layer %d snapshot buffer %d size %d, want %d", s.LayerID, i, len(weightsOut[i]), p.W.Len()))
+		}
+		copy(weightsOut[i], p.W.Data)
+	}
+	if len(states) != len(s.shards) {
+		panic(fmt.Sprintf("ps: layer %d snapshot got %d state buffers, want %d shards", s.LayerID, len(states), len(s.shards)))
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !opt.CaptureState(sh.solver, &states[i], sh.params) {
+			states[i] = opt.State{Algo: sh.solver.Name()}
+		}
+	}
+}
+
+// RestoreSnapshot installs checkpointed master weights and per-shard solver
+// state — the inverse of SnapshotInto, for resuming a training run. The
+// fleet must have been built with the same template and shard split (the
+// split is deterministic in both). A state with no slots restores nothing
+// for its shard (the weights-only fallback for stateless solvers).
+func (s *Server) RestoreSnapshot(weights [][]float32, states []opt.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(weights) != len(s.params) {
+		return fmt.Errorf("ps: layer %d restore got %d weight blobs, want %d", s.LayerID, len(weights), len(s.params))
+	}
+	for i, p := range s.params {
+		if len(weights[i]) != p.W.Len() {
+			return fmt.Errorf("ps: layer %d restore blob %d (%s) has %d elements, want %d",
+				s.LayerID, i, p.Name, len(weights[i]), p.W.Len())
+		}
+	}
+	if len(states) != len(s.shards) {
+		return fmt.Errorf("ps: layer %d restore got %d solver states, want %d shards", s.LayerID, len(states), len(s.shards))
+	}
+	for i, p := range s.params {
+		copy(p.W.Data, weights[i])
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(states[i].Slots) == 0 {
+			continue // stateless capture: weights-only resume for this shard
+		}
+		if err := opt.RestoreState(sh.solver, sh.params, &states[i]); err != nil {
+			return fmt.Errorf("ps: layer %d shard %d: %w", s.LayerID, i, err)
+		}
+	}
+	return nil
+}
+
 // StalenessHistogram returns a copy of the staleness counts.
 func (s *Server) StalenessHistogram() map[int]int64 {
 	s.mu.Lock()
@@ -418,6 +484,47 @@ func (f *Fleet) UpdateAll(groupID int, grads [][][]float32) []Response {
 // entry point the overlapped trainer drives from its per-layer pushers.
 func (f *Fleet) PushWires(groupID, layer int, codec comm.Codec, wires []*comm.Wire, weightsOut [][]float32) PushResult {
 	return f.Servers[layer].PushWires(groupID, codec, wires, weightsOut)
+}
+
+// ShardCounts returns the number of flat-range shards per server — the
+// geometry a checkpointer sizes its per-layer solver-state staging to.
+func (f *Fleet) ShardCounts() []int {
+	out := make([]int, len(f.Servers))
+	for i, s := range f.Servers {
+		out[i] = s.NumShards()
+	}
+	return out
+}
+
+// SnapshotInto stages every server's weights and solver state
+// (weights[layer][param], states[layer][shard]). Servers are locked one at
+// a time, so concurrent groups keep exchanging other layers while the
+// snapshot walks the fleet; on asynchronous runs the snapshot is therefore
+// per-layer consistent, not global — exactly the consistency an
+// asynchronous trainer has anyway. Deterministic (single-group) runs
+// snapshot at iteration boundaries where no push is in flight, which is
+// what makes their resume bit-exact.
+func (f *Fleet) SnapshotInto(weights [][][]float32, states [][]opt.State) {
+	if len(weights) != len(f.Servers) || len(states) != len(f.Servers) {
+		panic(fmt.Sprintf("ps: fleet snapshot got %d/%d buffers for %d servers", len(weights), len(states), len(f.Servers)))
+	}
+	for i, s := range f.Servers {
+		s.SnapshotInto(weights[i], states[i])
+	}
+}
+
+// RestoreSnapshot installs a staged fleet snapshot (the inverse of
+// SnapshotInto) before any group starts training.
+func (f *Fleet) RestoreSnapshot(weights [][][]float32, states [][]opt.State) error {
+	if len(weights) != len(f.Servers) || len(states) != len(f.Servers) {
+		return fmt.Errorf("ps: fleet restore got %d/%d buffers for %d servers", len(weights), len(states), len(f.Servers))
+	}
+	for i, s := range f.Servers {
+		if err := s.RestoreSnapshot(weights[i], states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WireStats sums the per-server wire accounting.

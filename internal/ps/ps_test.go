@@ -444,3 +444,136 @@ func TestPushWiresSteadyStateDoesNotAllocate(t *testing.T) {
 		}
 	}
 }
+
+// snapStaging allocates snapshot staging matched to a server's geometry.
+func snapStaging(sizes []int, shards int) ([][]float32, []opt.State) {
+	weights := make([][]float32, len(sizes))
+	for i, n := range sizes {
+		weights[i] = make([]float32, n)
+	}
+	return weights, make([]opt.State, shards)
+}
+
+// TestServerSnapshotRestoreIsBitExact is the resume contract at the PS
+// level: run K updates, snapshot, restore into a FRESH server (same
+// template, same shard split), continue both — identical weights bit for
+// bit, sharded or not.
+func TestServerSnapshotRestoreIsBitExact(t *testing.T) {
+	sizes := []int{3*comm.ChunkElems + 11, 64}
+	for _, shardElems := range []int{0, comm.ChunkElems} {
+		for _, solver := range []opt.Solver{opt.NewSGD(0.05, 0.9), opt.NewAdam(1e-3)} {
+			orig := NewServerSharded(0, randParams(42, sizes...), solver, shardElems)
+			grads := make([][]float32, len(sizes))
+			for i, n := range sizes {
+				grads[i] = make([]float32, n)
+			}
+			rng := tensor.NewRNG(7)
+			draw := func() {
+				for i := range grads {
+					for j := range grads[i] {
+						grads[i][j] = float32(rng.Norm())
+					}
+				}
+			}
+			for k := 0; k < 4; k++ {
+				draw()
+				orig.Update(0, grads)
+			}
+			weights, states := snapStaging(sizes, orig.NumShards())
+			orig.SnapshotInto(weights, states)
+
+			fresh := NewServerSharded(0, randParams(43, sizes...), solver.Clone(), shardElems)
+			if fresh.NumShards() != orig.NumShards() {
+				t.Fatal("shard split not deterministic")
+			}
+			if err := fresh.RestoreSnapshot(weights, states); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 4; k++ {
+				draw()
+				a := orig.Update(0, grads)
+				// Replay the same draws on the restored server.
+				b := fresh.Update(0, grads)
+				for i := range a.Weights {
+					for j := range a.Weights[i] {
+						if a.Weights[i][j] != b.Weights[i][j] {
+							t.Fatalf("%s shardElems=%d step %d: restored server diverged at param %d elem %d",
+								solver.Name(), shardElems, k, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestServerSnapshotRestoreValidation: wrong geometry must error (restore)
+// or panic (snapshot staging bug), never silently misload.
+func TestServerSnapshotRestoreValidation(t *testing.T) {
+	s := NewServer(0, randParams(1, 8, 4), opt.NewAdam(1e-3))
+	weights, states := snapStaging([]int{8, 4}, s.NumShards())
+	s.SnapshotInto(weights, states)
+
+	bad := NewServer(0, randParams(1, 8, 5), opt.NewAdam(1e-3))
+	if err := bad.RestoreSnapshot(weights, states); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+	if err := s.RestoreSnapshot(weights[:1], states); err == nil {
+		t.Fatal("blob count mismatch must error")
+	}
+	wrongAlgo := NewServer(0, randParams(1, 8, 4), opt.NewSGD(0.1, 0.9))
+	if err := wrongAlgo.RestoreSnapshot(weights, states); err == nil {
+		t.Fatal("solver algorithm mismatch must error")
+	}
+}
+
+// TestFleetSnapshotRestore: the fleet-level walk restores every layer.
+func TestFleetSnapshotRestore(t *testing.T) {
+	net := buildTinyNet(5)
+	fleet := NewShardedFleet(net.TrainableLayers(), opt.NewAdam(1e-3), 0)
+	grads := [][][]float32{}
+	for _, s := range fleet.Servers {
+		var g [][]float32
+		for _, p := range s.params {
+			g = append(g, make([]float32, p.W.Len()))
+		}
+		grads = append(grads, g)
+	}
+	rng := tensor.NewRNG(6)
+	for k := 0; k < 3; k++ {
+		for i := range grads {
+			for j := range grads[i] {
+				for e := range grads[i][j] {
+					grads[i][j][e] = float32(rng.Norm())
+				}
+			}
+		}
+		fleet.UpdateAll(0, grads)
+	}
+	weights := make([][][]float32, fleet.Size())
+	states := make([][]opt.State, fleet.Size())
+	for i, s := range fleet.Servers {
+		var sizes []int
+		for _, p := range s.params {
+			sizes = append(sizes, p.W.Len())
+		}
+		weights[i], states[i] = snapStaging(sizes, s.NumShards())
+	}
+	fleet.SnapshotInto(weights, states)
+
+	net2 := buildTinyNet(9) // different init: restore must overwrite it
+	fresh := NewShardedFleet(net2.TrainableLayers(), opt.NewAdam(1e-3), 0)
+	if err := fresh.RestoreSnapshot(weights, states); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fleet.Servers {
+		a, b := s.Weights(), fresh.Servers[i].Weights()
+		for j := range a {
+			for e := range a[j] {
+				if a[j][e] != b[j][e] {
+					t.Fatalf("layer %d param %d elem %d not restored", i, j, e)
+				}
+			}
+		}
+	}
+}

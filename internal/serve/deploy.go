@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deep15pf/internal/ckpt"
+	"deep15pf/internal/tensor"
+)
+
+// Deployment closes the train→serve loop: it serves one architecture out
+// of a ckpt.Store and hot-reloads new checkpoint versions as training
+// publishes them — the continuous-retrain-and-redeploy shape production
+// descendants of this pipeline run (e.g. Khan et al. 2019's DES galaxy
+// catalogs). The lifecycle per incoming version:
+//
+//  1. the watcher polls the store and sees a new complete version;
+//  2. the manifest CRCs are verified (ckpt.Store.Poll) and the arch is
+//     checked against the deployment's — a checkpoint from the wrong
+//     model family is rejected and counted, never served;
+//  3. a full replica pool is built in the background (registry load +
+//     per-worker replicas) while the live server keeps serving;
+//  4. cutover: with Canary == 0 the new server atomically replaces the
+//     old one; otherwise the new version first serves a deterministic
+//     Canary fraction of traffic, with its own latency/throughput
+//     metrics, and is promoted after CanaryRequests clean responses (or
+//     by an explicit Promote/Rollback call).
+//
+// No request is ever dropped by a swap: Submit routes through the current
+// pointer, a server closed underneath a racing submitter rejects it
+// before enqueue, and the router retries against the fresh pointer; the
+// old server's Close waits out its in-flight batches.
+type Deployment struct {
+	reg   *Registry
+	arch  string
+	prec  Precision
+	store *ckpt.Store
+	cfg   DeployConfig
+
+	mu      sync.Mutex
+	current *versioned
+	canary  *versioned
+	seen    int // highest store version already considered
+	lastErr error
+
+	ctr      atomic.Uint64 // request counter (deterministic canary routing)
+	canaryOK atomic.Int64  // clean canary responses since install
+	swaps    atomic.Int64
+	rejected atomic.Int64
+
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+	closed    bool
+}
+
+// DeployConfig parameterises a Deployment.
+type DeployConfig struct {
+	// Server configures each version's batcher/worker pool.
+	Server Config
+	// Canary routes this fraction of traffic (0..1) to an incoming
+	// version before cutover. 0 swaps immediately.
+	Canary float64
+	// CanaryRequests is how many clean canary responses promote the
+	// incoming version automatically (with Canary > 0). Default 256.
+	CanaryRequests int
+	// Poll is the store polling interval for Watch. Default 250ms.
+	Poll time.Duration
+}
+
+func (c DeployConfig) withDefaults() DeployConfig {
+	if c.Canary < 0 || c.Canary > 1 {
+		panic(fmt.Sprintf("serve: canary fraction %v out of [0,1]", c.Canary))
+	}
+	if c.CanaryRequests <= 0 {
+		c.CanaryRequests = 256
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	return c
+}
+
+// versioned is one checkpoint version's running server.
+type versioned struct {
+	version int
+	srv     *Server
+}
+
+// VersionStats is one live version's serving record.
+type VersionStats struct {
+	Version int
+	Canary  bool
+	Stats   Stats
+}
+
+// NewDeployment builds a deployment over the newest version in the store
+// (which must hold at least one complete, verifiable version). Call Watch
+// to start hot-reloading; PollOnce drives the same logic synchronously.
+func NewDeployment(reg *Registry, arch string, prec Precision, store *ckpt.Store, cfg DeployConfig) (*Deployment, error) {
+	d := &Deployment{
+		reg: reg, arch: arch, prec: prec, store: store,
+		cfg:       cfg.withDefaults(),
+		watchStop: make(chan struct{}),
+	}
+	m, ok, err := store.Poll(0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("serve: checkpoint store %s holds no complete version", store.Dir())
+	}
+	v, err := d.build(m)
+	if err != nil {
+		return nil, err
+	}
+	d.current = v
+	d.seen = m.Version
+	return d, nil
+}
+
+// build verifies a manifest's arch and constructs a full server for it —
+// the expensive step that always runs off the serving path.
+func (d *Deployment) build(m ckpt.Manifest) (*versioned, error) {
+	if m.Arch != "" && m.Arch != d.arch {
+		return nil, fmt.Errorf("serve: checkpoint version %d is arch %q, deployment serves %q", m.Version, m.Arch, d.arch)
+	}
+	lm, err := d.reg.Load(d.arch, d.store.WeightsPath(m.Version), d.prec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: version %d: %w", m.Version, err)
+	}
+	srv, err := NewServer(lm, d.cfg.Server)
+	if err != nil {
+		return nil, fmt.Errorf("serve: version %d: %w", m.Version, err)
+	}
+	return &versioned{version: m.Version, srv: srv}, nil
+}
+
+// Submit routes one request through the live version (or, during a
+// canary, deterministically through the incoming one at the configured
+// fraction) and never drops it across a swap: a server closed mid-flight
+// rejects before enqueue and the request retries on the fresh pointer.
+func (d *Deployment) Submit(x *tensor.Tensor) (*tensor.Tensor, error) {
+	for {
+		d.mu.Lock()
+		cur, can := d.current, d.canary
+		d.mu.Unlock()
+		if cur == nil {
+			return nil, ErrClosed
+		}
+		target, isCanary := cur, false
+		if can != nil && d.cfg.Canary > 0 {
+			// Stride routing: request i is a canary request when the
+			// running quota floor(i·frac) advances — exact fraction, no
+			// RNG, no bursts.
+			i := d.ctr.Add(1)
+			if uint64(float64(i)*d.cfg.Canary) != uint64(float64(i-1)*d.cfg.Canary) {
+				target, isCanary = can, true
+			}
+		}
+		y, err := target.srv.Submit(x)
+		if errors.Is(err, ErrClosed) {
+			continue // swapped or rolled back underneath: retry on the fresh pointer
+		}
+		if err == nil && isCanary {
+			if d.canaryOK.Add(1) >= int64(d.cfg.CanaryRequests) {
+				d.Promote()
+			}
+		}
+		return y, err
+	}
+}
+
+// PollOnce checks the store for a version newer than any already
+// considered, builds it, and installs it (as canary with Canary > 0,
+// otherwise by immediate cutover). It reports whether a new version was
+// installed. Rejected versions (bad CRC via the store, wrong arch,
+// unloadable weights) are counted, recorded in Err, and never retried.
+func (d *Deployment) PollOnce() (bool, error) {
+	d.mu.Lock()
+	after := d.seen
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return false, ErrClosed
+	}
+	m, ok, err := d.store.Poll(after)
+	if err != nil {
+		// A verification failure comes back with the offending manifest:
+		// count it rejected and advance past it, so a bit-rotted version
+		// is diagnosed once — not re-read and re-CRC'd on every tick.
+		if m.Version > after {
+			d.mu.Lock()
+			d.seen = m.Version
+			d.mu.Unlock()
+			d.rejected.Add(1)
+		}
+		d.setErr(err)
+		return false, err
+	}
+	if !ok {
+		return false, nil
+	}
+	d.mu.Lock()
+	d.seen = m.Version // considered exactly once, accepted or not
+	d.mu.Unlock()
+	v, err := d.build(m)
+	if err != nil {
+		d.rejected.Add(1)
+		d.setErr(err)
+		return false, err
+	}
+	if d.cfg.Canary > 0 {
+		d.installCanary(v)
+	} else {
+		d.cutover(v)
+	}
+	return true, nil
+}
+
+// installCanary stages an incoming version behind the canary fraction,
+// replacing (and closing) any previous canary that never promoted. If
+// Close raced in while the version was building, the newcomer is shut
+// down instead of installed — Close must not leave a resurrected server
+// running.
+func (d *Deployment) installCanary(v *versioned) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		v.srv.Close()
+		return
+	}
+	old := d.canary
+	d.canary = v
+	d.canaryOK.Store(0)
+	d.mu.Unlock()
+	if old != nil {
+		old.srv.Close()
+	}
+}
+
+// cutover atomically makes v the live version and retires the old one
+// (closing it only after the swap, so its in-flight requests finish and
+// late arrivals bounce to the new pointer). A Close that raced in during
+// the build wins: the incoming server is closed, not installed.
+func (d *Deployment) cutover(v *versioned) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		v.srv.Close()
+		return
+	}
+	old := d.current
+	d.current = v
+	d.canary = nil
+	d.mu.Unlock()
+	d.swaps.Add(1)
+	if old != nil {
+		old.srv.Close()
+	}
+}
+
+// Promote cuts the canary over to live. No-op without a canary.
+func (d *Deployment) Promote() {
+	d.mu.Lock()
+	can := d.canary
+	if can == nil {
+		d.mu.Unlock()
+		return
+	}
+	old := d.current
+	d.current = can
+	d.canary = nil
+	d.mu.Unlock()
+	d.swaps.Add(1)
+	if old != nil {
+		old.srv.Close()
+	}
+}
+
+// Rollback discards the canary and keeps serving the live version. The
+// rejected version is not reconsidered (publish a new one to retry).
+func (d *Deployment) Rollback() {
+	d.mu.Lock()
+	can := d.canary
+	d.canary = nil
+	d.mu.Unlock()
+	if can != nil {
+		d.rejected.Add(1)
+		can.srv.Close()
+	}
+}
+
+// Watch polls the store on the configured interval until Close.
+func (d *Deployment) Watch() {
+	d.watchWG.Add(1)
+	go func() {
+		defer d.watchWG.Done()
+		tick := time.NewTicker(d.cfg.Poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-d.watchStop:
+				return
+			case <-tick.C:
+				d.PollOnce() // errors are recorded and counted, not fatal
+			}
+		}
+	}()
+}
+
+// Versions snapshots the live (and, if present, canary) serving stats —
+// the per-version latency/throughput evidence a cutover decision reads.
+func (d *Deployment) Versions() []VersionStats {
+	d.mu.Lock()
+	cur, can := d.current, d.canary
+	d.mu.Unlock()
+	var out []VersionStats
+	if cur != nil {
+		out = append(out, VersionStats{Version: cur.version, Stats: cur.srv.Stats()})
+	}
+	if can != nil {
+		out = append(out, VersionStats{Version: can.version, Canary: true, Stats: can.srv.Stats()})
+	}
+	return out
+}
+
+// Loaded returns the live version's loaded model (shapes, flop costs) —
+// nil after Close.
+func (d *Deployment) Loaded() *LoadedModel {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.current == nil {
+		return nil
+	}
+	return d.current.srv.Model()
+}
+
+// CurrentVersion returns the live checkpoint version.
+func (d *Deployment) CurrentVersion() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.current == nil {
+		return 0
+	}
+	return d.current.version
+}
+
+// CanaryVersion returns the staged version (0 = none).
+func (d *Deployment) CanaryVersion() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.canary == nil {
+		return 0
+	}
+	return d.canary.version
+}
+
+// Swaps counts completed cutovers (immediate or promoted canaries).
+func (d *Deployment) Swaps() int64 { return d.swaps.Load() }
+
+// Rejected counts versions refused (bad arch, unloadable weights,
+// rollbacks).
+func (d *Deployment) Rejected() int64 { return d.rejected.Load() }
+
+// Err returns the most recent watcher error (nil while healthy).
+func (d *Deployment) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastErr
+}
+
+func (d *Deployment) setErr(err error) {
+	d.mu.Lock()
+	d.lastErr = err
+	d.mu.Unlock()
+}
+
+// Close stops the watcher and shuts down every live server, waiting out
+// in-flight requests.
+func (d *Deployment) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	cur, can := d.current, d.canary
+	d.current, d.canary = nil, nil
+	d.mu.Unlock()
+	close(d.watchStop)
+	d.watchWG.Wait()
+	if can != nil {
+		can.srv.Close()
+	}
+	if cur != nil {
+		cur.srv.Close()
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deep15pf/internal/ckpt"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/tensor"
+)
+
+// publishVersion trains the tiny HEP net a little further and saves it as
+// the store's next version under the given arch name, returning the
+// manifest.
+func publishVersion(t *testing.T, store *ckpt.Store, arch string, steps int) ckpt.Manifest {
+	t.Helper()
+	net, _ := trainTinyHEP(t, steps)
+	m, err := store.Save(&ckpt.Snapshot{Step: steps, Arch: arch, Params: net.Params()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newTinyDeployment builds a store holding one version and a deployment
+// over it.
+func newTinyDeployment(t *testing.T, cfg DeployConfig) (*Deployment, *ckpt.Store) {
+	t.Helper()
+	store, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishVersion(t, store, "tiny", 1)
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+	d, err := NewDeployment(r, "tiny", Float32, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, store
+}
+
+func deployInput(seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(hep.Channels, 8, 8)
+	rng.FillNorm(x, 0, 1)
+	return x
+}
+
+// TestDeploymentHotSwapZeroDroppedRequests is the tentpole gate: a closed
+// loop of clients hammers the deployment while new checkpoint versions
+// land and cut over; every single request must complete.
+func TestDeploymentHotSwapZeroDroppedRequests(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{Server: Config{MaxBatch: 8, Workers: 2}})
+	defer d.Close()
+	if v := d.CurrentVersion(); v != 1 {
+		t.Fatalf("initial version %d", v)
+	}
+
+	const clients, total = 16, 4000
+	inputs := make([]*tensor.Tensor, 8)
+	for i := range inputs {
+		inputs[i] = deployInput(uint64(i))
+	}
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		failed    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				if _, err := d.Submit(inputs[i%len(inputs)]); err != nil {
+					failed.Add(1)
+				} else {
+					completed.Add(1)
+				}
+			}
+		}()
+	}
+	// Publish two new versions mid-flight and poll them in.
+	for v := 2; v <= 3; v++ {
+		for next.Load() < int64(total*(v-1)/3) {
+			time.Sleep(time.Millisecond)
+		}
+		publishVersion(t, store, "tiny", v)
+		if ok, err := d.PollOnce(); err != nil || !ok {
+			t.Errorf("poll for version %d: ok=%v err=%v", v, ok, err)
+		}
+	}
+	wg.Wait()
+
+	if f := failed.Load(); f != 0 {
+		t.Errorf("%d requests failed across hot swaps", f)
+	}
+	if c := completed.Load(); c != total {
+		t.Errorf("completed %d of %d requests", c, total)
+	}
+	if v := d.CurrentVersion(); v != 3 {
+		t.Errorf("final version %d, want 3", v)
+	}
+	if s := d.Swaps(); s != 2 {
+		t.Errorf("%d swaps recorded, want 2", s)
+	}
+}
+
+// TestDeploymentCanaryRoutesFractionThenPromotes: the canary serves its
+// configured share with its own metrics, and auto-promotes after the
+// clean-response threshold.
+func TestDeploymentCanaryRoutesFractionThenPromotes(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{
+		Server:         Config{MaxBatch: 4, Workers: 1},
+		Canary:         0.25,
+		CanaryRequests: 200, // above the first measurement burst
+	})
+	defer d.Close()
+	publishVersion(t, store, "tiny", 2)
+	if ok, err := d.PollOnce(); err != nil || !ok {
+		t.Fatalf("poll: ok=%v err=%v", ok, err)
+	}
+	if d.CurrentVersion() != 1 || d.CanaryVersion() != 2 {
+		t.Fatalf("after poll: current %d canary %d", d.CurrentVersion(), d.CanaryVersion())
+	}
+
+	x := deployInput(1)
+	const burst = 400
+	for i := 0; i < burst; i++ {
+		if _, err := d.Submit(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stride router sends exactly floor(i·0.25) of i requests to the
+	// canary until promotion flips the pointers; after 200 clean canary
+	// responses (at request ~800... the 200th canary response lands at
+	// request 800 with frac .25 — burst of 400 yields 100) the canary is
+	// still staged. Check the per-version split first.
+	vs := d.Versions()
+	if len(vs) != 2 || !vs[1].Canary {
+		t.Fatalf("versions: %+v", vs)
+	}
+	canaryShare := float64(vs[1].Stats.Requests) / float64(vs[0].Stats.Requests+vs[1].Stats.Requests)
+	if canaryShare < 0.2 || canaryShare > 0.3 {
+		t.Errorf("canary served %.2f of traffic, want ≈0.25", canaryShare)
+	}
+	if vs[1].Stats.P99 <= 0 || vs[0].Stats.Throughput <= 0 {
+		t.Errorf("per-version metrics empty: %+v", vs)
+	}
+
+	// Drive past the auto-promote threshold.
+	for i := 0; i < 600 && d.CanaryVersion() != 0; i++ {
+		if _, err := d.Submit(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.CurrentVersion() != 2 || d.CanaryVersion() != 0 {
+		t.Errorf("after threshold: current %d canary %d", d.CurrentVersion(), d.CanaryVersion())
+	}
+	if d.Swaps() != 1 {
+		t.Errorf("swaps %d, want 1", d.Swaps())
+	}
+}
+
+// TestDeploymentRollbackKeepsServing: a rolled-back canary disappears
+// without a blip; the live version keeps serving.
+func TestDeploymentRollbackKeepsServing(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{
+		Server: Config{MaxBatch: 4, Workers: 1},
+		Canary: 0.5, CanaryRequests: 1 << 30, // never auto-promote
+	})
+	defer d.Close()
+	publishVersion(t, store, "tiny", 2)
+	if _, err := d.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	x := deployInput(2)
+	for i := 0; i < 50; i++ {
+		if _, err := d.Submit(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Rollback()
+	if d.CurrentVersion() != 1 || d.CanaryVersion() != 0 {
+		t.Fatalf("after rollback: current %d canary %d", d.CurrentVersion(), d.CanaryVersion())
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := d.Submit(x); err != nil {
+			t.Fatalf("request after rollback: %v", err)
+		}
+	}
+	if d.Rejected() != 1 {
+		t.Errorf("rejected %d, want 1 (the rollback)", d.Rejected())
+	}
+}
+
+// TestDeploymentRejectsWrongArchVersion: a version published under another
+// architecture is refused (counted, error recorded) and the live version
+// keeps serving; a later correct version still lands.
+func TestDeploymentRejectsWrongArchVersion(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{Server: Config{MaxBatch: 4, Workers: 1}})
+	defer d.Close()
+	publishVersion(t, store, "other-arch", 2)
+	if ok, err := d.PollOnce(); ok || err == nil || !strings.Contains(err.Error(), "other-arch") {
+		t.Fatalf("wrong-arch poll: ok=%v err=%v", ok, err)
+	}
+	if d.CurrentVersion() != 1 || d.Rejected() != 1 {
+		t.Fatalf("after rejection: current %d rejected %d", d.CurrentVersion(), d.Rejected())
+	}
+	if d.Err() == nil {
+		t.Fatal("rejection not recorded")
+	}
+	// Still serving.
+	if _, err := d.Submit(deployInput(3)); err != nil {
+		t.Fatal(err)
+	}
+	// A correct version afterwards swaps in.
+	publishVersion(t, store, "tiny", 3)
+	if ok, err := d.PollOnce(); err != nil || !ok {
+		t.Fatalf("good version after rejection: ok=%v err=%v", ok, err)
+	}
+	if d.CurrentVersion() != 3 {
+		t.Errorf("current %d, want 3", d.CurrentVersion())
+	}
+}
+
+// TestDeploymentWatchPicksUpVersions: the background watcher (the -watch
+// flag's machinery) hot-reloads without any explicit polling.
+func TestDeploymentWatchPicksUpVersions(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{
+		Server: Config{MaxBatch: 4, Workers: 1},
+		Poll:   2 * time.Millisecond,
+	})
+	defer d.Close()
+	d.Watch()
+	publishVersion(t, store, "tiny", 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for d.CurrentVersion() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never swapped to version 2 (current %d, err %v)", d.CurrentVersion(), d.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := d.Submit(deployInput(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeploymentRequiresAVersion: an empty store cannot deploy.
+func TestDeploymentRequiresAVersion(t *testing.T) {
+	store, _ := ckpt.Open(t.TempDir())
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+	if _, err := NewDeployment(r, "tiny", Float32, store, DeployConfig{}); err == nil {
+		t.Fatal("deployment over an empty store must fail")
+	}
+}
+
+// TestDeploymentRejectsCorruptVersionOnce: a bit-rotted newest version is
+// diagnosed and counted exactly once — not re-read and re-verified on
+// every poll tick — and a later clean version still lands.
+func TestDeploymentRejectsCorruptVersionOnce(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{Server: Config{MaxBatch: 4, Workers: 1}})
+	defer d.Close()
+	m := publishVersion(t, store, "tiny", 2)
+	wpath := store.WeightsPath(m.Version)
+	raw, err := os.ReadFile(wpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(wpath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := d.PollOnce(); ok || err == nil {
+		t.Fatalf("corrupt version polled in: ok=%v err=%v", ok, err)
+	}
+	if d.Rejected() != 1 || d.CurrentVersion() != 1 {
+		t.Fatalf("after corrupt poll: rejected %d current %d", d.Rejected(), d.CurrentVersion())
+	}
+	// Second poll must be a cheap no-op, not a second rejection.
+	if ok, err := d.PollOnce(); ok || err != nil {
+		t.Fatalf("corrupt version reconsidered: ok=%v err=%v", ok, err)
+	}
+	if d.Rejected() != 1 {
+		t.Fatalf("corrupt version rejected twice: %d", d.Rejected())
+	}
+	publishVersion(t, store, "tiny", 3)
+	if ok, err := d.PollOnce(); err != nil || !ok {
+		t.Fatalf("clean version after corruption: ok=%v err=%v", ok, err)
+	}
+	if d.CurrentVersion() != 3 {
+		t.Errorf("current %d, want 3", d.CurrentVersion())
+	}
+}
+
+// TestDeploymentCloseWinsOverInFlightInstall: a version install that
+// completes after Close must not resurrect the deployment — the incoming
+// server is shut down, Submit keeps returning ErrClosed.
+func TestDeploymentCloseWinsOverInFlightInstall(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{Server: Config{MaxBatch: 4, Workers: 1}})
+	m, ok, err := store.Poll(0)
+	if err != nil || !ok || m.Version != 1 {
+		t.Fatalf("poll: %+v ok=%v err=%v", m, ok, err)
+	}
+	v, berr := d.build(m)
+	if berr != nil {
+		t.Fatal(berr)
+	}
+	d.Close()
+	d.cutover(v) // the in-flight install landing late
+	if cur := d.CurrentVersion(); cur != 0 {
+		t.Fatalf("closed deployment serves version %d", cur)
+	}
+	if _, err := d.Submit(deployInput(9)); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+	// The orphaned server must be closed too: its Submit rejects.
+	if _, err := v.srv.Submit(deployInput(9)); err == nil {
+		t.Fatal("late-install server left running after Close")
+	}
+}

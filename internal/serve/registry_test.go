@@ -230,3 +230,38 @@ func TestClimateServing(t *testing.T) {
 		t.Fatalf("serving flops %d not in (encoder %d, full %d)", got, enc, full)
 	}
 }
+
+// TestLoadWrongArchNamesOffendingParam is the regression gate for loading
+// a checkpoint into a mismatched architecture: the registry must fail
+// loudly at Load time with the first offending parameter's name in the
+// error — never a silent misload or a shape panic later, in a worker, mid
+// forward pass.
+func TestLoadWrongArchNamesOffendingParam(t *testing.T) {
+	// A checkpoint of the 8-filter variant of the same family: identical
+	// parameter names and count, different tensor sizes — the nastiest
+	// mismatch, because only per-blob validation can catch it.
+	wide := tinyHEP()
+	wide.Filters = 8
+	net := hep.BuildNet(wide, tensor.NewRNG(3))
+	path := saveTinyHEP(t, net)
+
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+	_, err := r.Load("tiny", path, Float32)
+	if err == nil {
+		t.Fatal("checkpoint from a different architecture loaded silently")
+	}
+	if !strings.Contains(err.Error(), "conv") || !strings.Contains(err.Error(), "elements") {
+		t.Errorf("error %q does not name the offending parameter", err)
+	}
+	if !strings.Contains(err.Error(), `"tiny"`) {
+		t.Errorf("error %q does not name the target architecture", err)
+	}
+
+	// Different family entirely (climate): blob-count mismatch, still an
+	// explicit load error.
+	RegisterClimate(r, "clim", climateTestConfig(16))
+	if _, err := r.Load("clim", path, Float32); err == nil {
+		t.Fatal("cross-family checkpoint loaded silently")
+	}
+}
