@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"deep15pf/internal/ckpt"
 	"deep15pf/internal/climate"
 	"deep15pf/internal/core"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/opt"
 	"deep15pf/internal/tensor"
 )
@@ -36,8 +38,27 @@ func main() {
 	ckptAsync := flag.Bool("ckpt-async", true, "flush snapshots on a background writer (staging only on the critical path)")
 	ckptKeep := flag.Int("ckpt-keep", 5, "retain only the newest N versions (0 = keep all)")
 	resume := flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir (bit-exact; empty store = fresh start)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline (per-worker phase lanes) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	metricsEvery := flag.Int("metrics-every", 0, "print a one-line metrics dump every N seconds (0 = off)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
+
+	start := time.Now()
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "climatetrain:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s/debug/pprof (metrics at /metrics)\n", dbg.Addr())
+	}
+	stopDump := obs.Periodic(time.Duration(*metricsEvery)*time.Second, func() {
+		fmt.Println("metrics:", obs.MetricsLine(start, reg))
+	})
+	defer stopDump()
 
 	rng := tensor.NewRNG(*seed)
 	gen := climate.DefaultGenConfig(*size)
@@ -56,6 +77,9 @@ func main() {
 		Solver:     opt.NewAdam(*lr),
 		Seed:       *seed,
 		Prefetch:   *prefetch,
+	}
+	if *traceOut != "" {
+		cfg.Trace = obs.NewTracer(0)
 	}
 	if *ckptDir != "" {
 		cfg.Checkpoint = core.CheckpointConfig{
@@ -93,6 +117,20 @@ func main() {
 			ck.Snapshots, ck.LastVersion, ck.StageSeconds*1e3, ck.WriteSeconds*1e3, ck.ExposedSeconds*1e3, 100*ck.Overlap())
 	}
 	fmt.Printf("final weight fingerprint %016x\n", ckpt.FingerprintWeights(res.FinalWeights))
+	res.PublishMetrics(reg)
+	if *metricsEvery > 0 {
+		fmt.Println("metrics:", obs.MetricsLine(start, reg))
+	}
+	if cfg.Trace != nil {
+		lanes := cfg.Trace.Snapshot()
+		if err := cfg.Trace.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "climatetrain: trace:", err)
+		} else {
+			fmt.Printf("trace: %d lanes written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+				len(lanes), *traceOut)
+		}
+		fmt.Print(obs.Stragglers(lanes))
+	}
 
 	// Evaluate the trained model.
 	rep := problem.NewReplica()

@@ -38,11 +38,16 @@ import (
 	"deep15pf/internal/core"
 	"deep15pf/internal/hep"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/opt"
 	"deep15pf/internal/perf"
 	"deep15pf/internal/serve"
 	"deep15pf/internal/tensor"
 )
+
+// liveMetrics points the periodic -metrics-every dump at whichever
+// server is currently under load.
+var liveMetrics atomic.Pointer[obs.Registry]
 
 func main() {
 	arch := flag.String("arch", "", "registered architecture to serve (required with -checkpoint)")
@@ -63,8 +68,26 @@ func main() {
 	compare := flag.Bool("compare", true, "also run the batch-size-1 baseline and report the speedup")
 	watch := flag.String("watch", "", "serve out of this checkpoint store, hot-reloading new versions (train→serve loop demo)")
 	canary := flag.Float64("canary", 0, "with -watch: route this traffic fraction to an incoming version before cutover")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline (per-worker Queue/Batch/Infer lanes) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
+	metricsEvery := flag.Int("metrics-every", 0, "print a one-line metrics dump every N seconds (0 = off)")
+	windowed := flag.Bool("windowed-latency", false, "latency quantiles over the most recent 64k requests instead of a whole-lifetime uniform sample")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
+
+	start := time.Now()
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug server on http://%s/debug/pprof (runtime metrics at /metrics)\n", dbg.Addr())
+	}
+	stopDump := obs.Periodic(time.Duration(*metricsEvery)*time.Second, func() {
+		fmt.Println("metrics:", obs.MetricsLine(start, liveMetrics.Load()))
+	})
+	defer stopDump()
 
 	registry := serve.DefaultRegistry()
 	demoCfg := hep.ModelConfig{Name: "hep-demo", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
@@ -76,7 +99,8 @@ func main() {
 			prec = serve.Int8
 		}
 		runWatchDemo(registry, demoCfg, *watch, prec, serve.DeployConfig{
-			Server: serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers},
+			Server: serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers,
+				WindowedLatency: *windowed},
 			Canary: *canary,
 		}, *trainEvents, *trainIters, *lr, *requests, *clients, *seed)
 		return
@@ -114,7 +138,14 @@ func main() {
 	}
 
 	inputs := requestPool(lm, 256, *seed+3)
-	cfg := serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers}
+	cfg := serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers,
+		WindowedLatency: *windowed}
+	// The tracer rides only on the dynamic-batching run: lanes are named
+	// per worker index, so sharing one tracer across two servers would
+	// interleave their spans.
+	if *traceOut != "" {
+		cfg.Trace = obs.NewTracer(0)
+	}
 
 	var base serve.Stats
 	if *compare {
@@ -126,6 +157,15 @@ func main() {
 	fmt.Printf("--- dynamic batching: max batch %d, linger %v, %d requests, %d clients ---\n",
 		*batch, *linger, *requests, *clients)
 	dyn := runLoad(lm, cfg, inputs, *clients, *requests)
+	if cfg.Trace != nil {
+		lanes := cfg.Trace.Snapshot()
+		if err := cfg.Trace.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "deepserve: trace:", err)
+		} else {
+			fmt.Printf("trace: %d lanes written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+				len(lanes), *traceOut)
+		}
+	}
 
 	if *compare {
 		speedup := dyn.Throughput / base.Throughput
@@ -318,6 +358,7 @@ func runLoad(lm *serve.LoadedModel, cfg serve.Config, inputs []*serve.LoadInput,
 		fatalf("%v", err)
 	}
 	defer s.Close()
+	liveMetrics.Store(s.Metrics()) // the periodic dump follows the active server
 	// Warm plan buckets and steady-state pools before measuring.
 	warm := total / 10
 	if warm > 2000 {

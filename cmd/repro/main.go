@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1 table2 fig5 fig6 fig7 fullsystem fig8 hepscience climscience resilience ablations all)")
+	exp := flag.String("exp", "all", "experiment id (table1 table2 fig5 fig6 fig7 fullsystem fig8 hepscience climscience resilience ablations checkpoint timeline all)")
 	full := flag.Bool("full", false, "use larger (slower) configurations")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	out := flag.String("o", "", "also write the report to this file")
@@ -45,6 +45,7 @@ func main() {
 		"resilience":  harness.Resilience,
 		"ablations":   harness.Ablations,
 		"checkpoint":  harness.Checkpoint,
+		"timeline":    harness.Timeline,
 	}
 
 	var body string

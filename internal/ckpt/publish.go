@@ -1,0 +1,17 @@
+package ckpt
+
+import "deep15pf/internal/obs"
+
+// Publish merges this checkpoint account into a metrics registry under
+// the "ckpt." prefix. Counts and seconds add; the version and overlap
+// gauges track the latest published account (version via Max, so
+// publishing writer stats out of order still reports the newest
+// snapshot). A nil registry is a no-op.
+func (s Stats) Publish(r *obs.Registry) {
+	r.Counter("ckpt.snapshots").Add(s.Snapshots)
+	r.Gauge("ckpt.last_version").Max(float64(s.LastVersion))
+	r.Gauge("ckpt.stage_seconds").Add(s.StageSeconds)
+	r.Gauge("ckpt.write_seconds").Add(s.WriteSeconds)
+	r.Gauge("ckpt.exposed_seconds").Add(s.ExposedSeconds)
+	r.Gauge("ckpt.overlap").Set(s.Overlap())
+}

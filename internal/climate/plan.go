@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/tensor"
 )
 
@@ -42,7 +43,15 @@ type TrainPlan struct {
 	notifyEnc, notifyDec   func(t int)
 	notifyConf             func(t int)
 	notifyClass, notifyBox func(t int)
+
+	// lane records Fwd (encoder through loss) and Bwd (gradient fan-in)
+	// spans; nil = untraced. The split lives here because the branching
+	// step is one opaque call from the replica's point of view.
+	lane *obs.Lane
 }
+
+// SetTraceLane attaches a trace lane to the plan's step.
+func (tp *TrainPlan) SetTraceLane(l *obs.Lane) { tp.lane = l }
 
 // NewTrainPlan compiles a training plan for batches of exactly batch
 // samples. arena == nil creates a private arena; replicas with several
@@ -122,6 +131,7 @@ func (tp *TrainPlan) StepStream(x *tensor.Tensor, boxes [][]Box, labeled []bool,
 		panic(fmt.Sprintf("climate: train plan compiled for batch %d, got %d", tp.batch, x.Shape[0]))
 	}
 	tp.gradDone = gradDone
+	tp.lane.Begin(obs.PhaseFwd)
 	feat := tp.enc.Forward(x)
 	out := Output{
 		Feat:  feat,
@@ -133,8 +143,10 @@ func (tp *TrainPlan) StepStream(x *tensor.Tensor, boxes [][]Box, labeled []bool,
 		out.Recon = tp.dec.Forward(feat)
 	}
 	parts := tp.net.lossInto(out, x, boxes, labeled, w, &tp.grads, &tp.sc)
+	tp.lane.End(obs.PhaseFwd)
 
 	// Backward fan-in, in Net.Backward's order: heads, decoder, encoder.
+	tp.lane.Begin(obs.PhaseBwd)
 	tp.dfeat.Zero()
 	tensor.Axpy(1, tp.conf.BackwardStream(tp.grads.Conf, tp.notifyConf).Data, tp.dfeat.Data)
 	tensor.Axpy(1, tp.class.BackwardStream(tp.grads.Class, tp.notifyClass).Data, tp.dfeat.Data)
@@ -149,6 +161,7 @@ func (tp *TrainPlan) StepStream(x *tensor.Tensor, boxes [][]Box, labeled []bool,
 		}
 	}
 	tp.enc.BackwardStream(tp.dfeat, tp.notifyEnc)
+	tp.lane.End(obs.PhaseBwd)
 	tp.gradDone = nil
 	return parts
 }

@@ -6,6 +6,7 @@ import (
 	"deep15pf/internal/core"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/tensor"
 )
 
@@ -70,6 +71,20 @@ type climReplica struct {
 	// labeled flags are staged per slot by the background prefetcher.
 	pipe   *data.Pipeline[*climSlot]
 	ingest data.IngestStats // blocking-path account (pipeline keeps its own)
+
+	// lane is this worker's trace lane (core.TracedReplica); nil when
+	// untraced. Fwd/Bwd spans are recorded inside the composed TrainPlan
+	// (the only place the step's two halves are separable).
+	lane *obs.Lane
+}
+
+// SetTraceLane implements core.TracedReplica, propagating to any plans
+// already compiled.
+func (r *climReplica) SetTraceLane(l *obs.Lane) {
+	r.lane = l
+	for _, tp := range r.plans {
+		tp.SetTraceLane(l)
+	}
 }
 
 // climSlot is one staged batch in the prefetch ring: the 16-channel field
@@ -113,8 +128,10 @@ func (r *climReplica) ComputeGradientsStream(idx []int, gradDone func(layer int)
 		r.labeled = make([]bool, n)
 	}
 	boxes, labeled := r.boxes[:n], r.labeled[:n]
+	r.lane.Begin(obs.PhaseIngest)
 	t0 := time.Now()
 	r.stageInto(x, boxes, labeled, idx)
+	r.lane.End(obs.PhaseIngest)
 	dt := time.Since(t0).Seconds()
 	r.ingest.Batches++
 	r.ingest.Samples += int64(n)
@@ -129,6 +146,7 @@ func (r *climReplica) computeOn(x *tensor.Tensor, boxes [][]Box, labeled []bool,
 	tp := r.plans[n]
 	if tp == nil {
 		tp = r.net.NewTrainPlan(n, r.arena)
+		tp.SetTraceLane(r.lane)
 		r.plans[n] = tp
 	}
 	parts := tp.StepStream(x, boxes, labeled, r.weights, gradDone)
@@ -157,11 +175,19 @@ func (r *climReplica) StartIngest(batches [][]int, lookahead int) {
 		st.Batch(maxN)
 		slots[i] = &climSlot{stage: st, boxes: make([][]Box, maxN), labeled: make([]bool, maxN)}
 	}
+	// The prefetcher's staging spans land on a sibling lane (see the hep
+	// replica): the timeline shows staging running beside compute.
+	ingLane := r.lane.Tracer().Lane(r.lane.Name() + ".ingest")
+	staged := 0
 	r.pipe = data.NewPipeline(slots, data.SliceSource(batches),
 		func(dst *climSlot, idx []int) error {
+			ingLane.SetIter(staged)
+			staged++
+			ingLane.Begin(obs.PhaseIngest)
 			dst.n = len(idx)
 			dst.x = dst.stage.Batch(dst.n)
 			r.stageInto(dst.x, dst.boxes[:dst.n], dst.labeled[:dst.n], idx)
+			ingLane.End(obs.PhaseIngest)
 			return nil
 		})
 	r.pipe.Start()
@@ -169,7 +195,9 @@ func (r *climReplica) StartIngest(batches [][]int, lookahead int) {
 
 // ComputeStagedStream implements core.PipelineReplica.
 func (r *climReplica) ComputeStagedStream(gradDone func(layer int)) float64 {
+	r.lane.Begin(obs.PhaseIngest)
 	slot, ok := r.pipe.Next()
+	r.lane.End(obs.PhaseIngest)
 	if !ok {
 		if err := r.pipe.Err(); err != nil {
 			panic("climate: ingest pipeline: " + err.Error())

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"deep15pf/internal/comm"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/perf"
 	"deep15pf/internal/sim"
 	"deep15pf/internal/tensor"
@@ -63,6 +64,16 @@ type RunConfig struct {
 
 	// Failure optionally degrades one node mid-run (§VIII-A).
 	Failure *FailureSpec
+
+	// Trace, when non-nil, receives the modelled timeline as phase spans:
+	// one lane per group ("g<k>"), each iteration leaving Ingest (exposed
+	// read), Fwd/Bwd (compute split by NetProfile.FwdShare), CkptStage
+	// (exposed snapshot write) and CommWait (whatever extended the
+	// iteration past its compute floor) spans with simulated-seconds
+	// timestamps (1 sim second = 1e9 ns). The emission is a pure function
+	// of the run's deterministic timeline — same seed, same spans — which
+	// is what lets the harness pin straggler-skew reports in tests.
+	Trace *obs.Tracer
 }
 
 // FailureSpec injects a straggling or dead node.
@@ -170,6 +181,13 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 	}
 
 	durations := make([][]float64, cfg.Groups)
+	lanes := make([]*obs.Lane, cfg.Groups)
+	for g := range lanes {
+		lanes[g] = cfg.Trace.Lane(fmt.Sprintf("g%d", g)) // nil tracer → nil lanes
+	}
+	// simNs maps the model's simulated seconds onto the tracer's
+	// nanosecond span clock.
+	simNs := func(t float64) int64 { return int64(t * 1e9) }
 	halted := false
 	var commSeconds, exposedSeconds float64
 	var ioSeconds, exposedIOSeconds float64
@@ -184,6 +202,10 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 		durations[g] = append(durations[g], end-tStart)
 		if over := (end - tStart) - computePlusCkpt; over > 0 {
 			exposedSeconds += over
+			// The stretch past the compute floor is the modelled comm on
+			// the critical path — the span the real workers record while
+			// blocked in await/broadcast.
+			lanes[g].Record(obs.PhaseCommWait, simNs(end-over), simNs(end))
 		}
 		if iter+1 < cfg.Iterations {
 			startIter(g, iter+1, end)
@@ -241,6 +263,27 @@ func Simulate(m MachineSpec, p NetProfile, cfg RunConfig) RunResult {
 		ioSeconds += ioTime
 		exposedIOSeconds += exposedIO
 		floor := exposedIO + compute + checkpoint
+
+		// Emit the iteration's modelled phase spans. The timeline is laid
+		// out the way the real lockstep loop experiences it: exposed
+		// ingest, then forward/backward (split by FwdShare), then the
+		// exposed checkpoint stall; CommWait is recorded at finishIter
+		// once the critical-path overhang is known.
+		if lane := lanes[g]; lane != nil {
+			lane.SetIter(iter)
+			t := tStart
+			if exposedIO > 0 {
+				lane.Record(obs.PhaseIngest, simNs(t), simNs(t+exposedIO))
+				t += exposedIO
+			}
+			fwd := compute * p.FwdShare
+			lane.Record(obs.PhaseFwd, simNs(t), simNs(t+fwd))
+			lane.Record(obs.PhaseBwd, simNs(t+fwd), simNs(t+compute))
+			t += compute
+			if checkpoint > 0 {
+				lane.Record(obs.PhaseCkptStage, simNs(t), simNs(t+checkpoint))
+			}
+		}
 
 		// Gradient allreduce per trainable layer (§III-D, MLSL), and the
 		// time each layer's PS exchange may start. Lockstep: every

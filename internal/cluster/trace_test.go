@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"deep15pf/internal/obs"
+)
+
+// TestSimulatedTraceSpans: a traced run leaves one lane per group with
+// the full modelled phase set, and tracing never perturbs the timeline.
+func TestSimulatedTraceSpans(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	cfg := RunConfig{
+		Nodes: 16, Groups: 2, BatchPerGroup: 64, Iterations: 6, Seed: 7,
+		IngestIO: true, CheckpointEvery: 2,
+	}
+	base := Simulate(m, p, cfg)
+	cfg.Trace = obs.NewTracer(0)
+	traced := Simulate(m, p, cfg)
+	if traced.WallTime != base.WallTime || traced.Throughput != base.Throughput {
+		t.Fatal("tracing perturbed the simulated timeline")
+	}
+
+	snap := cfg.Trace.Snapshot()
+	if len(snap) != cfg.Groups {
+		t.Fatalf("got %d lanes, want %d groups", len(snap), cfg.Groups)
+	}
+	for g, ls := range snap {
+		if want := fmt.Sprintf("g%d", g); ls.Name != want {
+			t.Fatalf("lane %d named %q, want %q", g, ls.Name, want)
+		}
+		var counts [obs.NumPhases]int
+		var fwd, bwd float64
+		for _, sp := range ls.Spans {
+			counts[sp.Phase]++
+			if sp.Dur() < 0 {
+				t.Fatalf("%s: negative span %+v", ls.Name, sp)
+			}
+			switch sp.Phase {
+			case obs.PhaseFwd:
+				fwd += sp.Seconds()
+			case obs.PhaseBwd:
+				bwd += sp.Seconds()
+			}
+		}
+		iters := cfg.Iterations
+		if counts[obs.PhaseFwd] != iters || counts[obs.PhaseBwd] != iters {
+			t.Errorf("%s: fwd=%d bwd=%d spans, want %d each", ls.Name, counts[obs.PhaseFwd], counts[obs.PhaseBwd], iters)
+		}
+		if counts[obs.PhaseIngest] != iters {
+			t.Errorf("%s: %d ingest spans, want %d (IngestIO on)", ls.Name, counts[obs.PhaseIngest], iters)
+		}
+		// CheckpointEvery=2 snapshots at iters 2 and 4 (never iter 0).
+		if counts[obs.PhaseCkptStage] != 2 {
+			t.Errorf("%s: %d ckpt spans, want 2", ls.Name, counts[obs.PhaseCkptStage])
+		}
+		if counts[obs.PhaseCommWait] == 0 {
+			t.Errorf("%s: no comm-wait spans — the hybrid PS exchange must extend iterations", ls.Name)
+		}
+		// The Fwd/Bwd split mirrors the profile's share of compute.
+		if fwd <= 0 || bwd <= 0 {
+			t.Fatalf("%s: empty compute spans", ls.Name)
+		}
+		// 1e-6 tolerance: span endpoints are quantised to whole ns.
+		if got := fwd / (fwd + bwd); math.Abs(got-p.FwdShare) > 1e-6 {
+			t.Errorf("%s: forward share %.4f, want %.4f", ls.Name, got, p.FwdShare)
+		}
+	}
+}
+
+// TestSimulatedStragglerSkewPinned: the straggler report over the DES
+// model's spans is a pure function of the seed — pin it. A slowed node
+// in group 0 must dominate the skew while it drags the group barrier.
+func TestSimulatedStragglerSkewPinned(t *testing.T) {
+	m := CoriPhaseII()
+	p := HEPProfile()
+	tr := obs.NewTracer(0)
+	Simulate(m, p, RunConfig{
+		Nodes: 16, Groups: 2, BatchPerGroup: 64, Iterations: 8, Seed: 7,
+		Trace:   tr,
+		Failure: &FailureSpec{Group: 0, StartIter: 3, Duration: 2, Slowdown: 3},
+	})
+	rep := obs.Stragglers(tr.Snapshot())
+	if len(rep.Iters) != 8 {
+		t.Fatalf("report covers %d iters, want 8", len(rep.Iters))
+	}
+	for _, it := range rep.Iters {
+		if it.Lanes != 2 {
+			t.Fatalf("iter %d saw %d lanes, want 2", it.Iter, it.Lanes)
+		}
+	}
+	// The slowdown triples group 0's compute for iters 3-4, so the worst
+	// skew lands there and dwarfs the jitter-only iterations.
+	if rep.WorstIter != 3 && rep.WorstIter != 4 {
+		t.Errorf("worst iter = %d, want the slowed window (3 or 4)", rep.WorstIter)
+	}
+	jitterOnly := rep.Iters[0].Skew
+	if rep.MaxSkew < 10*jitterOnly {
+		t.Errorf("slowed skew %.4g not dominant over jitter skew %.4g", rep.MaxSkew, jitterOnly)
+	}
+	// Determinism pin: same seed, same report, bit for bit.
+	tr2 := obs.NewTracer(0)
+	Simulate(m, p, RunConfig{
+		Nodes: 16, Groups: 2, BatchPerGroup: 64, Iterations: 8, Seed: 7,
+		Trace:   tr2,
+		Failure: &FailureSpec{Group: 0, StartIter: 3, Duration: 2, Slowdown: 3},
+	})
+	rep2 := obs.Stragglers(tr2.Snapshot())
+	if rep.MaxSkew != rep2.MaxSkew || rep.MeanSkew != rep2.MeanSkew || rep.WorstIter != rep2.WorstIter {
+		t.Fatalf("straggler report not deterministic: %+v vs %+v", rep, rep2)
+	}
+}

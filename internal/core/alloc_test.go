@@ -12,6 +12,7 @@ import (
 
 	"deep15pf/internal/comm"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/opt"
 	"deep15pf/internal/ps"
 	"deep15pf/internal/tensor"
@@ -131,6 +132,50 @@ func TestOverlappedWorkerSteadyStateAllocFree(t *testing.T) {
 	if n := testing.AllocsPerRun(30, iterate); n != 0 {
 		t.Fatalf("overlapped worker steady state allocates %.1f per iteration; "+
 			"codec scratch and async-handle buffers must come from preallocated storage", n)
+	}
+}
+
+// TestTracedWorkerSteadyStateAllocFree: the overlapped steady state with a
+// live trace lane attached — span recording (SetIter, Begin/End around
+// compute, comm wait, solver apply) must not reintroduce allocations. This
+// is the acceptance gate for the tracer's zero-alloc-on-hot-path contract
+// at the trainer level (internal/obs gates the primitives themselves).
+func TestTracedWorkerSteadyStateAllocFree(t *testing.T) {
+	p := newAllocProblem(32)
+	rep := p.NewReplica()
+	fleet := ps.NewFleet(rep.TrainableLayers(), opt.NewSGD(0.01, 0.9))
+	group := comm.NewGroup(1)
+	gw := newGroupWorker(0, group, rep, nil, true)
+	gw.setLane(obs.NewTracer(0).Lane("w0"))
+	gw.ex = newExchanger(fleet, 0, gw.layers, gw.handles, "int8", 1)
+	defer gw.ex.close()
+
+	fleet.FetchAll(0)
+	solver := opt.NewSGD(0.01, 0.9)
+	idx := []int{0, 1, 2, 3}
+	it := 0
+	iterate := func() {
+		gw.lane.SetIter(it)
+		it++
+		rep.ZeroGrad()
+		gw.compute(idx)
+		group.GatherInto(0, 0, 0, gw.lossBuf)
+		gw.lane.Begin(obs.PhaseCommWait)
+		gw.ex.await()
+		gw.lane.End(obs.PhaseCommWait)
+		gw.lane.Begin(obs.PhaseOptApply)
+		for _, params := range gw.lparams {
+			solver.Step(params)
+		}
+		gw.lane.End(obs.PhaseOptApply)
+		gw.broadcastWeights()
+	}
+	for i := 0; i < 3; i++ {
+		iterate()
+	}
+	if n := testing.AllocsPerRun(30, iterate); n != 0 {
+		t.Fatalf("traced worker steady state allocates %.1f per iteration; "+
+			"span recording must stay on preallocated lane storage", n)
 	}
 }
 

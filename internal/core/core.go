@@ -26,6 +26,7 @@ import (
 	"deep15pf/internal/comm"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/opt"
 	"deep15pf/internal/ps"
 )
@@ -100,6 +101,14 @@ type IngestReporter interface {
 	IngestStats() data.IngestStats
 }
 
+// TracedReplica is a Replica that records its own phase spans (Ingest,
+// Fwd, Bwd) on a per-worker trace lane. The trainers hand each replica
+// its rank's lane before training starts; replicas without the method
+// still train, they just leave those phases blank in the timeline.
+type TracedReplica interface {
+	SetTraceLane(l *obs.Lane)
+}
+
 // BatchSource yields batch index sets (typically epoch-shuffled).
 type BatchSource interface {
 	Next(size int) []int
@@ -153,6 +162,13 @@ type Config struct {
 	// progress cursors, and bit-exact resume from the newest one. The zero
 	// value disables both.
 	Checkpoint CheckpointConfig
+
+	// Trace attaches the run to a phase tracer: every worker records
+	// Ingest/Fwd/Bwd/CommWait/OptApply/CkptStage spans on its own lane
+	// (sync ranks "w<r>", hybrid "g<g>.w<r>", scheduled "g<g>"), exportable
+	// as a Chrome trace timeline. nil — the default — records nothing and
+	// costs one branch per span site; tracing never changes the trajectory.
+	Trace *obs.Tracer
 }
 
 func (c Config) validate() {
@@ -210,6 +226,20 @@ type Result struct {
 	// write time versus the stall the training loop actually saw — the
 	// output-I/O mirror of Ingest. Zero when checkpointing is off.
 	Ckpt ckpt.Stats
+}
+
+// PublishMetrics merges the run's accounts into a metrics registry: the
+// wire, ingest and checkpoint adapters plus top-line training gauges
+// ("train.iters", "train.final_loss", "train.mean_staleness"). One call
+// per completed run; counts add across runs, gauges carry the latest.
+// A nil registry is a no-op.
+func (r Result) PublishMetrics(reg *obs.Registry) {
+	r.Wire.Publish(reg)
+	r.Ingest.Publish(reg)
+	r.Ckpt.Publish(reg)
+	reg.Counter("train.iters").Add(int64(len(r.Stats)))
+	reg.Gauge("train.final_loss").Set(r.FinalLoss)
+	reg.Gauge("train.mean_staleness").Set(r.MeanStaleness)
 }
 
 // ExtractWeights copies a layer set's current parameter values into the

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"deep15pf/internal/comm"
 	"deep15pf/internal/data"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/ps"
 )
 
@@ -126,6 +128,7 @@ func runGroup(p Problem, cfg Config, g, start int, fleet *ps.Fleet, ck *checkpoi
 			defer wg.Done()
 			rep := replicas[rank]
 			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
+			gw.setLane(cfg.Trace.Lane(fmt.Sprintf("g%d.w%d", g, rank)))
 			gw.pipe = startIngest(rep, batches[start:], rank, w, cfg.Prefetch)
 			if gw.pipe != nil {
 				defer gw.pipe.StopIngest()
@@ -152,6 +155,7 @@ func runGroup(p Problem, cfg Config, g, start int, fleet *ps.Fleet, ck *checkpoi
 
 			shards := shardCache{rank: rank, workers: w}
 			for it := start; it < cfg.Iterations; it++ {
+				gw.lane.SetIter(it)
 				lo, hi := shards.shard(len(batches[it]))
 				idx := batches[it][lo:hi]
 				rep.ZeroGrad()
@@ -163,7 +167,9 @@ func runGroup(p Problem, cfg Config, g, start int, fleet *ps.Fleet, ck *checkpoi
 				// pushes, which land the fresh model directly in the root
 				// replica's parameters.
 				if rank == 0 {
+					gw.lane.Begin(obs.PhaseCommWait)
 					stale := gw.ex.await()
+					gw.lane.End(obs.PhaseCommWait)
 					var lossSum float64
 					for _, v := range lossAll {
 						lossSum += v
@@ -178,11 +184,16 @@ func runGroup(p Problem, cfg Config, g, start int, fleet *ps.Fleet, ck *checkpoi
 					// (the deterministic config) every push has completed,
 					// so the fleet is exactly the post-iteration state.
 					if g == 0 && ck.due(it+1) {
+						gw.lane.Begin(obs.PhaseCkptStage)
 						ck.fleetSnapshot(it+1, nil, nil)
+						gw.lane.End(obs.PhaseCkptStage)
 					}
 				}
-				// Broadcast the fresh model to the group.
+				// Broadcast the fresh model to the group (an exposed
+				// collective wait on every rank).
+				gw.lane.Begin(obs.PhaseCommWait)
 				gw.broadcastWeights()
+				gw.lane.End(obs.PhaseCommWait)
 			}
 		}(rank)
 	}

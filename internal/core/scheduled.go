@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/ps"
 )
 
@@ -78,10 +79,15 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 	pipes := make([]PipelineReplica, cfg.Groups)
 	xfers := make([][]*layerXfer, cfg.Groups)      // per group, per layer wire state
 	groupParams := make([][]*nn.Param, cfg.Groups) // per group flat replica params (snapshot staging)
+	lanes := make([]*obs.Lane, cfg.Groups)
 	iters := make([]int, cfg.Groups)
 	skip := make([]int, cfg.Groups) // schedule events to replay past (resume)
 	for g := range replicas {
 		replicas[g] = p.NewReplica()
+		lanes[g] = cfg.Trace.Lane(fmt.Sprintf("g%d", g))
+		if tr, ok := replicas[g].(TracedReplica); ok {
+			tr.SetTraceLane(lanes[g])
+		}
 		// Pre-draw every iteration's batch from the group's own source —
 		// the same per-group RNG sequence the lazy draw consumed, so
 		// trajectories are unchanged — which is what lets the prefetcher
@@ -143,6 +149,7 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 			continue // schedule longer than requested training
 		}
 		rep := replicas[g]
+		lanes[g].SetIter(iters[g])
 		idx := batches[g][iters[g]]
 		rep.ZeroGrad()
 		var loss float64
@@ -152,6 +159,7 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 			loss = rep.ComputeGradients(idx)
 		}
 		var stale float64
+		lanes[g].Begin(obs.PhaseCommWait)
 		for t, x := range xfers[g] {
 			for i, prm := range x.params {
 				x.codec.Encode(x.wires[i], prm.Grad.Data)
@@ -159,6 +167,7 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 			res := fleet.PushWires(g, t, x.codec, x.wires, x.weights)
 			stale += float64(res.Staleness)
 		}
+		lanes[g].End(obs.PhaseCommWait)
 		stats = append(stats, IterStat{
 			Seq:       seqNo,
 			Group:     g,
@@ -170,7 +179,9 @@ func TrainScheduled(p Problem, cfg Config, schedule []ScheduledEvent) Result {
 		iters[g]++
 		updates++
 		if ck.due(updates) {
+			lanes[g].Begin(obs.PhaseCkptStage)
 			ck.fleetSnapshot(updates, iters, groupParams)
+			lanes[g].End(obs.PhaseCkptStage)
 		}
 	}
 	res := finalize(stats, cfg.Groups)

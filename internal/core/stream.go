@@ -6,6 +6,7 @@ import (
 	"deep15pf/internal/comm"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/ps"
 )
 
@@ -145,6 +146,16 @@ type groupWorker struct {
 	overlap bool
 	notify  func(layer int) // prebuilt gradDone closure
 	lossBuf []float64       // rank 0 only
+	lane    *obs.Lane       // this rank's trace lane (nil = untraced)
+}
+
+// setLane attaches this rank's trace lane and hands it to the replica so
+// it can record its own Ingest/Fwd/Bwd spans. Called once at setup.
+func (gw *groupWorker) setLane(l *obs.Lane) {
+	gw.lane = l
+	if tr, ok := gw.rep.(TracedReplica); ok {
+		tr.SetTraceLane(l)
+	}
 }
 
 func newGroupWorker(rank int, group *comm.Group, rep Replica, ex *exchanger, overlap bool) *groupWorker {
@@ -213,11 +224,13 @@ func (gw *groupWorker) compute(idx []int) float64 {
 	// Non-root ranks must not touch their gradient buffers (next ZeroGrad)
 	// until the reductions land; the root's pushers wait on its behalf.
 	if gw.ex == nil {
+		gw.lane.Begin(obs.PhaseCommWait)
 		for t := range gw.handles {
 			for i := range gw.handles[t] {
 				gw.handles[t][i].Wait()
 			}
 		}
+		gw.lane.End(obs.PhaseCommWait)
 	}
 	return loss
 }

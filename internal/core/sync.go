@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"deep15pf/internal/comm"
+	"deep15pf/internal/obs"
 )
 
 // TrainSync runs fully synchronous data-parallel training (the paper's
@@ -69,6 +71,7 @@ func TrainSync(p Problem, cfg Config) Result {
 			defer wg.Done()
 			rep := replicas[rank]
 			gw := newGroupWorker(rank, group, rep, nil, cfg.Overlap)
+			gw.setLane(cfg.Trace.Lane(fmt.Sprintf("w%d", rank)))
 			gw.pipe = startIngest(rep, batches[start:], rank, w, cfg.Prefetch)
 			if gw.pipe != nil {
 				defer gw.pipe.StopIngest()
@@ -82,6 +85,7 @@ func TrainSync(p Problem, cfg Config) Result {
 			}
 			shards := shardCache{rank: rank, workers: w}
 			for it := start; it < cfg.Iterations; it++ {
+				gw.lane.SetIter(it)
 				lo, hi := shards.shard(len(batches[it]))
 				idx := batches[it][lo:hi]
 				rep.ZeroGrad()
@@ -99,13 +103,17 @@ func TrainSync(p Problem, cfg Config) Result {
 				}
 				// Identical state + identical gradients → identical
 				// steps: replicas remain bitwise synchronised.
+				gw.lane.Begin(obs.PhaseOptApply)
 				for _, l := range gw.layers {
 					solver.Step(l.Params())
 				}
+				gw.lane.End(obs.PhaseOptApply)
 				// Rank 0 checkpoints the lockstep state at the boundary
 				// (its own replica and solver — nothing shared, no race).
 				if rank == 0 && ck.due(it+1) {
+					gw.lane.Begin(obs.PhaseCkptStage)
 					ck.syncSnapshot(it+1, params, solver)
+					gw.lane.End(obs.PhaseCkptStage)
 				}
 			}
 		}(rank)

@@ -1,0 +1,15 @@
+package data
+
+import "deep15pf/internal/obs"
+
+// Publish merges this account into a metrics registry under the
+// "ingest." prefix. Counts add (publishing two replica accounts is the
+// same as publishing their Add), the overlap gauge overwrites with the
+// latest value. A nil registry is a no-op.
+func (s IngestStats) Publish(r *obs.Registry) {
+	r.Counter("ingest.batches").Add(s.Batches)
+	r.Counter("ingest.samples").Add(s.Samples)
+	r.Gauge("ingest.stage_seconds").Add(s.StageSeconds)
+	r.Gauge("ingest.wait_seconds").Add(s.WaitSeconds)
+	r.Gauge("ingest.overlap").Set(s.Overlap())
+}

@@ -174,6 +174,7 @@ func All(opts Options) string {
 		Fig6(opts), Fig7(opts), FullSystem(opts),
 		Fig8(opts), HEPScience(opts), ClimateScience(opts),
 		Resilience(opts), Ablations(opts), Checkpoint(opts),
+		Timeline(opts),
 	}
 	var b strings.Builder
 	for _, r := range reports {

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deep15pf/internal/core"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/obs"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/tensor"
+)
+
+func TestTimelineReport(t *testing.T) {
+	r := Timeline(testOpts())
+	for _, want := range []string{"straggler skew:", "Fwd", "Bwd", "OptApply", "overlap"} {
+		if !strings.Contains(r.Body, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+// TestSimStragglersPinned: the harness straggler scenario runs on the
+// deterministic cluster model, so the report is a pure function of the
+// seed — the same call must reproduce it bit for bit, the slowed window
+// must own the worst iteration, and every iteration must see both lanes.
+func TestSimStragglersPinned(t *testing.T) {
+	rep := SimStragglers(testOpts())
+	if len(rep.Iters) != 8 {
+		t.Fatalf("report covers %d iters, want 8", len(rep.Iters))
+	}
+	for _, it := range rep.Iters {
+		if it.Lanes != 2 {
+			t.Fatalf("iter %d saw %d lanes, want 2", it.Iter, it.Lanes)
+		}
+	}
+	if rep.WorstIter != 3 && rep.WorstIter != 4 {
+		t.Errorf("worst iter = %d, want the 3x-slowdown window (3 or 4)", rep.WorstIter)
+	}
+	if rep.MaxSkew <= 0 || rep.MeanSkew <= 0 || rep.MaxSkew < rep.MeanSkew {
+		t.Errorf("degenerate skew stats: %+v", rep)
+	}
+	again := SimStragglers(testOpts())
+	if rep.MaxSkew != again.MaxSkew || rep.MeanSkew != again.MeanSkew || rep.WorstIter != again.WorstIter {
+		t.Fatalf("straggler report not deterministic:\n%v\nvs\n%v", rep, again)
+	}
+}
+
+// TestSpanOverlapMatchesPipelineTimers: the span-derived ingest account
+// must agree with the pipeline's own timers — the spans wrap exactly the
+// staging and waiting regions the timers measure, so staged and exposed
+// seconds track each other and both overlap fractions land together.
+// This is the assertion that lets spans replace the hand-threaded timers.
+func TestSpanOverlapMatchesPipelineTimers(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	cfg := hep.ModelConfig{Name: "overlap-x", ImageSize: 16, Filters: 8, ConvUnits: 2, Classes: 2}
+	ds := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(16), 48, 0.5, rng)
+	problem := hep.NewTrainingProblem(ds, cfg, 3)
+	tr := obs.NewTracer(0)
+	res := core.TrainSync(problem, core.Config{
+		Groups: 1, WorkersPerGroup: 2, GroupBatch: 8, Iterations: 12,
+		Solver: opt.NewSGD(0.02, 0.9), Seed: 42, Prefetch: 1, Trace: tr,
+	})
+	o := IngestOverlapFromSpans(tr.Snapshot())
+	st := res.Ingest
+	if o.StagedSeconds <= 0 || st.StageSeconds <= 0 {
+		t.Fatalf("no staging recorded: spans %+v timers %+v", o, st)
+	}
+	// Loose relative tolerance: the span and the timer bracket the same
+	// code region but not the same instructions, and a scheduler
+	// preemption can land between them.
+	relClose := func(a, b float64) bool {
+		diff := math.Abs(a - b)
+		scale := math.Max(math.Max(a, b), 2e-3) // 2ms absolute floor
+		return diff <= 0.5*scale
+	}
+	if !relClose(o.StagedSeconds, st.StageSeconds) {
+		t.Errorf("staged seconds diverge: spans %.4f vs timers %.4f", o.StagedSeconds, st.StageSeconds)
+	}
+	if !relClose(o.ExposedSeconds, st.WaitSeconds) {
+		t.Errorf("exposed seconds diverge: spans %.4f vs timers %.4f", o.ExposedSeconds, st.WaitSeconds)
+	}
+	if math.Abs(o.Overlap()-st.Overlap()) > 0.35 {
+		t.Errorf("overlap fractions diverge: spans %.2f vs timers %.2f", o.Overlap(), st.Overlap())
+	}
+	if o.HiddenSeconds < 0 || o.HiddenSeconds > o.StagedSeconds+1e-9 {
+		t.Errorf("hidden %.4f outside [0, staged %.4f]", o.HiddenSeconds, o.StagedSeconds)
+	}
+}

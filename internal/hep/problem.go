@@ -6,6 +6,7 @@ import (
 	"deep15pf/internal/core"
 	"deep15pf/internal/data"
 	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
 	"deep15pf/internal/tensor"
 )
 
@@ -85,7 +86,17 @@ type replica struct {
 	// or the prefetch goroutine (pipeline path), with goroutine start/stop
 	// ordering the handoff — so one buffer suffices.
 	ioScratch []byte
+
+	// lane is this worker's trace lane (core.TracedReplica); nil when
+	// untraced. Blocking-path staging and pipe waits record Ingest on it,
+	// the planned forward/backward record Fwd/Bwd. The prefetch goroutine
+	// records its staging work on a "<lane>.ingest" sibling lane so the
+	// timeline shows staging overlapping compute.
+	lane *obs.Lane
 }
+
+// SetTraceLane implements core.TracedReplica.
+func (r *replica) SetTraceLane(l *obs.Lane) { r.lane = l }
 
 // hepSlot is one staged batch in the prefetch ring: an arena-backed image
 // tensor plus its labels, pre-sized to the run's largest shard.
@@ -133,10 +144,12 @@ func (r *replica) ComputeGradientsStream(idx []int, gradDone func(layer int)) fl
 		r.labels = make([]int, n)
 	}
 	labels := r.labels[:n]
+	r.lane.Begin(obs.PhaseIngest)
 	t0 := time.Now()
 	if err := r.stageInto(x, labels, idx); err != nil {
 		panic("hep: batch staging failed: " + err.Error())
 	}
+	r.lane.End(obs.PhaseIngest)
 	dt := time.Since(t0).Seconds()
 	r.ingest.Batches++
 	r.ingest.Samples += int64(n)
@@ -151,9 +164,13 @@ func (r *replica) computeOn(x *tensor.Tensor, labels []int, gradDone func(layer 
 	n := x.Shape[0]
 	grad := r.gradStage.Batch(n)
 	plan := r.plans.Plan(n)
+	r.lane.Begin(obs.PhaseFwd)
 	logits := plan.Forward(x)
 	loss := nn.SoftmaxCrossEntropyInto(logits, labels, grad)
+	r.lane.End(obs.PhaseFwd)
+	r.lane.Begin(obs.PhaseBwd)
 	plan.BackwardStream(grad, gradDone)
+	r.lane.End(obs.PhaseBwd)
 	return loss
 }
 
@@ -181,11 +198,22 @@ func (r *replica) StartIngest(batches [][]int, lookahead int) {
 		st.Batch(maxN) // pre-size: all later Batch(n≤maxN) calls are realloc-free
 		slots[i] = &hepSlot{stage: st, labels: make([]int, maxN)}
 	}
+	// The prefetcher gets its own lane: staging spans land beside the
+	// worker's compute spans in the timeline, making prefetch hiding
+	// directly visible. Iter tags count staged batches (the stager runs
+	// ahead of the training iteration by up to the lookahead).
+	ingLane := r.lane.Tracer().Lane(r.lane.Name() + ".ingest")
+	staged := 0
 	r.pipe = data.NewPipeline(slots, data.SliceSource(batches),
 		func(dst *hepSlot, idx []int) error {
+			ingLane.SetIter(staged)
+			staged++
+			ingLane.Begin(obs.PhaseIngest)
 			dst.n = len(idx)
 			dst.x = dst.stage.Batch(dst.n)
-			return r.stageInto(dst.x, dst.labels[:dst.n], idx)
+			err := r.stageInto(dst.x, dst.labels[:dst.n], idx)
+			ingLane.End(obs.PhaseIngest)
+			return err
 		})
 	r.pipe.Start()
 }
@@ -193,7 +221,11 @@ func (r *replica) StartIngest(batches [][]int, lookahead int) {
 // ComputeStagedStream implements core.PipelineReplica: the batch was staged
 // in the background; consume it and run the planned forward/backward.
 func (r *replica) ComputeStagedStream(gradDone func(layer int)) float64 {
+	// The Next wait is the exposed part of ingest — near zero when the
+	// prefetcher keeps up, the whole staging cost when it does not.
+	r.lane.Begin(obs.PhaseIngest)
 	slot, ok := r.pipe.Next()
+	r.lane.End(obs.PhaseIngest)
 	if !ok {
 		if err := r.pipe.Err(); err != nil {
 			panic("hep: ingest pipeline: " + err.Error())

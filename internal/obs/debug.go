@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugServer serves net/http/pprof plus a /metrics endpoint over a
+// registry — the -debug-addr surface the long-running cmds expose.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// RuntimeMetrics is the Go-runtime slice of /metrics: what an operator
+// checks first when a long-running trainer or server misbehaves.
+type RuntimeMetrics struct {
+	Goroutines   int     `json:"goroutines"`
+	HeapAllocMB  float64 `json:"heap_alloc_mb"`
+	HeapSysMB    float64 `json:"heap_sys_mb"`
+	NumGC        uint32  `json:"num_gc"`
+	LastGCPauseM float64 `json:"last_gc_pause_ms"`
+	TotalGCMs    float64 `json:"total_gc_ms"`
+	UptimeSec    float64 `json:"uptime_sec"`
+}
+
+// ReadRuntimeMetrics samples the runtime now.
+func ReadRuntimeMetrics(start time.Time) RuntimeMetrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rm := RuntimeMetrics{
+		Goroutines:  runtime.NumGoroutine(),
+		HeapAllocMB: float64(ms.HeapAlloc) / (1 << 20),
+		HeapSysMB:   float64(ms.HeapSys) / (1 << 20),
+		NumGC:       ms.NumGC,
+		TotalGCMs:   float64(ms.PauseTotalNs) / 1e6,
+		UptimeSec:   time.Since(start).Seconds(),
+	}
+	if ms.NumGC > 0 {
+		rm.LastGCPauseM = float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e6
+	}
+	return rm
+}
+
+// StartDebugServer listens on addr and serves:
+//
+//	/debug/pprof/...  the standard pprof handlers
+//	/metrics          {"runtime": ..., "counters": ..., "gauges": ..., "histograms": ...}
+//
+// reg may be nil (runtime metrics only). Returns the running server;
+// callers Close it on shutdown. The bound address is Addr() — pass
+// ":0" in tests.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := map[string]any{"runtime": ReadRuntimeMetrics(start)}
+		if reg != nil {
+			s := reg.Snapshot()
+			out["counters"] = s.Counters
+			out["gauges"] = s.Gauges
+			out["histograms"] = s.Histograms
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the listener and server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

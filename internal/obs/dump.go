@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MetricsLine renders the one-line periodic dump the cmds print:
+// runtime health first, then the registry's sorted k=v pairs.
+func MetricsLine(start time.Time, reg *Registry) string {
+	rm := ReadRuntimeMetrics(start)
+	line := fmt.Sprintf("up %.0fs goroutines %d heap %.1fMiB gc %d",
+		rm.UptimeSec, rm.Goroutines, rm.HeapAllocMB, rm.NumGC)
+	if kv := reg.Snapshot().Line(); kv != "" {
+		line += " | " + kv
+	}
+	return line
+}
+
+// Periodic runs fn every interval on its own goroutine until the
+// returned stop function is called (idempotent). A non-positive
+// interval returns a no-op stop without starting anything.
+func Periodic(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-stopped
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IterStats is one iteration's cross-worker compute-span record: how
+// long each lane's compute (Fwd+Bwd+OptApply) took, and the straggler
+// skew between the slowest and fastest lane. This is Fig 8's motivation
+// made measurable — in a synchronous step every worker waits for Max,
+// so Skew is pure loss; hybrid asynchrony exists to not pay it.
+type IterStats struct {
+	Iter  int32
+	Lanes int     // lanes that recorded compute this iteration
+	Min   float64 // fastest lane's compute seconds
+	Max   float64 // slowest lane's compute seconds
+	Mean  float64
+	Skew  float64 // Max - Min
+}
+
+// StragglerReport aggregates per-iteration skew across a run.
+type StragglerReport struct {
+	Iters []IterStats
+	// MaxSkew / MeanSkew summarise Skew across iterations; WorstIter is
+	// the iteration with MaxSkew (-1 when empty).
+	MaxSkew   float64
+	MeanSkew  float64
+	WorstIter int32
+}
+
+// computePhase marks the phases counted as a worker's per-iteration
+// compute for straggler purposes.
+func computePhase(p Phase) bool {
+	return p == PhaseFwd || p == PhaseBwd || p == PhaseOptApply
+}
+
+// Stragglers derives the per-iteration straggler report from a
+// snapshot: per lane and iteration it sums compute-span seconds, then
+// reports min/max/mean/skew across lanes for every iteration at least
+// two lanes recorded. Iterations ascend.
+func Stragglers(lanes []LaneSpans) StragglerReport {
+	// perIter[iter][laneIdx] = compute seconds
+	perIter := map[int32]map[int]float64{}
+	for li, ls := range lanes {
+		for _, s := range ls.Spans {
+			if !computePhase(s.Phase) {
+				continue
+			}
+			m := perIter[s.Iter]
+			if m == nil {
+				m = map[int]float64{}
+				perIter[s.Iter] = m
+			}
+			m[li] += s.Seconds()
+		}
+	}
+	rep := StragglerReport{WorstIter: -1}
+	iters := make([]int32, 0, len(perIter))
+	for it := range perIter {
+		iters = append(iters, it)
+	}
+	sort.Slice(iters, func(i, j int) bool { return iters[i] < iters[j] })
+	for _, it := range iters {
+		m := perIter[it]
+		if len(m) < 2 {
+			continue
+		}
+		st := IterStats{Iter: it, Lanes: len(m), Min: -1}
+		for _, sec := range m {
+			if st.Min < 0 || sec < st.Min {
+				st.Min = sec
+			}
+			if sec > st.Max {
+				st.Max = sec
+			}
+			st.Mean += sec
+		}
+		st.Mean /= float64(st.Lanes)
+		st.Skew = st.Max - st.Min
+		rep.Iters = append(rep.Iters, st)
+		rep.MeanSkew += st.Skew
+		if st.Skew > rep.MaxSkew {
+			rep.MaxSkew = st.Skew
+			rep.WorstIter = st.Iter
+		}
+	}
+	if len(rep.Iters) > 0 {
+		rep.MeanSkew /= float64(len(rep.Iters))
+	}
+	return rep
+}
+
+// String renders the report as a compact table.
+func (r StragglerReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "straggler skew: mean %.3gs  max %.3gs (iter %d) over %d iters\n",
+		r.MeanSkew, r.MaxSkew, r.WorstIter, len(r.Iters))
+	fmt.Fprintf(&b, "%6s %6s %10s %10s %10s\n", "iter", "lanes", "min(s)", "max(s)", "skew(s)")
+	for _, it := range r.Iters {
+		fmt.Fprintf(&b, "%6d %6d %10.4f %10.4f %10.4f\n", it.Iter, it.Lanes, it.Min, it.Max, it.Skew)
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultSpansPerLane bounds each lane's ring when NewTracer is given no
+// explicit capacity: 32k spans × 24 bytes ≈ 768 KiB per lane, enough for
+// thousands of iterations at the trainers' ~6 spans per iteration.
+const DefaultSpansPerLane = 1 << 15
+
+// Tracer owns the run's monotonic epoch and its lanes — one per worker
+// goroutine (training ranks, prefetch stagers, serve workers, simulated
+// groups). A nil *Tracer is the off switch: Lane returns a nil *Lane whose
+// methods no-op, so call sites are wired unconditionally.
+type Tracer struct {
+	epoch   time.Time
+	perLane int
+
+	mu    sync.Mutex
+	lanes []*Lane
+}
+
+// NewTracer builds a tracer whose lanes hold spansPerLane records each
+// (<= 0 takes DefaultSpansPerLane). The epoch is now; all span timestamps
+// are monotonic nanoseconds since it.
+func NewTracer(spansPerLane int) *Tracer {
+	if spansPerLane <= 0 {
+		spansPerLane = DefaultSpansPerLane
+	}
+	return &Tracer{epoch: time.Now(), perLane: spansPerLane}
+}
+
+// Lane returns the named lane, creating it on first use. Lanes are cheap
+// but not free (one ring allocation); create them at setup time, not on
+// hot paths. Safe for concurrent use. Returns nil on a nil tracer.
+func (t *Tracer) Lane(name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, l := range t.lanes {
+		if l.name == name {
+			return l
+		}
+	}
+	l := &Lane{name: name, t: t, ring: make([]Span, t.perLane)}
+	t.lanes = append(t.lanes, l)
+	return l
+}
+
+// Now returns nanoseconds since the tracer's epoch on the monotonic clock
+// (0 on a nil tracer).
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.epoch))
+}
+
+// At converts an absolute time (e.g. a request's enqueue stamp) to
+// nanoseconds since the tracer's epoch.
+func (t *Tracer) At(at time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(at.Sub(t.epoch))
+}
+
+// LaneSpans is one lane's exported record: spans oldest-first, plus how
+// many older spans the bounded ring had to drop.
+type LaneSpans struct {
+	Name    string
+	Spans   []Span
+	Dropped int64
+}
+
+// Snapshot copies every lane's spans out in recording order, lanes sorted
+// by name for stable output. Safe to call while lanes are still being
+// written (each lane's ring is locked briefly); spans recorded after the
+// snapshot begins may or may not appear.
+func (t *Tracer) Snapshot() []LaneSpans {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	lanes := append([]*Lane(nil), t.lanes...)
+	t.mu.Unlock()
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i].name < lanes[j].name })
+	out := make([]LaneSpans, 0, len(lanes))
+	for _, l := range lanes {
+		out = append(out, l.snapshot())
+	}
+	return out
+}
+
+// Lane is one goroutine's span record: a preallocated ring of Span slots,
+// per-phase open-span start stamps, and the current iteration tag. Begin,
+// End, Record and SetIter are allocation-free; only the owning goroutine
+// may call them (End takes the lane's mutex solely so snapshots can read
+// the ring mid-run without a race).
+type Lane struct {
+	name string
+	t    *Tracer
+	iter int32
+	open [NumPhases]int64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int   // next ring slot to write
+	total int64 // spans ever recorded
+}
+
+// Name returns the lane's name ("" on nil).
+func (l *Lane) Name() string {
+	if l == nil {
+		return ""
+	}
+	return l.name
+}
+
+// Tracer returns the owning tracer (nil on a nil lane) — how a component
+// handed one lane derives siblings (e.g. a replica's ".ingest" lane for
+// its prefetch goroutine).
+func (l *Lane) Tracer() *Tracer {
+	if l == nil {
+		return nil
+	}
+	return l.t
+}
+
+// SetIter tags subsequently recorded spans with the given iteration.
+func (l *Lane) SetIter(it int) {
+	if l == nil {
+		return
+	}
+	l.iter = int32(it)
+}
+
+// Begin stamps the start of a phase. Phases on one lane may nest or
+// interleave freely — each phase has its own open slot.
+func (l *Lane) Begin(p Phase) {
+	if l == nil {
+		return
+	}
+	l.open[p] = l.t.Now()
+}
+
+// End records the span opened by the matching Begin into the ring,
+// overwriting the oldest record when full. Zero allocations.
+func (l *Lane) End(p Phase) {
+	if l == nil {
+		return
+	}
+	l.Record(p, l.open[p], l.t.Now())
+}
+
+// Record writes an externally timed span (start/end in tracer
+// nanoseconds) — used where the interval was measured elsewhere: a serve
+// request's queue wait from its enqueue stamp, or a simulated timeline's
+// phase placement. Zero allocations.
+func (l *Lane) Record(p Phase, startNs, endNs int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	s := &l.ring[l.next]
+	s.Phase, s.Iter, s.StartNs, s.EndNs = p, l.iter, startNs, endNs
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// snapshot copies the ring out oldest-first.
+func (l *Lane) snapshot() LaneSpans {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ls := LaneSpans{Name: l.name}
+	if l.total >= int64(len(l.ring)) {
+		ls.Dropped = l.total - int64(len(l.ring))
+		ls.Spans = make([]Span, 0, len(l.ring))
+		ls.Spans = append(ls.Spans, l.ring[l.next:]...)
+		ls.Spans = append(ls.Spans, l.ring[:l.next]...)
+		return ls
+	}
+	ls.Spans = append([]Span(nil), l.ring[:l.next]...)
+	return ls
+}

@@ -1,0 +1,88 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"deep15pf/internal/obs"
+)
+
+// The §V rate functions divide by measured wall-clock sums; these tests
+// pin the window edges (w == n, w == 1, w < 0) and the degenerate
+// timings (zero and negative durations from clock skew) to "return 0,
+// never Inf/NaN".
+
+func TestSustainedWindowEqualsRunIsMean(t *testing.T) {
+	d := []float64{3, 1, 2, 4}
+	if got, want := SustainedRate(d, 5, len(d)), MeanRate(d, 5); got != want {
+		t.Fatalf("w==n sustained = %v, want mean %v", got, want)
+	}
+}
+
+func TestSustainedWindowOneExact(t *testing.T) {
+	d := []float64{2, 0.5, 4}
+	if got := SustainedRate(d, 3, 1); got != 6 {
+		t.Fatalf("w==1 sustained = %v, want 6 (fastest iteration)", got)
+	}
+}
+
+func TestNegativeWindowClampsToRun(t *testing.T) {
+	d := []float64{1, 3}
+	if got, want := SustainedRate(d, 4, -2), MeanRate(d, 4); got != want {
+		t.Fatalf("negative window = %v, want mean %v", got, want)
+	}
+}
+
+func TestZeroDurationsNeverDivideByZero(t *testing.T) {
+	allZero := []float64{0, 0, 0}
+	if PeakRate(allZero, 5) != 0 || SustainedRate(allZero, 5, 2) != 0 || MeanRate(allZero, 5) != 0 {
+		t.Fatal("all-zero durations must report 0, not Inf")
+	}
+	// One zero iteration: the peak would divide by it; the guard returns 0
+	// rather than claiming infinite throughput.
+	withZero := []float64{1, 0, 2}
+	if got := PeakRate(withZero, 5); got != 0 {
+		t.Fatalf("peak over a zero duration = %v, want 0", got)
+	}
+	// A zero iteration inside a window whose sum stays positive still
+	// yields a finite rate: windows [1,1]=2 and [1,0]=1, best 1 → 2·2/1.
+	if got := SustainedRate([]float64{1, 1, 0}, 2, 2); got != 4 {
+		t.Fatalf("sustained = %v, want 4", got)
+	}
+}
+
+func TestNegativeDurationsReportZero(t *testing.T) {
+	// A clock step can hand back a negative elapsed time; no rate function
+	// may launder it into a negative or infinite rate.
+	neg := []float64{1, -2, 3}
+	for name, got := range map[string]float64{
+		"peak":      PeakRate(neg, 5),
+		"sustained": SustainedRate(neg, 5, 2),
+	} {
+		if got != 0 {
+			t.Errorf("%s over negative duration = %v, want 0", name, got)
+		}
+	}
+	if got := MeanRate([]float64{1, -3}, 5); got != 0 {
+		t.Errorf("mean with negative total = %v, want 0", got)
+	}
+	for name, v := range map[string]float64{
+		"peak": PeakRate(neg, 5), "sustained": SustainedRate(neg, 5, 2), "mean": MeanRate(neg, 5),
+	} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("%s = %v, must be finite", name, v)
+		}
+	}
+}
+
+func TestSummaryPublish(t *testing.T) {
+	reg := obs.NewRegistry()
+	Summary{Peak: 3e12, Sustained: 2e12, Mean: 1e12}.Publish(reg, "train")
+	snap := reg.Snapshot()
+	if snap.Gauges["train.peak_flops"] != 3e12 ||
+		snap.Gauges["train.sustained_flops"] != 2e12 ||
+		snap.Gauges["train.mean_flops"] != 1e12 {
+		t.Fatalf("published gauges wrong: %+v", snap.Gauges)
+	}
+	Summary{Peak: 1}.Publish(nil, "x") // nil registry must be a no-op
+}

@@ -1,0 +1,13 @@
+package perf
+
+import "deep15pf/internal/obs"
+
+// Publish writes the §V trio into a metrics registry as gauges named
+// "<prefix>.peak_flops", "<prefix>.sustained_flops" and
+// "<prefix>.mean_flops". Gauges overwrite: the registry carries the
+// most recently published summary. A nil registry is a no-op.
+func (s Summary) Publish(r *obs.Registry, prefix string) {
+	r.Gauge(prefix + ".peak_flops").Set(s.Peak)
+	r.Gauge(prefix + ".sustained_flops").Set(s.Sustained)
+	r.Gauge(prefix + ".mean_flops").Set(s.Mean)
+}

@@ -1,0 +1,12 @@
+package ps
+
+import "deep15pf/internal/obs"
+
+// Publish merges this wire account into a metrics registry under the
+// "ps." prefix. Counts add, so publishing per-fleet accounts composes
+// the same way WireStats addition does. A nil registry is a no-op.
+func (s WireStats) Publish(r *obs.Registry) {
+	r.Counter("ps.grad_bytes").Add(s.GradBytes)
+	r.Counter("ps.weight_bytes").Add(s.WeightBytes)
+	r.Counter("ps.pushes").Add(s.Pushes)
+}

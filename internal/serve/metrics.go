@@ -2,39 +2,83 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"deep15pf/internal/obs"
 	"deep15pf/internal/perf"
 )
 
-// latWindow bounds the latency reservoir: quantiles are computed over the
-// most recent latWindow completions, while counters cover the server's
-// whole lifetime. 64k samples keeps a long-running server's snapshot cost
-// flat without blunting the tail at demo scale.
+// latWindow bounds the latency reservoir: counters cover the server's
+// whole lifetime, while the quantile sample holds at most this many
+// latencies. 64k samples keeps a long-running server's snapshot cost flat
+// without blunting the tail at demo scale.
 const latWindow = 1 << 16
 
-// metrics is the shared accounting the workers write into. One mutex for
-// everything is deliberate: a record is tens of nanoseconds against an
-// inference that is microseconds at minimum, and per-batch records amortise
-// further.
-type metrics struct {
-	mu       sync.Mutex
-	start    time.Time
-	requests int64
-	batches  int64
-	maxBatch int
-	inferSec float64
-	flops    float64
-	peakRate float64 // best flops/sec over a single batch
-	lat      []float64
-	latNext  int
+// latencyBuckets are the registry histogram's upper bounds (seconds):
+// 10µs to ~10s in half-decade steps — coarse operational visibility; the
+// reservoir carries the precise quantiles.
+var latencyBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10,
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), lat: make([]float64, 0, 1024)}
+// metrics is the shared accounting the workers write into, built on the
+// obs substrate: counters and gauges in a per-server obs.Registry (so the
+// -debug-addr /metrics endpoint and the periodic dump read the same
+// numbers the snapshot does) plus a latency reservoir for quantiles.
+//
+// One mutex still serialises recordBatch: a record is tens of nanoseconds
+// against an inference that is microseconds at minimum, per-batch records
+// amortise further, and the reservoir needs the serialisation anyway.
+//
+// The reservoir defaults to uniform (Algorithm R) sampling, so quantiles
+// estimate the server's whole lifetime. The previous ring overwrite only
+// ever reflected the most recent 64k completions once wrapped — a window
+// masquerading as a lifetime sample. Config.WindowedLatency restores the
+// windowed behaviour for callers who want exactly that (canary
+// comparisons read recent behaviour, not history).
+type metrics struct {
+	mu    sync.Mutex
+	start time.Time
+	reg   *obs.Registry
+
+	requests *obs.Counter
+	batches  *obs.Counter
+	maxBatch *obs.Gauge
+	inferSec *obs.Gauge
+	flops    *obs.Gauge
+	peakRate *obs.Gauge // best flops/sec over a single batch
+	latHist  *obs.Histogram
+	lat      *obs.Reservoir
+	windowed bool
+}
+
+func newMetrics(windowed bool) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		start:    time.Now(),
+		reg:      reg,
+		requests: reg.Counter("serve.requests"),
+		batches:  reg.Counter("serve.batches"),
+		maxBatch: reg.Gauge("serve.max_batch"),
+		inferSec: reg.Gauge("serve.infer_seconds"),
+		flops:    reg.Gauge("serve.flops"),
+		peakRate: reg.Gauge("serve.peak_flop_rate"),
+		latHist:  reg.Histogram("serve.latency_s", latencyBuckets),
+		windowed: windowed,
+	}
+	m.lat = newLatReservoir(windowed)
+	return m
+}
+
+func newLatReservoir(windowed bool) *obs.Reservoir {
+	if windowed {
+		return obs.NewWindowedReservoir(latWindow)
+	}
+	// Fixed seed: replacement decisions are deterministic per process,
+	// and the seed carries no statistical weight (splitmix64 scrambles).
+	return obs.NewReservoir(latWindow, 0x15bf5eed)
 }
 
 // reset clears every counter and the latency reservoir and restarts the
@@ -42,10 +86,13 @@ func newMetrics() *metrics {
 func (m *metrics) reset() {
 	m.mu.Lock()
 	m.start = time.Now()
-	m.requests, m.batches, m.maxBatch = 0, 0, 0
-	m.inferSec, m.flops, m.peakRate = 0, 0, 0
-	m.lat = m.lat[:0]
-	m.latNext = 0
+	m.requests.Reset()
+	m.batches.Reset()
+	m.maxBatch.Set(0)
+	m.inferSec.Set(0)
+	m.flops.Set(0)
+	m.peakRate.Set(0)
+	m.lat = newLatReservoir(m.windowed) // fresh sample AND fresh observation count
 	m.mu.Unlock()
 }
 
@@ -54,25 +101,17 @@ func (m *metrics) reset() {
 func (m *metrics) recordBatch(size int, infer time.Duration, flops float64, lats []float64) {
 	sec := infer.Seconds()
 	m.mu.Lock()
-	m.requests += int64(size)
-	m.batches++
-	if size > m.maxBatch {
-		m.maxBatch = size
-	}
-	m.inferSec += sec
-	m.flops += flops
+	m.requests.Add(int64(size))
+	m.batches.Inc()
+	m.maxBatch.Max(float64(size))
+	m.inferSec.Add(sec)
+	m.flops.Add(flops)
 	if sec > 0 {
-		if r := flops / sec; r > m.peakRate {
-			m.peakRate = r
-		}
+		m.peakRate.Max(flops / sec)
 	}
 	for _, l := range lats {
-		if len(m.lat) < latWindow {
-			m.lat = append(m.lat, l)
-		} else {
-			m.lat[m.latNext] = l
-			m.latNext = (m.latNext + 1) % latWindow
-		}
+		m.lat.Add(l)
+		m.latHist.Observe(l)
 	}
 	m.mu.Unlock()
 }
@@ -87,7 +126,8 @@ type Stats struct {
 	// Throughput is completed requests per wall-clock second.
 	Throughput float64
 	// P50/P95/P99 are end-to-end request latencies (queue wait + batch
-	// assembly + inference) over the recent-latency window.
+	// assembly + inference): a uniform whole-lifetime sample by default,
+	// the most recent latWindow completions with Config.WindowedLatency.
 	P50, P95, P99 time.Duration
 	// InferSeconds is summed worker compute time; over Wall×workers it
 	// gives the pool's duty cycle.
@@ -100,19 +140,19 @@ type Stats struct {
 	PeakFlopRate float64
 }
 
-// snapshot computes a Stats from the live counters.
+// snapshot computes a Stats from the live instruments.
 func (m *metrics) snapshot() Stats {
 	m.mu.Lock()
 	s := Stats{
-		Requests:     m.requests,
-		Batches:      m.batches,
-		MaxBatch:     m.maxBatch,
+		Requests:     m.requests.Value(),
+		Batches:      m.batches.Value(),
+		MaxBatch:     int(m.maxBatch.Value()),
 		Wall:         time.Since(m.start),
-		InferSeconds: m.inferSec,
-		FLOPs:        m.flops,
-		PeakFlopRate: m.peakRate,
+		InferSeconds: m.inferSec.Value(),
+		FLOPs:        m.flops.Value(),
+		PeakFlopRate: m.peakRate.Value(),
 	}
-	lat := append([]float64(nil), m.lat...)
+	lat := m.lat.Sorted()
 	m.mu.Unlock()
 
 	if s.Batches > 0 {
@@ -125,7 +165,6 @@ func (m *metrics) snapshot() Stats {
 		s.MeanFlopRate = s.FLOPs / s.InferSeconds
 	}
 	if len(lat) > 0 {
-		sort.Float64s(lat)
 		s.P50 = quantile(lat, 0.50)
 		s.P95 = quantile(lat, 0.95)
 		s.P99 = quantile(lat, 0.99)
@@ -136,11 +175,7 @@ func (m *metrics) snapshot() Stats {
 // quantile reads the q-th quantile from sorted seconds as a Duration,
 // using the nearest-rank method.
 func quantile(sorted []float64, q float64) time.Duration {
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return time.Duration(sorted[i] * float64(time.Second))
+	return time.Duration(obs.QuantileSorted(sorted, q) * float64(time.Second))
 }
 
 // String renders the snapshot as a compact multi-line report.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deep15pf/internal/obs"
 	"deep15pf/internal/tensor"
 )
 
@@ -32,6 +33,14 @@ type Config struct {
 	// fills (closed-loop backpressure rather than load shedding).
 	// Default 4×MaxBatch×Workers.
 	QueueDepth int
+	// WindowedLatency switches the latency quantiles from the default
+	// uniform whole-lifetime reservoir to a most-recent-64k window —
+	// recent behaviour rather than history (canary comparisons).
+	WindowedLatency bool
+	// Trace attaches the server to a phase tracer: each worker records
+	// Queue (earliest enqueue → dispatch), Batch (assembly) and Infer
+	// spans on its own "serve.w<i>" lane. nil records nothing.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -85,7 +94,7 @@ func NewServer(m *LoadedModel, cfg Config) (*Server, error) {
 		inShape:  m.InShape(),
 		queue:    make(chan *pending, cfg.QueueDepth),
 		dispatch: make(chan []*pending, cfg.Workers),
-		metrics:  newMetrics(),
+		metrics:  newMetrics(cfg.WindowedLatency),
 	}
 	s.inLen = 1
 	for _, d := range s.inShape {
@@ -97,7 +106,7 @@ func NewServer(m *LoadedModel, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.workerWG.Add(1)
-		go s.worker(rep)
+		go s.worker(rep, cfg.Trace.Lane(fmt.Sprintf("serve.w%d", i)))
 	}
 	s.batcherWG.Add(1)
 	go s.batcher()
@@ -136,6 +145,11 @@ func (s *Server) Submit(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 // Stats snapshots the serving record so far.
 func (s *Server) Stats() Stats { return s.metrics.snapshot() }
+
+// Metrics exposes the server's live instrument registry (counters,
+// gauges, the latency histogram) — what -debug-addr's /metrics endpoint
+// and the periodic dump read.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 // ResetStats clears the serving record — counters and the latency
 // reservoir — and restarts the stats wall clock. Benchmarks call it
