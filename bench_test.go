@@ -258,13 +258,39 @@ type serveBenchReport struct {
 	// gated, deterministically, in internal/obs and internal/serve.
 	Traced             serveBenchSide `json:"traced"`
 	TracedReqDeltaFrac float64        `json:"traced_req_s_delta_frac"`
+
+	// Int8 (PR 7) is the same load through the quantized datapath
+	// (u8·s8 integer GEMM, per-channel weight scales, calibrated
+	// activations); AccDelta is fp32 accuracy minus int8 accuracy on a
+	// held-out HEP eval set served through the same registry. The
+	// throughput gain is gated on multi-core hosts only — single-core
+	// wall-clock is recorded for the trajectory.
+	Int8               int8BenchSide `json:"int8"`
+	Int8ThroughputGain float64       `json:"int8_throughput_gain"`
+
+	// KernelDispatch names the ISA the runtime probe installed (the fp32
+	// result is bitwise identical across all of them; see
+	// internal/tensor/kernels.go). The gemm_blocked_* and int8_gemm_* rows
+	// are single-thread micro-benchmark rates on this host.
+	KernelDispatch              string  `json:"kernel_dispatch"`
+	GemmBlockedSquare256GFLOPs  float64 `json:"gemm_blocked_square256_gflops"`
+	GemmBlockedTallSkinnyGFLOPs float64 `json:"gemm_blocked_tallskinny_gflops"`
+	Int8GemmTallSkinnyGOPs      float64 `json:"int8_gemm_tallskinny_gops"`
+	HostCPUs                    int     `json:"host_cpus"`
+}
+
+// int8BenchSide is the quantized serving side plus its accuracy cost.
+type int8BenchSide struct {
+	serveBenchSide
+	AccDelta float64 `json:"acc_delta"`
 }
 
 // measureServeSide drives a fixed closed-loop load through a fresh server
 // and reports throughput, tail latency and whole-process allocations per
 // request (runtime mallocs delta — it counts the load generator too, which
-// is exactly the end-to-end number an operator sees).
-func measureServeSide(t *testing.T, planning bool, tr *obs.Tracer, requests, clients, maxBatch int) serveBenchSide {
+// is exactly the end-to-end number an operator sees). quantized serves the
+// int8 datapath, calibrated over the request pool.
+func measureServeSide(t *testing.T, planning, quantized bool, tr *obs.Tracer, requests, clients, maxBatch int) serveBenchSide {
 	t.Helper()
 	cfg := hep.ModelConfig{Name: "bench-serve-json", ImageSize: 4, Filters: 16, ConvUnits: 2, Classes: 2}
 	rng := tensor.NewRNG(7)
@@ -280,17 +306,26 @@ func measureServeSide(t *testing.T, planning bool, tr *obs.Tracer, requests, cli
 		t.Fatal(err)
 	}
 	lm.SetPlanning(planning)
+	inputs := make([]*serve.LoadInput, 64)
+	per := 3 * cfg.ImageSize * cfg.ImageSize
+	calib := tensor.New(len(inputs), 3, cfg.ImageSize, cfg.ImageSize)
+	for i := range inputs {
+		x := tensor.New(3, cfg.ImageSize, cfg.ImageSize)
+		rng.FillNorm(x, 0, 1)
+		inputs[i] = &serve.LoadInput{X: x}
+		copy(calib.Data[i*per:(i+1)*per], x.Data)
+	}
+	if quantized {
+		lm.SetQuantized(true)
+		if err := lm.Calibrate(calib); err != nil {
+			t.Fatal(err)
+		}
+	}
 	s, err := serve.NewServer(lm, serve.Config{MaxBatch: maxBatch, Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	inputs := make([]*serve.LoadInput, 64)
-	for i := range inputs {
-		x := tensor.New(3, cfg.ImageSize, cfg.ImageSize)
-		rng.FillNorm(x, 0, 1)
-		inputs[i] = &serve.LoadInput{X: x}
-	}
 	// Warm every per-batch-size plan bucket, then reset the stats so the
 	// measured quantiles cover only steady state (the warmup holds the
 	// first-request plan compiles).
@@ -328,14 +363,22 @@ func TestEmitServeBenchJSON(t *testing.T) {
 	rep := serveBenchReport{
 		Model:    "hep ConvUnits=2 Filters=16 ImageSize=4",
 		Requests: requests, Clients: clients, MaxBatch: maxBatch,
-		Planned:   measureServeSide(t, true, nil, requests, clients, maxBatch),
-		Unplanned: measureServeSide(t, false, nil, requests, clients, maxBatch),
+		Planned:   measureServeSide(t, true, false, nil, requests, clients, maxBatch),
+		Unplanned: measureServeSide(t, false, false, nil, requests, clients, maxBatch),
 	}
-	rep.Traced = measureServeSide(t, true, obs.NewTracer(0), requests, clients, maxBatch)
+	rep.Traced = measureServeSide(t, true, false, obs.NewTracer(0), requests, clients, maxBatch)
+	rep.Int8.serveBenchSide = measureServeSide(t, true, true, nil, requests, clients, maxBatch)
+	rep.Int8.AccDelta = servedAccuracyDelta(t)
 	rep.ThroughputGain = rep.Planned.ReqPerSec / rep.Unplanned.ReqPerSec
 	rep.AllocReduction = rep.Unplanned.AllocsPerRequest / rep.Planned.AllocsPerRequest
 	rep.P99ImprovementMs = rep.Unplanned.P99Ms - rep.Planned.P99Ms
 	rep.TracedReqDeltaFrac = rep.Traced.ReqPerSec/rep.Planned.ReqPerSec - 1
+	rep.Int8ThroughputGain = rep.Int8.ReqPerSec / rep.Planned.ReqPerSec
+	rep.KernelDispatch = tensor.KernelISA()
+	rep.GemmBlockedSquare256GFLOPs = gemmRate(256, 256, 256)
+	rep.GemmBlockedTallSkinnyGFLOPs = gemmRate(128, 784, 1152)
+	rep.Int8GemmTallSkinnyGOPs = gemmS8Rate(128, 784, 1152)
+	rep.HostCPUs = runtime.NumCPU()
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -357,6 +400,136 @@ func TestEmitServeBenchJSON(t *testing.T) {
 	if rep.ThroughputGain < 1 {
 		t.Logf("note: planned throughput %.2fx of unplanned this run (timing noise expected on shared runners)", rep.ThroughputGain)
 	}
+
+	t.Logf("int8: %.0f req/s (%.2fx of fp32 planned), p99 %.2f ms, acc delta %.4f, kernels %s",
+		rep.Int8.ReqPerSec, rep.Int8ThroughputGain, rep.Int8.P99Ms, rep.Int8.AccDelta, rep.KernelDispatch)
+	t.Logf("gemm blocked: square256 %.1f GFLOP/s, tall-skinny %.1f GFLOP/s; int8 gemm %.1f GOP/s",
+		rep.GemmBlockedSquare256GFLOPs, rep.GemmBlockedTallSkinnyGFLOPs, rep.Int8GemmTallSkinnyGOPs)
+	// Accuracy cost of int8 serving is deterministic — gate it everywhere.
+	if rep.Int8.AccDelta > 0.01 {
+		t.Errorf("int8 serving loses %.4f accuracy vs fp32, budget is 0.01", rep.Int8.AccDelta)
+	}
+	// The int8 throughput gain is wall-clock; gate only where the host has
+	// cores to make the comparison stable, record otherwise.
+	if runtime.NumCPU() >= 2 {
+		if rep.Int8ThroughputGain < 1.5 {
+			t.Errorf("int8 throughput %.2fx of fp32 planned, want >= 1.5x on multi-core hosts", rep.Int8ThroughputGain)
+		}
+	} else {
+		t.Logf("int8 throughput gain %.2fx recorded, not gated (host has %d CPU)", rep.Int8ThroughputGain, runtime.NumCPU())
+	}
+}
+
+// servedAccuracyDelta trains the deterministic bench model, serves the
+// checkpoint through the registry at fp32 and calibrated int8, and returns
+// fp32 accuracy minus int8 accuracy on a held-out eval set.
+func servedAccuracyDelta(t *testing.T) float64 {
+	t.Helper()
+	ds, p := trainBenchProblem(11, 256)
+	res := core.TrainHybrid(p, core.Config{
+		Groups: 1, WorkersPerGroup: 2, GroupBatch: 32, Iterations: 60,
+		Solver: opt.NewAdam(2e-3), Seed: 9, Overlap: true, Codec: "fp32",
+	})
+	eval := p.NewReplica()
+	core.InstallWeights(eval, res.FinalWeights)
+	path := filepath.Join(t.TempDir(), "acc.d15w")
+	if err := nn.SaveFile(path, hep.ReplicaParams(eval)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := hep.ModelConfig{Name: "bench-acc", ImageSize: 16, Filters: 16, ConvUnits: 3, Classes: 2}
+	reg := serve.NewRegistry()
+	serve.RegisterHEP(reg, "bench-acc", cfg)
+	lm, err := reg.Load("bench-acc", path, serve.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(16), 256, 0.5, tensor.NewRNG(1234))
+
+	accFP32 := servedAccuracy(t, lm, val)
+	lm.SetQuantized(true)
+	calIdx := make([]int, 64)
+	for i := range calIdx {
+		calIdx[i] = i % len(ds.Labels)
+	}
+	calX, _ := ds.Batch(calIdx)
+	if err := lm.Calibrate(calX); err != nil {
+		t.Fatal(err)
+	}
+	accInt8 := servedAccuracy(t, lm, val)
+	t.Logf("served accuracy: fp32 %.4f, int8 %.4f", accFP32, accInt8)
+	return accFP32 - accInt8
+}
+
+// servedAccuracy scores val through one replica minted from lm.
+func servedAccuracy(t *testing.T, lm *serve.LoadedModel, val *hep.Dataset) float64 {
+	t.Helper()
+	rep, err := lm.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scores []float64
+	idx := make([]int, 0, 64)
+	for lo := 0; lo < len(val.Labels); lo += 64 {
+		hi := lo + 64
+		if hi > len(val.Labels) {
+			hi = len(val.Labels)
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		x, _ := val.Batch(idx)
+		scores = append(scores, hep.SignalScore(rep.Infer(x))...)
+	}
+	return hep.Accuracy(scores, val.Labels)
+}
+
+// gemmRate measures the blocked fp32 GEMM's single-run rate in GFLOP/s for
+// the BENCH_serve.json kernel rows (a short fixed-work sample, not a
+// statistically careful benchmark — the trajectory only needs the order of
+// magnitude and the blocked-vs-naive trend).
+func gemmRate(m, n, k int) float64 {
+	rng := tensor.NewRNG(3)
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(rng.Norm())
+	}
+	for i := range b {
+		b[i] = float32(rng.Norm())
+	}
+	tensor.Gemm(false, false, m, n, k, 1, a, b, 0, c) // warm (pack pools, caches)
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < 200*time.Millisecond {
+		tensor.Gemm(false, false, m, n, k, 1, a, b, 0, c)
+		iters++
+	}
+	return float64(tensor.GemmFLOPs(m, n, k)) * float64(iters) / time.Since(start).Seconds() / 1e9
+}
+
+// gemmS8Rate is gemmRate for the integer GEMM, in G-int-ops/s (2 ops per
+// multiply-accumulate, same convention as GemmFLOPs).
+func gemmS8Rate(m, n, k int) float64 {
+	rng := tensor.NewRNG(5)
+	a := make([]int8, m*k)
+	b := make([]uint8, n*k)
+	c := make([]int32, m*n)
+	for i := range a {
+		a[i] = int8(rng.Intn(256) - 128)
+	}
+	for i := range b {
+		b[i] = uint8(rng.Intn(256))
+	}
+	tensor.GemmS8(m, n, k, a, b, c)
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < 200*time.Millisecond {
+		tensor.GemmS8(m, n, k, a, b, c)
+		iters++
+	}
+	return float64(2*m) * float64(n) * float64(k) * float64(iters) / time.Since(start).Seconds() / 1e9
 }
 
 // BenchmarkClusterSimIteration measures the discrete-event simulator's own

@@ -72,8 +72,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	metricsEvery := flag.Int("metrics-every", 0, "print a one-line metrics dump every N seconds (0 = off)")
 	windowed := flag.Bool("windowed-latency", false, "latency quantiles over the most recent 64k requests instead of a whole-lifetime uniform sample")
+	kernels := flag.String("kernels", "auto", "compute kernel ISA: auto|scalar|avx2|avx512 (float results are bitwise identical across choices)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
+
+	if err := tensor.SetKernels(*kernels); err != nil {
+		fatalf("%v", err)
+	}
 
 	start := time.Now()
 	if *debugAddr != "" {
@@ -134,6 +139,24 @@ func main() {
 		float64(lm.ParamBytes())/(1<<20), perf.FormatFlops(float64(lm.FwdFLOPsPerSample())))
 
 	if *int8Mode {
+		// Freeze activation scales from a sample of the request
+		// distribution before minting serving replicas; architectures on
+		// the emulated path have nothing to calibrate.
+		calIn := requestPool(lm, 32, *seed+11)
+		in := lm.InShape()
+		per := 1
+		for _, d := range in {
+			per *= d
+		}
+		xb := tensor.New(append([]int{len(calIn)}, in...)...)
+		for i, inp := range calIn {
+			copy(xb.Data[i*per:(i+1)*per], inp.X.Data)
+		}
+		if err := lm.Calibrate(xb); err != nil {
+			fmt.Printf("int8 calibration skipped: %v\n", err)
+		} else {
+			fmt.Printf("int8 activation scales calibrated over %d samples (%s kernels)\n", len(calIn), tensor.KernelISA())
+		}
 		reportInt8Agreement(registry, archName, path, lm, *seed)
 	}
 

@@ -43,8 +43,14 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline (per-worker phase lanes) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	metricsEvery := flag.Int("metrics-every", 0, "print a one-line metrics dump every N seconds (0 = off)")
+	kernels := flag.String("kernels", "auto", "compute kernel ISA: auto|scalar|avx2|avx512 (results are bitwise identical across choices)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
+
+	if err := tensor.SetKernels(*kernels); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	start := time.Now()
 	reg := obs.NewRegistry()

@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"deep15pf/internal/tensor"
+)
+
+// TestConvDirectBitwiseMatchesIm2col pins the im2col-free 3x3 stride-1
+// inference kernel bitwise against the batched im2col+GEMM path, serial
+// and parallel, including the chunked-GEMM regime.
+func TestConvDirectBitwiseMatchesIm2col(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	c := NewConv2D("cd", 3, 5, 3, 1, 1, rng)
+	x := randBatch(rng, 6, []int{3, 9, 7})
+	for _, workers := range []int{1, 3} {
+		prev := tensor.SetWorkers(workers)
+		evalDirect = false
+		want := c.Forward(x, false)
+		evalDirect = true
+		got := c.Forward(x, false)
+		requireBitwise(t, "direct conv", got, want)
+		tensor.SetWorkers(prev)
+	}
+
+	// Pad 0 exercises the no-border geometry; tiny budget forces the
+	// im2col path to chunk.
+	c0 := NewConv2D("cd0", 2, 3, 3, 1, 0, rng)
+	x0 := randBatch(rng, 4, []int{2, 8, 8})
+	oldBudget := evalColBudget
+	evalColBudget = 64
+	evalDirect = false
+	want := c0.Forward(x0, false)
+	evalColBudget = oldBudget
+	evalDirect = true
+	got := c0.Forward(x0, false)
+	requireBitwise(t, "direct conv pad0", got, want)
+}
+
+// TestQuantPlanMatchesFloat checks the int8 plan tracks the fp32 plan
+// within the quantisation error budget on a realistic little network,
+// with both dynamic and calibrated activation scales, and that argmax
+// decisions almost always agree.
+func TestQuantPlanMatchesFloat(t *testing.T) {
+	net := planTestNet(7)
+	rng := tensor.NewRNG(13)
+	x := randBatch(rng, 8, net.InShape)
+
+	ref := net.Infer(x)
+
+	check := func(name string, qp *QuantPlan) {
+		t.Helper()
+		got := qp.Forward(x)
+		if got.Len() != ref.Len() {
+			t.Fatalf("%s: output size %d, want %d", name, got.Len(), ref.Len())
+		}
+		var maxAbs float64
+		for _, v := range ref.Data {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		// int8 conv stacks lose ~1% relative accuracy per layer; 10% of
+		// the output range is a loose sanity bound — the real gate is the
+		// end-to-end accuracy delta in the serving benchmark.
+		tol := 0.1*maxAbs + 1e-3
+		for i := range ref.Data {
+			if d := math.Abs(float64(got.Data[i] - ref.Data[i])); d > tol {
+				t.Errorf("%s: out[%d] = %g vs fp32 %g (|Δ|=%g > %g)", name, i, got.Data[i], ref.Data[i], d, tol)
+			}
+		}
+	}
+
+	check("dynamic", CompileQuantized(net, 8, nil, nil))
+
+	calib := CalibrateActivations(net, x)
+	calib = MergeCalibration(calib, CalibrateActivations(net, randBatch(rng, 4, net.InShape)))
+	if calib[0] == 0 {
+		t.Fatal("calibration recorded nothing for the first conv")
+	}
+	check("calibrated", CompileQuantized(net, 8, calib, nil))
+}
+
+// TestQuantPlanWarmNoAlloc is the 0-alloc gate for the int8 serving path.
+func TestQuantPlanWarmNoAlloc(t *testing.T) {
+	prev := tensor.SetWorkers(1)
+	defer tensor.SetWorkers(prev)
+	net := planTestNet(11)
+	qp := CompileQuantized(net, 4, nil, nil)
+	x := randBatch(tensor.NewRNG(3), 4, net.InShape)
+	qp.Forward(x) // warm
+	if allocs := testing.AllocsPerRun(10, func() { qp.Forward(x) }); allocs > 0 {
+		t.Errorf("warm QuantPlan.Forward allocates %v/run, want 0", allocs)
+	}
+}
+
+// TestQuantPlanCacheBuckets mirrors the fp32 plan-cache policy.
+func TestQuantPlanCacheBuckets(t *testing.T) {
+	net := planTestNet(5)
+	pc := NewQuantPlanCache(net, nil, nil)
+	rng := tensor.NewRNG(9)
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		out := pc.Forward(randBatch(rng, n, net.InShape))
+		if out.Shape[0] != n {
+			t.Fatalf("batch %d: output batch %d", n, out.Shape[0])
+		}
+	}
+	if len(pc.plans) != 4 { // buckets 1,2,4,8
+		t.Errorf("cache holds %d plans, want 4", len(pc.plans))
+	}
+	pc.Release()
+	if len(pc.plans) != 0 {
+		t.Errorf("release left %d plans", len(pc.plans))
+	}
+}
+
+// TestQuantPlanChunkedConv forces the conv patch budget down so one batch
+// spans several GemmS8 calls and pins it against the unchunked result.
+func TestQuantPlanChunkedConv(t *testing.T) {
+	net := planTestNet(21)
+	x := randBatch(tensor.NewRNG(2), 6, net.InShape)
+	want := CompileQuantized(net, 6, nil, nil).Forward(x).Clone()
+	old := qcolBudget
+	qcolBudget = 256 // a handful of patches per chunk
+	defer func() { qcolBudget = old }()
+	got := CompileQuantized(net, 6, nil, nil).Forward(x)
+	requireBitwise(t, "chunked int8 conv", got, want)
+}
+
+func TestWeightScales(t *testing.T) {
+	net := planTestNet(3)
+	ws := WeightScales(net)
+	for _, name := range []string{"c1.weight", "c2.weight", "fc.weight"} {
+		if len(ws[name]) == 0 {
+			t.Errorf("no scales recorded for %s", name)
+		}
+	}
+	if len(ws["c1.weight"]) != 4 {
+		t.Errorf("c1.weight has %d channel scales, want 4", len(ws["c1.weight"]))
+	}
+	for name, s := range ws {
+		for i, v := range s {
+			if !(v > 0) {
+				t.Errorf("%s scale[%d] = %g, want > 0", name, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package quant
+
+import "math"
+
+// Per-channel (axis-0) weight quantisation for the int8 serving datapath.
+// A weight matrix [Out, In] (dense) or [OutC, InC·KH·KW] (conv, im2col
+// layout) quantises with one symmetric scale per output channel — per-row
+// of the matrix — so one large filter does not coarsen the grid for every
+// other filter. Activations stay per-tensor (see QuantizeU8Into): the GEMM
+// then needs only a per-output-channel rescale at requantize time.
+
+// ScaleForChannels returns one symmetric scale per output channel for a
+// weight matrix whose rows are cols long: scales[ch] maps the max
+// magnitude of src[ch*cols:(ch+1)*cols] to 127 (1 for an all-zero
+// channel). len(src) must be a multiple of cols.
+func ScaleForChannels(src []float32, cols int) []float32 {
+	if cols <= 0 || len(src)%cols != 0 {
+		panic("quant: ScaleForChannels bad cols")
+	}
+	scales := make([]float32, len(src)/cols)
+	ScaleForChannelsInto(scales, src, cols)
+	return scales
+}
+
+// ScaleForChannelsInto fills scales (one per channel) without allocating.
+func ScaleForChannelsInto(scales []float32, src []float32, cols int) {
+	if cols <= 0 || len(src) != len(scales)*cols {
+		panic("quant: ScaleForChannelsInto length mismatch")
+	}
+	for ch := range scales {
+		scales[ch] = ScaleFor(src[ch*cols : (ch+1)*cols])
+	}
+}
+
+// QuantizeChannelsInto quantises src into dst with round-to-nearest using
+// one scale per cols-long channel. Round-to-nearest (not stochastic) is
+// correct here: weights quantise once at model load, where bias matters
+// less than variance, and determinism is required across replicas.
+func QuantizeChannelsInto(dst []int8, src []float32, scales []float32, cols int) {
+	if len(dst) != len(src) || cols <= 0 || len(src) != len(scales)*cols {
+		panic("quant: QuantizeChannelsInto length mismatch")
+	}
+	for ch, s := range scales {
+		NearestInto(dst[ch*cols:(ch+1)*cols], src[ch*cols:(ch+1)*cols], s)
+	}
+}
+
+// ScaleForU8 returns the activation scale mapping maxAbs(src) to 127 —
+// same grid as ScaleFor, leaving headroom for the zero-point-128 unsigned
+// encoding (quantized values land in [1, 255]; 0 encodes only saturation).
+func ScaleForU8(src []float32) float32 { return ScaleFor(src) }
+
+// QuantizeU8Into quantises activations into unsigned bytes with zero-point
+// 128: q = clamp(round(v/scale) + 128, 0, 255). Dequantisation is
+// v ≈ (q-128)·scale, so the zero-point byte dequantizes to exactly 0 —
+// conv padding uses it directly. Allocates nothing.
+func QuantizeU8Into(dst []uint8, src []float32, scale float32) {
+	if len(dst) != len(src) {
+		panic("quant: QuantizeU8Into length mismatch")
+	}
+	inv := float64(1) / float64(scale)
+	for i, v := range src {
+		// t is round-half-up of v/scale + 128: adding 0.5 then truncating
+		// is exact because the clamp guarantees t is non-negative.
+		t := float64(v)*inv + 128.5
+		if t < 0 {
+			t = 0
+		} else if t > 255 {
+			t = 255
+		}
+		dst[i] = uint8(int32(t))
+	}
+}
+
+// DequantizeU8Into expands zero-point-128 bytes back to floats.
+func DequantizeU8Into(dst []float32, src []uint8, scale float32) {
+	if len(dst) != len(src) {
+		panic("quant: DequantizeU8Into length mismatch")
+	}
+	for i, q := range src {
+		dst[i] = float32(int32(q)-128) * scale
+	}
+}
+
+// MaxAbs returns the largest magnitude in src (0 for empty) — the
+// calibration statistic per-tensor activation scales derive from.
+func MaxAbs(src []float32) float32 {
+	var m float32
+	for _, v := range src {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

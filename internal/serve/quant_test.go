@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"deep15pf/internal/nn"
+	"deep15pf/internal/tensor"
+)
+
+// TestQuantizedServingPath covers the native int8 datapath end to end:
+// SetQuantized A/B toggling, calibration freezing, per-channel weight
+// scales stored at Load, and int8 logits tracking fp32 within the
+// quantisation budget.
+func TestQuantizedServingPath(t *testing.T) {
+	net, ds := trainTinyHEP(t, 4)
+	path := saveTinyHEP(t, net)
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+
+	lm, err := r.Load("tiny", path, Float32)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// Per-channel scales are captured at Load, before any int8 replica.
+	ws := lm.WeightScales()
+	if len(ws) == 0 {
+		t.Fatal("Load stored no weight scales for a native-int8 architecture")
+	}
+	for name, s := range ws {
+		for i, v := range s {
+			if !(v > 0) {
+				t.Fatalf("%s scale[%d] = %g", name, i, v)
+			}
+		}
+	}
+
+	x, _ := ds.Batch([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	f32Rep, err := lm.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f32Rep.Infer(x.Clone())
+
+	// A/B flip to int8; replicas minted after serve the integer datapath.
+	lm.SetQuantized(true)
+	if lm.Prec != Int8 {
+		t.Fatalf("SetQuantized(true) left Prec %v", lm.Prec)
+	}
+	i8Rep, err := lm.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := i8Rep.Infer(x.Clone())
+	requireClose(t, "dynamic-scale int8", got, want)
+
+	// fp32 weights must survive untouched on the native path (the plan
+	// holds the s8 copies) — this is what makes the toggle lossless.
+	p8, p32 := i8Rep.Params(), f32Rep.Params()
+	for i := range p32 {
+		for j := range p32[i].W.Data {
+			if p8[i].W.Data[j] != p32[i].W.Data[j] {
+				t.Fatalf("int8 replica mutated fp32 weight %s[%d]", p32[i].Name, j)
+			}
+		}
+	}
+
+	// Calibration freezes activation scales; served outputs stay in budget
+	// and two post-calibration replicas agree exactly (deterministic grid).
+	xa, _ := ds.Batch([]int{8, 9, 10, 11})
+	if err := lm.Calibrate(xa, x.Clone()); err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	ca, err := lm.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := lm.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := ca.Infer(x.Clone()), cb.Infer(x.Clone())
+	requireClose(t, "calibrated int8", ga, want)
+	for i := range ga.Data {
+		if ga.Data[i] != gb.Data[i] {
+			t.Fatalf("calibrated int8 replicas disagree at logit %d", i)
+		}
+	}
+
+	// Flip back: fp32 replicas mint again and match the original bitwise.
+	lm.SetQuantized(false)
+	backRep, err := lm.NewReplica()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := backRep.Infer(x.Clone())
+	for i := range want.Data {
+		if back.Data[i] != want.Data[i] {
+			t.Fatalf("post-toggle fp32 replica diverges at logit %d", i)
+		}
+	}
+}
+
+// requireClose bounds int8 logits to the fp32 reference: within 5% of the
+// output range plus a small absolute floor (the serving benchmark gates the
+// end-to-end accuracy delta; this catches gross datapath breakage).
+func requireClose(t *testing.T, name string, got, want *tensor.Tensor) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: size %d vs %d", name, got.Len(), want.Len())
+	}
+	var maxAbs float64
+	for _, v := range want.Data {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := 0.05*maxAbs + 1e-2
+	for i := range want.Data {
+		if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > tol {
+			t.Fatalf("%s: logit %d = %g vs fp32 %g (|Δ|=%g > %g)", name, i, got.Data[i], want.Data[i], d, tol)
+		}
+	}
+}
+
+// TestCalibrateRejectsEmulatedArch: architectures without a native int8
+// datapath cannot calibrate.
+func TestCalibrateRejectsEmulatedArch(t *testing.T) {
+	cn := buildClimate(t, climateTestConfig(16), tensor.NewRNG(3))
+	path := filepath.Join(t.TempDir(), "climate.d15w")
+	if err := nn.SaveFile(path, cn.Params()); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	RegisterClimate(r, "ctiny", climateTestConfig(16))
+	lm, err := r.Load("ctiny", path, Int8)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	x := tensor.New(append([]int{1}, lm.InShape()...)...)
+	if err := lm.Calibrate(x); err == nil {
+		t.Fatal("Calibrate succeeded on an emulated-int8 architecture")
+	}
+}

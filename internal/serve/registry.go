@@ -14,9 +14,11 @@ import (
 	"deep15pf/internal/tensor"
 )
 
-// weightQuantSeed seeds the stochastic weight rounding at checkpoint load.
-// It is fixed so every replica of an int8 model quantises identically —
-// which worker serves a request must not change the answer.
+// weightQuantSeed seeds the stochastic weight rounding at checkpoint load
+// for adapters still on the emulated int8 path (climate). It is fixed so
+// every replica of an int8 model quantises identically — which worker
+// serves a request must not change the answer. The HEP adapter's int8 path
+// is real (nn.QuantPlan) and uses deterministic round-to-nearest instead.
 const weightQuantSeed = 0x8b1d
 
 // Builder constructs a fresh, randomly initialised replica of a named
@@ -106,6 +108,7 @@ type LoadedModel struct {
 	build   Builder
 	ckpt    []byte
 	noPlans bool
+	calib   []float32 // frozen activation stats for int8 replicas (nil = dynamic)
 
 	mu     sync.Mutex
 	cached Model // the validation replica from Load, handed to the first NewReplica
@@ -113,6 +116,7 @@ type LoadedModel struct {
 	inShape, outShape []int
 	flopsPerSample    int64
 	paramBytes        int64
+	weightScales      map[string][]float32 // per-channel int8 scales, captured at Load
 }
 
 // SetPlanning switches compiled-execution-plan use for replicas minted
@@ -128,9 +132,78 @@ func (m *LoadedModel) SetPlanning(enabled bool) {
 	m.mu.Unlock()
 }
 
+// SetQuantized is the int8 A/B toggle: it switches the precision applied
+// to replicas minted after the call, so one LoadedModel can drive the same
+// load through both datapaths. Like SetPlanning it drops the cached
+// validation replica, which predates the setting.
+func (m *LoadedModel) SetQuantized(enabled bool) {
+	m.mu.Lock()
+	if enabled {
+		m.Prec = Int8
+	} else {
+		m.Prec = Float32
+	}
+	m.cached = nil
+	m.mu.Unlock()
+}
+
+// Calibrate runs fp32 calibration batches through one replica and freezes
+// the observed per-layer activation ranges into every int8 replica minted
+// afterwards (nil-calibration replicas fall back to dynamic per-batch
+// scales). The replica used for calibration is cached for the next
+// NewReplica, already carrying the frozen scales.
+func (m *LoadedModel) Calibrate(xs ...*tensor.Tensor) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("serve: Calibrate needs at least one batch")
+	}
+	rep, err := m.NewReplica()
+	if err != nil {
+		return err
+	}
+	qc, ok := rep.(quantControl)
+	if !ok {
+		return fmt.Errorf("serve: architecture %q has no native int8 datapath to calibrate", m.ModelArch)
+	}
+	var calib []float32
+	for _, x := range xs {
+		s := qc.calibrate(x)
+		if calib == nil {
+			calib = s
+		} else {
+			nn.MergeCalibration(calib, s)
+		}
+	}
+	qc.setCalibration(calib)
+	m.mu.Lock()
+	m.calib = calib
+	m.cached = rep
+	m.mu.Unlock()
+	return nil
+}
+
+// WeightScales returns the per-output-channel int8 scales of every
+// quantizable weight tensor, keyed by parameter name — stored alongside
+// the checkpoint at Load so the int8 grid is inspectable without minting
+// a replica. Nil for architectures without a native int8 datapath.
+func (m *LoadedModel) WeightScales() map[string][]float32 { return m.weightScales }
+
 // planControl is implemented by replica adapters whose inference path can
 // run compiled plans.
 type planControl interface{ setPlanning(bool) }
+
+// quantControl is implemented by replica adapters with a native int8
+// datapath (quantized plans). Adapters without it fall back to the
+// emulated weight-round-trip path under Precision Int8.
+type quantControl interface {
+	calibrate(x *tensor.Tensor) []float32
+	setCalibration([]float32)
+}
+
+// weightScaler exposes the per-channel int8 weight scales an adapter's
+// native datapath would use; Load snapshots them into the LoadedModel.
+type weightScaler interface {
+	weightScales() map[string][]float32
+}
 
 // Load reads a D15W checkpoint from path and binds it to the named
 // architecture, validating the fit by instantiating one replica. The
@@ -157,6 +230,9 @@ func (r *Registry) Load(arch, path string, prec Precision) (*LoadedModel, error)
 	for _, p := range probe.Params() {
 		m.paramBytes += p.Bytes()
 	}
+	if ws, ok := probe.(weightScaler); ok {
+		m.weightScales = ws.weightScales()
+	}
 	m.mu.Lock()
 	m.cached = probe
 	m.mu.Unlock()
@@ -174,16 +250,25 @@ func (m *LoadedModel) NewReplica() (Model, error) {
 		return c, nil
 	}
 	noPlans := m.noPlans
+	prec := m.Prec
+	calib := m.calib
 	m.mu.Unlock()
 
-	model := m.build(m.Prec)
+	model := m.build(prec)
 	if err := nn.LoadWeights(bytes.NewReader(m.ckpt), model.Params()); err != nil {
 		return nil, fmt.Errorf("serve: checkpoint does not fit architecture %q: %w", m.ModelArch, err)
 	}
-	if m.Prec == Int8 {
-		rng := tensor.NewRNG(weightQuantSeed)
-		for _, p := range model.Params() {
-			quant.RoundTripTensor(p.W, rng, true)
+	if prec == Int8 {
+		if qc, ok := model.(quantControl); ok {
+			// Native int8 datapath: fp32 weights stay exact; the quantized
+			// plan derives its s8 copies (and per-channel scales) from them
+			// at compile time, frozen to the loaded calibration if any.
+			qc.setCalibration(calib)
+		} else {
+			rng := tensor.NewRNG(weightQuantSeed)
+			for _, p := range model.Params() {
+				quant.RoundTripTensor(p.W, rng, true)
+			}
 		}
 	}
 	// Gradients are dropped before any plan compiles: replicas hold
@@ -215,13 +300,14 @@ type netModel struct {
 	arch     string
 	net      *nn.Network
 	prec     Precision
-	rng      *tensor.RNG // activation rounding noise (Int8 only)
 	planning bool
-	plans    *nn.PlanCache // lazily built; one plan per batch-size bucket
+	plans    *nn.PlanCache      // lazily built; one plan per batch-size bucket
+	calib    []float32          // frozen activation ranges (nil = dynamic)
+	qplans   *nn.QuantPlanCache // int8 plans, lazily built per bucket
 }
 
 func newNetModel(arch string, net *nn.Network, prec Precision) *netModel {
-	return &netModel{arch: arch, net: net, prec: prec, rng: tensor.NewRNG(weightQuantSeed + 1), planning: true}
+	return &netModel{arch: arch, net: net, prec: prec, planning: true}
 }
 
 func (m *netModel) setPlanning(on bool) { m.planning = on }
@@ -233,23 +319,30 @@ func (m *netModel) FwdFLOPsPerSample() int64 {
 	return m.net.FLOPsPerSample().Fwd
 }
 
+func (m *netModel) calibrate(x *tensor.Tensor) []float32 {
+	return nn.CalibrateActivations(m.net, x)
+}
+
+func (m *netModel) setCalibration(c []float32) {
+	m.calib = c
+	m.qplans = nil // compiled plans predate the new scales
+}
+
+func (m *netModel) weightScales() map[string][]float32 {
+	return nn.WeightScales(m.net)
+}
+
 func (m *netModel) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if m.prec == Int8 {
-		// Int8 activation path: the input and every parameterised layer's
-		// output round-trip through the int8 codec, so each conv/dense
-		// consumes and produces exactly the values an int8 datapath would.
-		// Activation-only layers (ReLU, pooling) pass int8-representable
-		// values through unchanged, so re-rounding them would be a no-op.
-		// The path runs layer by layer to interpose the codec, so it stays
-		// on the unplanned datapath.
-		quant.RoundTripTensor(x, m.rng, true)
-		for _, l := range m.net.Layers {
-			x = l.Forward(x, false)
-			if len(l.Params()) > 0 {
-				quant.RoundTripTensor(x, m.rng, true)
-			}
+		// Real int8 datapath: conv and dense run on the u8·s8 integer GEMM
+		// through a quantized plan (per-channel weight scales, activation
+		// scales frozen by calibration or derived per batch), bucketed by
+		// batch size like the float plans. The plan owns its output, so it
+		// is copied out for the worker, same as the planned float path.
+		if m.qplans == nil {
+			m.qplans = nn.NewQuantPlanCache(m.net, m.calib, nil)
 		}
-		return x
+		return m.qplans.Forward(x).Clone()
 	}
 	if !m.planning {
 		return m.net.Infer(x)

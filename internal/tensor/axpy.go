@@ -10,7 +10,7 @@ package tensor
 // machine produced a number.
 
 // axpy is the active kernel: y[i] += alpha * x[i] for i < len(y).
-// len(x) must be >= len(y). Set at init; see axpy_amd64.go.
+// len(x) must be >= len(y). Installed by SetKernels; see kernels.go.
 var axpy = axpyGeneric
 
 func axpyGeneric(alpha float32, x, y []float32) {

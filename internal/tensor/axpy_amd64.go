@@ -34,9 +34,3 @@ func hasAVX2() bool {
 	_, ebx7, _, _ := cpuidex(7, 0)
 	return ebx7&(1<<5) != 0 // AVX2
 }
-
-func init() {
-	if hasAVX2() {
-		axpy = axpyAVX2
-	}
-}

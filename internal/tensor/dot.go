@@ -12,7 +12,7 @@ package tensor
 // sums; no test or checkpoint can tell which machine computed a GEMM.
 
 // sdot is the active kernel: returns Σ x[i]*y[i] over i < len(x).
-// len(y) must be >= len(x). Set at init; see dot_amd64.go.
+// len(y) must be >= len(x). Installed by SetKernels; see kernels.go.
 var sdot = sdotGeneric
 
 func sdotGeneric(x, y []float32) float32 {

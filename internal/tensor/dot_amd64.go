@@ -7,9 +7,3 @@ package tensor
 
 // Implemented in dot_amd64.s.
 func sdotAVX2(x, y []float32) float32
-
-func init() {
-	if hasAVX2() {
-		sdot = sdotAVX2
-	}
-}

@@ -1,11 +1,31 @@
 package tensor
 
+import "sync"
+
 // SGEMM kernels. Deep-learning convolutions lower (via im2col) to "tall
 // skinny" matrix multiplies whose shapes differ from classic HPC BLAS — the
-// paper's §II-A point. The implementation here is a register-blocked,
-// k-innermost product parallelised over row panels of C; it is the single
-// compute kernel under every convolution, deconvolution and dense layer in
-// this repository.
+// paper's §II-A point. The implementation is cache-blocked and register-
+// blocked: C is parallelised over row tiles (ParallelFor), each tile runs a
+// 4-row micro-kernel (axpy4) over column blocks sized to keep the streamed
+// B row and the four C rows L1-resident, and the dot-product variants tile
+// B rows to stay L2-hot across the whole C panel. Every blocking choice
+// preserves the per-element accumulation order of the row-at-a-time
+// reference (k ascending for the axpy variants, one full-k sdot for the
+// transpose-B variants), so blocked and unblocked, scalar and vector, all
+// produce bitwise-identical C — the golden training fingerprints cannot
+// tell the difference.
+
+const (
+	// gemmMR is the register-blocked row count: the axpy4 micro-kernel
+	// updates four C rows per streamed B block.
+	gemmMR = 4
+	// gemmNC is the column tile (floats) for the axpy variants: four C row
+	// tiles plus the B row tile fit comfortably in a 32 KiB L1.
+	gemmNC = 512
+	// gemmJB is the B-row tile for the transpose-B (sdot) variants: a
+	// block of Bᵀ rows reused across every C row stays L2-resident.
+	gemmJB = 256
+)
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C where op is identity or
 // transpose, A is m×k (after op), B is k×n (after op) and C is m×n. All
@@ -17,15 +37,14 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []floa
 	if len(c) < m*n {
 		panic("tensor: Gemm output too small")
 	}
+	// Pre-scaling goes through the dispatched kernels: clear() compiles to
+	// memclr, and scal is the vector scale body. Both write exactly what
+	// the scalar element loop wrote (+0, round(beta*c[i])).
 	if beta != 1 {
 		if beta == 0 {
-			for i := 0; i < m*n; i++ {
-				c[i] = 0
-			}
+			clear(c[:m*n])
 		} else {
-			for i := 0; i < m*n; i++ {
-				c[i] *= beta
-			}
+			scal(beta, c[:m*n])
 		}
 	}
 	if k == 0 || alpha == 0 {
@@ -49,9 +68,11 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []floa
 // captures on every GEMM, which the zero-steady-state-allocation contract
 // of compiled plans forbids.
 
-// gemmNN: A m×k, B k×n. The k-loop is outermost within a row so B rows are
-// streamed; C row stays hot. The row update is the axpy kernel (AVX2 where
-// available; bitwise-identical scalar elsewhere).
+// gemmNN: A m×k, B k×n. Row tiles of gemmMR C rows run the axpy4
+// micro-kernel over gemmNC-column blocks; within a block the k-loop
+// streams B rows while the four C row tiles stay hot. Per C element the
+// updates remain k-ascending — the same order, hence the same bits, as
+// the row-at-a-time reference that handles the remainder rows.
 func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
 	if SerialFor(m) {
 		gemmNNRows(0, m, n, k, alpha, a, b, c)
@@ -61,7 +82,51 @@ func gemmNN(m, n, k int, alpha float32, a, b, c []float32) {
 }
 
 func gemmNNRows(lo, hi, n, k int, alpha float32, a, b, c []float32) {
-	for i := lo; i < hi; i++ {
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		a0 := a[(i+0)*k : (i+0)*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		a2 := a[(i+2)*k : (i+2)*k+k]
+		a3 := a[(i+3)*k : (i+3)*k+k]
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		c2 := c[(i+2)*n : (i+2)*n+n]
+		c3 := c[(i+3)*n : (i+3)*n+n]
+		for jc := 0; jc < n; jc += gemmNC {
+			jw := n - jc
+			if jw > gemmNC {
+				jw = gemmNC
+			}
+			for p := 0; p < k; p++ {
+				brow := b[p*n+jc : p*n+jc+jw]
+				av0 := alpha * a0[p]
+				av1 := alpha * a1[p]
+				av2 := alpha * a2[p]
+				av3 := alpha * a3[p]
+				if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+					axpy4(av0, av1, av2, av3, brow,
+						c0[jc:jc+jw], c1[jc:jc+jw], c2[jc:jc+jw], c3[jc:jc+jw])
+					continue
+				}
+				// Zero alphas skip their row exactly as the reference
+				// body skips them (adding round(0·b) would be a bitwise
+				// no-op for finite inputs, but skipping is also faster).
+				if av0 != 0 {
+					axpy(av0, brow, c0[jc:jc+jw])
+				}
+				if av1 != 0 {
+					axpy(av1, brow, c1[jc:jc+jw])
+				}
+				if av2 != 0 {
+					axpy(av2, brow, c2[jc:jc+jw])
+				}
+				if av3 != 0 {
+					axpy(av3, brow, c3[jc:jc+jw])
+				}
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		arow := a[i*k : i*k+k]
 		crow := c[i*n : i*n+n]
 		for p := 0; p < k; p++ {
@@ -74,7 +139,9 @@ func gemmNNRows(lo, hi, n, k int, alpha float32, a, b, c []float32) {
 	}
 }
 
-// gemmTN: A is stored k×m (we need Aᵀ·B). Iterate k outermost per row block.
+// gemmTN: A is stored k×m (we need Aᵀ·B). The gemmMR row tile makes the
+// transposed access unit-stride — a[p*m+i .. p*m+i+3] are adjacent — so no
+// A-panel packing is needed; the blocked loop otherwise matches gemmNN.
 func gemmTN(m, n, k int, alpha float32, a, b, c []float32) {
 	if SerialFor(m) {
 		gemmTNRows(0, m, m, n, k, alpha, a, b, c)
@@ -84,7 +151,45 @@ func gemmTN(m, n, k int, alpha float32, a, b, c []float32) {
 }
 
 func gemmTNRows(lo, hi, m, n, k int, alpha float32, a, b, c []float32) {
-	for i := lo; i < hi; i++ {
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		c0 := c[(i+0)*n : (i+0)*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		c2 := c[(i+2)*n : (i+2)*n+n]
+		c3 := c[(i+3)*n : (i+3)*n+n]
+		for jc := 0; jc < n; jc += gemmNC {
+			jw := n - jc
+			if jw > gemmNC {
+				jw = gemmNC
+			}
+			for p := 0; p < k; p++ {
+				brow := b[p*n+jc : p*n+jc+jw]
+				base := p*m + i
+				av0 := alpha * a[base]
+				av1 := alpha * a[base+1]
+				av2 := alpha * a[base+2]
+				av3 := alpha * a[base+3]
+				if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+					axpy4(av0, av1, av2, av3, brow,
+						c0[jc:jc+jw], c1[jc:jc+jw], c2[jc:jc+jw], c3[jc:jc+jw])
+					continue
+				}
+				if av0 != 0 {
+					axpy(av0, brow, c0[jc:jc+jw])
+				}
+				if av1 != 0 {
+					axpy(av1, brow, c1[jc:jc+jw])
+				}
+				if av2 != 0 {
+					axpy(av2, brow, c2[jc:jc+jw])
+				}
+				if av3 != 0 {
+					axpy(av3, brow, c3[jc:jc+jw])
+				}
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		crow := c[i*n : i*n+n]
 		for p := 0; p < k; p++ {
 			av := alpha * a[p*m+i]
@@ -96,9 +201,11 @@ func gemmTNRows(lo, hi, m, n, k int, alpha float32, a, b, c []float32) {
 	}
 }
 
-// gemmNT: B is stored n×k (we need A·Bᵀ). Dot products of contiguous rows
-// via the sdot kernel (AVX2 where available; bitwise-identical scalar
-// elsewhere).
+// gemmNT: B is stored n×k (we need A·Bᵀ). Every C element is one
+// contiguous sdot; blocking tiles the Bᵀ rows so a gemmJB×k panel of B is
+// reused across the whole row range before the next panel streams in. The
+// k dimension is never split — the sdot accumulator structure is part of
+// the bitwise contract (see dot.go).
 func gemmNT(m, n, k int, alpha float32, a, b, c []float32) {
 	if SerialFor(m) {
 		gemmNTRows(0, m, n, k, alpha, a, b, c)
@@ -108,32 +215,99 @@ func gemmNT(m, n, k int, alpha float32, a, b, c []float32) {
 }
 
 func gemmNTRows(lo, hi, n, k int, alpha float32, a, b, c []float32) {
-	for i := lo; i < hi; i++ {
-		arow := a[i*k : i*k+k]
-		crow := c[i*n : i*n+n]
-		for j := 0; j < n; j++ {
-			crow[j] += alpha * sdot(arow, b[j*k:j*k+k])
+	for jb := 0; jb < n; jb += gemmJB {
+		jhi := jb + gemmJB
+		if jhi > n {
+			jhi = n
+		}
+		for i := lo; i < hi; i++ {
+			arow := a[i*k : i*k+k]
+			crow := c[i*n : i*n+n]
+			for j := jb; j < jhi; j++ {
+				crow[j] += alpha * sdot(arow, b[j*k:j*k+k])
+			}
 		}
 	}
 }
 
-// gemmTT: rare in this codebase (no hot path uses it, so it keeps the plain
-// ParallelFor shape). Each strided column of A is packed contiguous once
-// per output row, after which every output element is a contiguous sdot —
-// the standard pack-and-multiply trade.
+// gemmTT: each strided column of A is packed contiguous once per row tile
+// (k-panel packing into a recycled buffer — the pack-and-multiply trade),
+// after which every output element is a contiguous sdot over the same
+// gemmJB-tiled B panels as gemmNT.
 func gemmTT(m, n, k int, alpha float32, a, b, c []float32) {
-	ParallelFor(m, func(lo, hi int) {
-		acol := make([]float32, k)
-		for i := lo; i < hi; i++ {
+	if SerialFor(m) {
+		gemmTTRows(0, m, m, n, k, alpha, a, b, c)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) { gemmTTRows(lo, hi, m, n, k, alpha, a, b, c) })
+}
+
+func gemmTTRows(lo, hi, m, n, k int, alpha float32, a, b, c []float32) {
+	pack := getPack(gemmMR * k)
+	i := lo
+	for ; i+gemmMR <= hi; i += gemmMR {
+		for r := 0; r < gemmMR; r++ {
+			dst := pack[r*k : (r+1)*k]
 			for p := 0; p < k; p++ {
-				acol[p] = a[p*m+i]
-			}
-			crow := c[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				crow[j] += alpha * sdot(acol, b[j*k:j*k+k])
+				dst[p] = a[p*m+i+r]
 			}
 		}
-	})
+		for jb := 0; jb < n; jb += gemmJB {
+			jhi := jb + gemmJB
+			if jhi > n {
+				jhi = n
+			}
+			for r := 0; r < gemmMR; r++ {
+				acol := pack[r*k : (r+1)*k]
+				crow := c[(i+r)*n : (i+r)*n+n]
+				for j := jb; j < jhi; j++ {
+					crow[j] += alpha * sdot(acol, b[j*k:j*k+k])
+				}
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		acol := pack[:k]
+		for p := 0; p < k; p++ {
+			acol[p] = a[p*m+i]
+		}
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			crow[j] += alpha * sdot(acol, b[j*k:j*k+k])
+		}
+	}
+	putPack(pack)
+}
+
+// Packing buffers recycle through an explicit free list rather than a
+// sync.Pool: pool contents do not survive GC, and a warmed GEMM path must
+// stay allocation-free regardless of collector timing.
+var (
+	packMu   sync.Mutex
+	packFree [][]float32
+)
+
+func getPack(n int) []float32 {
+	packMu.Lock()
+	for idx := len(packFree) - 1; idx >= 0; idx-- {
+		if cap(packFree[idx]) >= n {
+			buf := packFree[idx]
+			packFree[idx] = packFree[len(packFree)-1]
+			packFree = packFree[:len(packFree)-1]
+			packMu.Unlock()
+			return buf[:n]
+		}
+	}
+	packMu.Unlock()
+	return make([]float32, n)
+}
+
+func putPack(buf []float32) {
+	packMu.Lock()
+	if len(packFree) < 64 {
+		packFree = append(packFree, buf)
+	}
+	packMu.Unlock()
 }
 
 // GemmFLOPs returns the algorithmic flop count of one m×n×k GEMM

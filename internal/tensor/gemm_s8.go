@@ -1,0 +1,96 @@
+package tensor
+
+// Int8 GEMM for the quantized serving forward pass. Weights are signed
+// (s8, symmetric per-output-channel scale) and activations unsigned (u8,
+// zero-point 128); products accumulate exactly in int32, so — unlike the
+// float kernels — every ISA body agrees bitwise by construction and
+// requantization is the only place rounding happens.
+
+// GemmS8 computes c[i*n+j] = Σ_p a[i*k+p] * b[j*k+p] in exact int32.
+// Both operands are stored with k contiguous ("NT-style"): a holds m
+// signed-weight rows, b holds n unsigned patch/activation rows. The caller
+// corrects for the activation zero-point afterwards (see the requantize
+// identity in internal/nn's quantized plan).
+func GemmS8(m, n, k int, a []int8, b []uint8, c []int32) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic("tensor: GemmS8 operand too small")
+	}
+	if SerialFor(m) {
+		gemmS8Rows(0, m, n, k, a, b, c)
+		return
+	}
+	ParallelFor(m, func(lo, hi int) { gemmS8Rows(lo, hi, n, k, a, b, c) })
+}
+
+func gemmS8Rows(lo, hi, n, k int, a []int8, b []uint8, c []int32) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : i*k+k]
+		crow := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			crow[j] = dotU8S8(arow, b[j*k:j*k+k])
+		}
+	}
+}
+
+// Im2colU8 lowers one quantized C×H×W image into the patch-major layout
+// GemmS8 consumes: patch j (output position, row-major over OH×OW) occupies
+// dst[j*K : (j+1)*K] with taps in (c,ky,kx) order, K = C·KH·KW. Out-of-
+// bounds taps take zp — the zero-point dequantizes to exactly 0, and its
+// contribution cancels in the requantize row-sum correction, so padding is
+// handled without a masked kernel. Patch-major (each patch's K taps
+// contiguous) is the transpose of the float im2col layout; it is what lets
+// one batched GemmS8 run patches from many samples back to back.
+func Im2colU8(img []uint8, c, h, w, kh, kw, stride, pad int, zp uint8, dst []uint8) {
+	oh := ConvOut(h, kh, stride, pad)
+	ow := ConvOut(w, kw, stride, pad)
+	kTaps := c * kh * kw
+	if len(dst) < oh*ow*kTaps {
+		panic("tensor: Im2colU8 output too small")
+	}
+	j := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			patch := dst[j*kTaps : (j+1)*kTaps]
+			j++
+			p := 0
+			for ch := 0; ch < c; ch++ {
+				chOff := ch * h * w
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							patch[p] = zp
+							p++
+						}
+						continue
+					}
+					rowOff := chOff + iy*w
+					ix := ox*stride - pad
+					// Contiguous run of in-bounds taps: ix+kx ∈ [0,w).
+					lo := 0
+					if ix < 0 {
+						lo = -ix
+					}
+					hi := w - ix
+					if hi > kw {
+						hi = kw
+					}
+					if hi < lo {
+						hi = lo
+					}
+					for kx := 0; kx < lo; kx++ {
+						patch[p+kx] = zp
+					}
+					copy(patch[p+lo:p+hi], img[rowOff+ix+lo:rowOff+ix+hi])
+					for kx := hi; kx < kw; kx++ {
+						patch[p+kx] = zp
+					}
+					p += kw
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package tensor
+
+// Runtime kernel dispatch. Every hot arithmetic body in this package —
+// axpy, sdot, the 4-row axpy micro-kernel under the blocked GEMM, the
+// in-place scale, and the u8·s8 integer dot under the quantized serving
+// path — is a package-level function variable installed by SetKernels.
+// One probe (kernels_amd64.go) classifies the host at init and picks the
+// widest safe body; SetKernels("scalar"|"avx2"|"avx512"|"auto") re-routes
+// the whole table at runtime, which is what cmd/deepserve's -kernels flag
+// and the CI bitwise-equality smoke drive.
+//
+// The contract every body must honour: for float32 kernels, bitwise-
+// identical results across ISAs (separate multiply and add, never FMA;
+// accumulator structure mirrored exactly between scalar and vector forms —
+// see axpy.go and dot.go). Integer kernels are exact, so any body agrees
+// automatically. SetKernels is not safe to call concurrently with running
+// kernels; switch ISAs between passes, not during one.
+
+import "fmt"
+
+// kernelISA names the installed table: "scalar", "avx2" or "avx512".
+var kernelISA = "scalar"
+
+// KernelISA reports which kernel bodies are installed.
+func KernelISA() string { return kernelISA }
+
+// SetKernels installs the kernel table for the named ISA. "auto" picks the
+// widest the host supports. It returns an error (leaving the table
+// unchanged) if the host cannot run the requested ISA.
+func SetKernels(mode string) error { return setKernels(mode) }
+
+// KernelISAs lists the ISAs the host can run, narrowest first.
+func KernelISAs() []string { return kernelISAs() }
+
+// installScalar routes every kernel to its portable Go body.
+func installScalar() {
+	axpy = axpyGeneric
+	sdot = sdotGeneric
+	axpy4 = axpy4Generic
+	scal = scalGeneric
+	dotU8S8 = dotU8S8Generic
+	kernelISA = "scalar"
+}
+
+// scal is the active in-place scale kernel: x[i] = alpha*x[i].
+var scal = scalGeneric
+
+func scalGeneric(alpha float32, x []float32) {
+	j := 0
+	for ; j+4 <= len(x); j += 4 {
+		x[j] = float32(alpha * x[j])
+		x[j+1] = float32(alpha * x[j+1])
+		x[j+2] = float32(alpha * x[j+2])
+		x[j+3] = float32(alpha * x[j+3])
+	}
+	for ; j < len(x); j++ {
+		x[j] = float32(alpha * x[j])
+	}
+}
+
+// axpy4 is the active 4-row micro-kernel: y_r[i] += a_r * x[i] for four C
+// rows sharing one streamed x row — the register-blocked inner body of the
+// tiled GEMM. Each row's arithmetic is element-for-element the axpy
+// sequence, so a 4-row call is bitwise-identical to four axpy calls.
+// All four alphas must be non-zero (the GEMM wrapper preserves the
+// zero-skip semantics of the row-at-a-time path before dispatching here).
+var axpy4 = axpy4Generic
+
+func axpy4Generic(a0, a1, a2, a3 float32, x, y0, y1, y2, y3 []float32) {
+	for j := 0; j < len(y0); j++ {
+		xv := x[j]
+		y0[j] += float32(a0 * xv)
+		y1[j] += float32(a1 * xv)
+		y2[j] += float32(a2 * xv)
+		y3[j] += float32(a3 * xv)
+	}
+}
+
+// dotU8S8 is the active quantized dot kernel: Σ int32(a[i])*int32(b[i])
+// over i < len(a). Exact integer arithmetic — every ISA body returns the
+// same value for any input. len(b) must be >= len(a).
+var dotU8S8 = dotU8S8Generic
+
+func dotU8S8Generic(a []int8, b []uint8) int32 {
+	var s int32
+	for i, v := range a {
+		s += int32(v) * int32(b[i])
+	}
+	return s
+}
+
+func unknownISA(mode string) error {
+	return fmt.Errorf("tensor: unknown or unsupported kernel ISA %q (host supports %v)", mode, kernelISAs())
+}

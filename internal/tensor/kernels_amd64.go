@@ -1,0 +1,110 @@
+//go:build amd64
+
+package tensor
+
+// amd64 kernel tables. AVX-512 detection extends the AVX2 protocol
+// (axpy_amd64.go): the OS must additionally save opmask and ZMM state
+// (XCR0 bits 5,6,7) and the CPU must report AVX512F (leaf 7 EBX bit 16).
+// The int8 dot kernel upgrades once more when AVX512-VNNI (leaf 7 ECX bit
+// 11) provides the fused u8·s8 multiply-accumulate VPDPBUSD.
+
+// Implemented in kernels_amd64.s.
+func axpyAVX512(alpha float32, x, y []float32)
+
+// Implemented in kernels_amd64.s.
+func sdotAVX512(x, y []float32) float32
+
+// Implemented in kernels_amd64.s.
+func scalAVX2(alpha float32, x []float32)
+
+// Implemented in kernels_amd64.s.
+func axpy4AVX2(a0, a1, a2, a3 float32, x, y0, y1, y2, y3 []float32)
+
+// Implemented in kernels_amd64.s.
+func dotU8S8AVX2(a []int8, b []uint8) int32
+
+// Implemented in kernels_amd64.s.
+func dotU8S8VNNI(a []int8, b []uint8) int32
+
+func hasAVX512() bool {
+	if !hasAVX2() {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0xE6 != 0xE6 { // XMM, YMM, opmask, ZMM_Hi256, Hi16_ZMM
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	return ebx7&(1<<16) != 0 // AVX512F
+}
+
+func hasVNNI() bool {
+	if !hasAVX512() {
+		return false
+	}
+	_, _, ecx7, _ := cpuidex(7, 0)
+	return ecx7&(1<<11) != 0 // AVX512_VNNI
+}
+
+func kernelISAs() []string {
+	isas := []string{"scalar"}
+	if hasAVX2() {
+		isas = append(isas, "avx2")
+	}
+	if hasAVX512() {
+		isas = append(isas, "avx512")
+	}
+	return isas
+}
+
+func installAVX2() {
+	axpy = axpyAVX2
+	sdot = sdotAVX2
+	axpy4 = axpy4AVX2
+	scal = scalAVX2
+	dotU8S8 = dotU8S8AVX2
+	kernelISA = "avx2"
+}
+
+func installAVX512() {
+	installAVX2()
+	axpy = axpyAVX512
+	sdot = sdotAVX512
+	if hasVNNI() {
+		dotU8S8 = dotU8S8VNNI
+	}
+	kernelISA = "avx512"
+}
+
+func setKernels(mode string) error {
+	switch mode {
+	case "scalar":
+		installScalar()
+	case "avx2":
+		if !hasAVX2() {
+			return unknownISA(mode)
+		}
+		installAVX2()
+	case "avx512":
+		if !hasAVX512() {
+			return unknownISA(mode)
+		}
+		installAVX512()
+	case "auto":
+		switch {
+		case hasAVX512():
+			installAVX512()
+		case hasAVX2():
+			installAVX2()
+		default:
+			installScalar()
+		}
+	default:
+		return unknownISA(mode)
+	}
+	return nil
+}
+
+func init() {
+	setKernels("auto")
+}

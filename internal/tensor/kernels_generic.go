@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 hosts run the portable bodies only; the scalar kernels are the
+// reference semantics, so there is nothing to switch.
+
+func kernelISAs() []string { return []string{"scalar"} }
+
+func setKernels(mode string) error {
+	switch mode {
+	case "scalar", "auto":
+		installScalar()
+		return nil
+	}
+	return unknownISA(mode)
+}

@@ -12,11 +12,9 @@ func Axpy(alpha float32, x, y []float32) {
 	axpy(alpha, x, y)
 }
 
-// Scale computes x *= alpha.
+// Scale computes x *= alpha via the dispatched kernel (see kernels.go).
 func Scale(alpha float32, x []float32) {
-	for i := range x {
-		x[i] *= alpha
-	}
+	scal(alpha, x)
 }
 
 // Add computes dst = a + b elementwise.
