@@ -22,6 +22,7 @@ import (
 	"deep15pf/internal/data"
 	"deep15pf/internal/harness"
 	"deep15pf/internal/hep"
+	"deep15pf/internal/netserve"
 	"deep15pf/internal/nn"
 	"deep15pf/internal/obs"
 	"deep15pf/internal/opt"
@@ -268,6 +269,16 @@ type serveBenchReport struct {
 	Int8               int8BenchSide `json:"int8"`
 	Int8ThroughputGain float64       `json:"int8_throughput_gain"`
 
+	// Fleet (PR 8) is the network tier: the same model served over real
+	// loopback TCP through internal/netserve's router. fleet_single vs
+	// fleet_pair is the scale-out A/B; hedge_off vs hedge_on is the tail
+	// A/B with the rendezvous-preferred member deliberately slowed, so
+	// every sticky dispatch takes the slow path and the hedge race is
+	// real; socket_allocs_per_request is whole-process mallocs per warm
+	// round trip over a socket with both endpoints in this process, so
+	// client and server costs are both counted.
+	Fleet fleetBenchBlock `json:"fleet"`
+
 	// KernelDispatch names the ISA the runtime probe installed (the fp32
 	// result is bitwise identical across all of them; see
 	// internal/tensor/kernels.go). The gemm_blocked_* and int8_gemm_* rows
@@ -350,6 +361,193 @@ func measureServeSide(t *testing.T, planning, quantized bool, tr *obs.Tracer, re
 	}
 }
 
+// ---- Fleet tier (PR 8): routed serving over real loopback sockets ----
+
+// fleetBenchSide is one measured fleet configuration, client-observed
+// through a router over real TCP connections.
+type fleetBenchSide struct {
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Dropped   int     `json:"dropped"`
+}
+
+// fleetBenchBlock is the fleet section of serveBenchReport; see the field
+// comment there for what each side measures.
+type fleetBenchBlock struct {
+	FleetSingle            fleetBenchSide `json:"fleet_single"`
+	FleetPair              fleetBenchSide `json:"fleet_pair"`
+	HedgeOff               fleetBenchSide `json:"hedge_off"`
+	HedgeOn                fleetBenchSide `json:"hedge_on"`
+	HedgeP99Cut            float64        `json:"hedge_p99_cut"`
+	SocketAllocsPerRequest float64        `json:"socket_allocs_per_request"`
+}
+
+func fleetSideOf(res serve.LoadResult) fleetBenchSide {
+	return fleetBenchSide{
+		ReqPerSec: res.Throughput,
+		P50Ms:     float64(res.P50.Microseconds()) / 1000,
+		P95Ms:     float64(res.P95.Microseconds()) / 1000,
+		P99Ms:     float64(res.P99.Microseconds()) / 1000,
+		Dropped:   res.Dropped,
+	}
+}
+
+// fleetBenchModel loads the bench model through the registry (checkpoint
+// round trip included) and renders a request pool, the fixture every fleet
+// side shares.
+func fleetBenchModel(t *testing.T) (*serve.LoadedModel, []*serve.LoadInput) {
+	t.Helper()
+	cfg := hep.ModelConfig{Name: "bench-fleet", ImageSize: 4, Filters: 16, ConvUnits: 2, Classes: 2}
+	rng := tensor.NewRNG(7)
+	net := hep.BuildNet(cfg, rng)
+	path := filepath.Join(t.TempDir(), "fleet.d15w")
+	if err := nn.SaveFile(path, net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	serve.RegisterHEP(reg, "bench-fleet", cfg)
+	lm, err := reg.Load("bench-fleet", path, serve.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*serve.LoadInput, 64)
+	for i := range inputs {
+		x := tensor.New(3, cfg.ImageSize, cfg.ImageSize)
+		rng.FillNorm(x, 0, 1)
+		inputs[i] = &serve.LoadInput{X: x}
+	}
+	return lm, inputs
+}
+
+// startFleetBackends brings up n independent serving engines over the
+// loaded model, each behind its own network listener on a loopback port.
+func startFleetBackends(t *testing.T, lm *serve.LoadedModel, n int) ([]string, []*netserve.Server, []*serve.Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	nss := make([]*netserve.Server, n)
+	engines := make([]*serve.Server, n)
+	for i := 0; i < n; i++ {
+		eng, err := serve.NewServer(lm, serve.Config{MaxBatch: 16, MaxLinger: time.Millisecond, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns, err := netserve.NewServer("127.0.0.1:0", map[string]*serve.Server{"bench-fleet": eng}, netserve.ServerConfig{})
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		engines[i], nss[i], addrs[i] = eng, ns, ns.Addr()
+		t.Cleanup(func() {
+			ns.Close()
+			eng.Close()
+		})
+	}
+	return addrs, nss, engines
+}
+
+// routedLoad stands up a router over the backends, warms the path, and
+// drives the closed-loop measurement load through it.
+func routedLoad(t *testing.T, addrs []string, rcfg netserve.RouterConfig, inputs []*serve.LoadInput, clients, requests int) serve.LoadResult {
+	t.Helper()
+	r, err := netserve.NewRouter("127.0.0.1:0", addrs, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	c, err := netserve.Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bound := c.Bind("bench-fleet")
+	if res := serve.RunClosedLoop(bound, inputs, clients, 2*clients); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res := serve.RunClosedLoop(bound, inputs, clients, requests)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	return res
+}
+
+// socketAllocs measures whole-process mallocs per warm round trip over a
+// real socket — client request encode, server decode, inference, response
+// encode, client decode into a reused tensor. Both endpoints live in this
+// process, so the number is the sum of both sides.
+func socketAllocs(t *testing.T, addr string, inputs []*serve.LoadInput) float64 {
+	t.Helper()
+	c, err := netserve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	y := tensor.New(2)
+	warm := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := c.InferInto("bench-fleet", inputs[i%len(inputs)].X, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm(256)
+	const n = 512
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	warm(n)
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / n
+}
+
+// measureFleetBench runs the four fleet sides. requests sizes the
+// scale-out A/B; hedgeRequests sizes the tail A/B (smaller, because the
+// unhedged side deliberately serves most requests through a slowed
+// member).
+func measureFleetBench(t *testing.T, requests, hedgeRequests, clients int) fleetBenchBlock {
+	t.Helper()
+	lm, inputs := fleetBenchModel(t)
+	var blk fleetBenchBlock
+
+	single, _, _ := startFleetBackends(t, lm, 1)
+	blk.FleetSingle = fleetSideOf(routedLoad(t, single, netserve.RouterConfig{}, inputs, clients, requests))
+
+	pair, nss, engines := startFleetBackends(t, lm, 2)
+	blk.FleetPair = fleetSideOf(routedLoad(t, pair, netserve.RouterConfig{}, inputs, clients, requests))
+
+	// Tail A/B over the same pair: one probe reveals which member
+	// rendezvous hashing prefers for this model; slowing exactly that
+	// member means every sticky dispatch takes the slow path, so the
+	// hedged run has a real race to win.
+	r, err := netserve.NewRouter("127.0.0.1:0", pair, netserve.RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := netserve.Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := engines[0].Stats().Requests
+	if _, err := c.Infer("bench-fleet", inputs[0].X); err != nil {
+		t.Fatal(err)
+	}
+	preferred := 0
+	if engines[0].Stats().Requests == before {
+		preferred = 1
+	}
+	c.Close()
+	r.Close()
+	nss[preferred].SetDelay(3 * time.Millisecond)
+	blk.HedgeOff = fleetSideOf(routedLoad(t, pair, netserve.RouterConfig{}, inputs, clients, hedgeRequests))
+	blk.HedgeOn = fleetSideOf(routedLoad(t, pair, netserve.RouterConfig{Hedge: true}, inputs, clients, hedgeRequests))
+	blk.HedgeP99Cut = blk.HedgeOff.P99Ms / blk.HedgeOn.P99Ms
+	nss[preferred].SetDelay(0)
+
+	blk.SocketAllocsPerRequest = socketAllocs(t, single[0], inputs)
+	return blk
+}
+
 // TestEmitServeBenchJSON measures the planned-vs-unplanned serving A/B and
 // writes BENCH_serve.json so the serving perf trajectory is machine-
 // readable across PRs. It also enforces the regression floor: the planned
@@ -369,6 +567,7 @@ func TestEmitServeBenchJSON(t *testing.T) {
 	rep.Traced = measureServeSide(t, true, false, obs.NewTracer(0), requests, clients, maxBatch)
 	rep.Int8.serveBenchSide = measureServeSide(t, true, true, nil, requests, clients, maxBatch)
 	rep.Int8.AccDelta = servedAccuracyDelta(t)
+	rep.Fleet = measureFleetBench(t, 2000, 800, 16)
 	rep.ThroughputGain = rep.Planned.ReqPerSec / rep.Unplanned.ReqPerSec
 	rep.AllocReduction = rep.Unplanned.AllocsPerRequest / rep.Planned.AllocsPerRequest
 	rep.P99ImprovementMs = rep.Unplanned.P99Ms - rep.Planned.P99Ms
@@ -417,6 +616,28 @@ func TestEmitServeBenchJSON(t *testing.T) {
 		}
 	} else {
 		t.Logf("int8 throughput gain %.2fx recorded, not gated (host has %d CPU)", rep.Int8ThroughputGain, runtime.NumCPU())
+	}
+
+	t.Logf("fleet: single %.0f req/s p99 %.2f ms; pair %.0f req/s p99 %.2f ms; %.2f allocs/req over the socket",
+		rep.Fleet.FleetSingle.ReqPerSec, rep.Fleet.FleetSingle.P99Ms,
+		rep.Fleet.FleetPair.ReqPerSec, rep.Fleet.FleetPair.P99Ms,
+		rep.Fleet.SocketAllocsPerRequest)
+	t.Logf("hedge (one member slowed): off p99 %.2f ms, on p99 %.2f ms (%.2fx cut)",
+		rep.Fleet.HedgeOff.P99Ms, rep.Fleet.HedgeOn.P99Ms, rep.Fleet.HedgeP99Cut)
+	// Zero drops through the routed tier is deterministic — gate it
+	// everywhere, every side.
+	if d := rep.Fleet.FleetSingle.Dropped + rep.Fleet.FleetPair.Dropped +
+		rep.Fleet.HedgeOff.Dropped + rep.Fleet.HedgeOn.Dropped; d != 0 {
+		t.Errorf("routed serving dropped %d requests across the fleet sides, want 0", d)
+	}
+	// The hedge tail cut is wall-clock: gated on multi-core hosts (the
+	// race needs a spare core to be real), recorded everywhere.
+	if runtime.NumCPU() >= 2 {
+		if rep.Fleet.HedgeP99Cut < 1.2 {
+			t.Errorf("hedging cut p99 by %.2fx with a slowed member, want >= 1.2x on multi-core hosts", rep.Fleet.HedgeP99Cut)
+		}
+	} else {
+		t.Logf("hedge p99 cut %.2fx recorded, not gated (host has %d CPU)", rep.Fleet.HedgeP99Cut, runtime.NumCPU())
 	}
 }
 

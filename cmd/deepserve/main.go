@@ -22,6 +22,10 @@
 //	deepserve -arch hep-small -checkpoint model.d15w
 //	deepserve -watch /tmp/ckpts            # hot-reload demo: train→publish→swap under load
 //	deepserve -watch /tmp/ckpts -canary .2 # stage new versions behind 20% canary traffic
+//	deepserve -listen :7015                # backend mode: serve over TCP, drain on SIGTERM
+//	deepserve -connect host:7015           # drive load against a remote endpoint
+//	deepserve -connect host:7015 -openloop 3000   # Poisson arrivals at 3000 req/s
+//	deepserve -fleet 2 -hedge              # 2 backend processes + hedging router + rolling restart
 package main
 
 import (
@@ -72,6 +76,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	metricsEvery := flag.Int("metrics-every", 0, "print a one-line metrics dump every N seconds (0 = off)")
 	windowed := flag.Bool("windowed-latency", false, "latency quantiles over the most recent 64k requests instead of a whole-lifetime uniform sample")
+	listen := flag.String("listen", "", "backend mode: serve the model over TCP on this address (prints the listen banner, drains on SIGTERM)")
+	connect := flag.String("connect", "", "client mode: drive load against this remote D15R endpoint instead of an in-process server")
+	fleetN := flag.Int("fleet", 0, "fleet mode: spawn N backend processes, route over them, and rolling-restart one mid-load")
+	hedge := flag.Bool("hedge", false, "with -fleet: hedge tail requests at a second backend (one member is slowed to make the race real)")
+	openloop := flag.Float64("openloop", 0, "open-loop (Poisson) arrival rate in req/s; 0 = closed-loop clients")
+	netDelay := flag.Duration("net-delay", 0, "with -listen: inject this per-request delay (slow-backend fault injection)")
 	kernels := flag.String("kernels", "auto", "compute kernel ISA: auto|scalar|avx2|avx512 (float results are bitwise identical across choices)")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
@@ -97,6 +107,27 @@ func main() {
 	registry := serve.DefaultRegistry()
 	demoCfg := hep.ModelConfig{Name: "hep-demo", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
 	serve.RegisterHEP(registry, "hep-demo", demoCfg)
+
+	if *fleetN > 0 {
+		model := *arch
+		if model == "" {
+			model = "hep-demo"
+		}
+		path := *checkpoint
+		if path == "" {
+			path = trainDemo(demoCfg, *trainEvents, *trainIters, *lr, *seed)
+		}
+		runFleet(*fleetN, path, model, demoCfg, *hedge, *openloop, *requests, *clients, *seed)
+		return
+	}
+	if *connect != "" {
+		model := *arch
+		if model == "" {
+			model = "hep-demo"
+		}
+		runConnect(*connect, model, *size, *openloop, *requests, *clients, *seed)
+		return
+	}
 
 	if *watch != "" {
 		prec := serve.Float32
@@ -160,9 +191,14 @@ func main() {
 		reportInt8Agreement(registry, archName, path, lm, *seed)
 	}
 
-	inputs := requestPool(lm, 256, *seed+3)
 	cfg := serve.Config{MaxBatch: *batch, MaxLinger: *linger, Workers: *workers,
 		WindowedLatency: *windowed}
+	if *listen != "" {
+		runListen(lm, archName, *listen, cfg, *netDelay)
+		return
+	}
+
+	inputs := requestPool(lm, 256, *seed+3)
 	// The tracer rides only on the dynamic-batching run: lanes are named
 	// per worker index, so sharing one tracer across two servers would
 	// interleave their spans.
@@ -173,13 +209,13 @@ func main() {
 	var base serve.Stats
 	if *compare {
 		fmt.Printf("--- baseline: batch size 1, %d requests, %d clients ---\n", *requests, *clients)
-		base = runLoad(lm, serve.Config{MaxBatch: 1, Workers: *workers}, inputs, *clients, *requests)
+		base = runLoad(lm, serve.Config{MaxBatch: 1, Workers: *workers}, inputs, *clients, *requests, *openloop, *seed)
 		fmt.Println()
 	}
 
 	fmt.Printf("--- dynamic batching: max batch %d, linger %v, %d requests, %d clients ---\n",
 		*batch, *linger, *requests, *clients)
-	dyn := runLoad(lm, cfg, inputs, *clients, *requests)
+	dyn := runLoad(lm, cfg, inputs, *clients, *requests, *openloop, *seed)
 	if cfg.Trace != nil {
 		lanes := cfg.Trace.Snapshot()
 		if err := cfg.Trace.WriteTraceFile(*traceOut); err != nil {
@@ -375,7 +411,7 @@ func requestPool(lm *serve.LoadedModel, n int, seed uint64) []*serve.LoadInput {
 // prints and returns its stats snapshot, including whole-process heap
 // allocations per request — the number the compiled-plan datapath exists
 // to drive toward the per-batch floor.
-func runLoad(lm *serve.LoadedModel, cfg serve.Config, inputs []*serve.LoadInput, clients, total int) serve.Stats {
+func runLoad(lm *serve.LoadedModel, cfg serve.Config, inputs []*serve.LoadInput, clients, total int, rate float64, seed uint64) serve.Stats {
 	s, err := serve.NewServer(lm, cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -396,13 +432,16 @@ func runLoad(lm *serve.LoadedModel, cfg serve.Config, inputs []*serve.LoadInput,
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	res := serve.RunClosedLoop(s, inputs, clients, total)
+	res := driveLoad(s, inputs, clients, total, rate, seed)
 	if res.Err != nil {
 		fatalf("load run: %v", res.Err)
 	}
 	runtime.ReadMemStats(&after)
 	st := s.Stats()
 	fmt.Println(st)
+	if rate > 0 {
+		printLoadResult(res) // open loop: client-observed tail is the point
+	}
 	fmt.Printf("  allocs/request %.1f (whole process, steady state)\n",
 		float64(after.Mallocs-before.Mallocs)/float64(total))
 	return st

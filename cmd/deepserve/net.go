@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"deep15pf/internal/hep"
+	"deep15pf/internal/netserve"
+	"deep15pf/internal/serve"
+	"deep15pf/internal/tensor"
+)
+
+// runListen is backend mode: put the loaded model on the network and
+// serve until SIGTERM, then drain (goaway handshake, every in-flight
+// request answered) and exit. The listen banner on stdout is the
+// handshake a fleet parent scans for the ephemeral port.
+func runListen(lm *serve.LoadedModel, model, addr string, cfg serve.Config, delay time.Duration) {
+	eng, err := serve.NewServer(lm, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	engines := map[string]*serve.Server{model: eng}
+	ns, err := netserve.NewServer(addr, engines, netserve.ServerConfig{Delay: delay})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	liveMetrics.Store(eng.Metrics())
+	ns.PrintBanner(os.Stdout)
+	if delay > 0 {
+		fmt.Fprintf(os.Stderr, "deepserve: serving %q with %v injected per-request delay\n", model, delay)
+	}
+	ns.DrainOnSignal(engines, 15*time.Second)
+	fmt.Printf("drained: %s\n", eng.Stats())
+}
+
+// runConnect is client mode: drive the load generator against a remote
+// D15R endpoint (a backend or a router) exactly as it drives an
+// in-process server.
+func runConnect(addr, model string, size int, rate float64, requests, clients int, seed uint64) {
+	c, err := netserve.Dial(addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+	inputs := buildNetInputs(size, 256, seed+3)
+	mode := "closed-loop"
+	if rate > 0 {
+		mode = fmt.Sprintf("open-loop %.0f req/s", rate)
+	}
+	fmt.Printf("--- %s against %s, model %q, %d requests, %d clients ---\n", mode, addr, model, requests, clients)
+	res := driveLoad(c.Bind(model), inputs, clients, requests, rate, seed)
+	printLoadResult(res)
+	if res.Err != nil {
+		fatalf("load run: %v", res.Err)
+	}
+	if res.Dropped > 0 {
+		fatalf("%d requests dropped", res.Dropped)
+	}
+}
+
+// runFleet is the multi-process demo and smoke target: spawn n backend
+// processes over one checkpoint, route over them (hedged if asked, with
+// one member deliberately slowed so the hedge race is real), run the load
+// generator through the router, and rolling-restart a member mid-load.
+// Exits nonzero if a single request is dropped.
+func runFleet(n int, ckpt, model string, demo hep.ModelConfig, hedge bool, rate float64, requests, clients int, seed uint64) {
+	if n < 2 {
+		fatalf("-fleet needs at least 2 members (got %d)", n)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spawn := func(delay time.Duration) (*netserve.Proc, error) {
+		args := []string{exe, "-listen", "127.0.0.1:0", "-checkpoint", ckpt, "-arch", model,
+			"-size", strconv.Itoa(demo.ImageSize), "-filters", strconv.Itoa(demo.Filters),
+			"-units", strconv.Itoa(demo.ConvUnits)}
+		if delay > 0 {
+			args = append(args, "-net-delay", delay.String())
+		}
+		return netserve.StartProc(args, nil, 60*time.Second)
+	}
+
+	procs := make([]*netserve.Proc, n)
+	addrs := make([]string, n)
+	for i := range procs {
+		var delay time.Duration
+		if hedge && i == 0 {
+			// One deliberately slow member makes the hedge demo honest:
+			// its requests hit the adaptive deadline and race a second
+			// attempt at a healthy member.
+			delay = 4 * time.Millisecond
+		}
+		p, err := spawn(delay)
+		if err != nil {
+			fatalf("fleet member %d: %v", i, err)
+		}
+		procs[i], addrs[i] = p, p.Addr
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil {
+				p.Kill()
+			}
+		}
+	}()
+	fmt.Printf("fleet: %d members up (%v), hedge %v\n", n, addrs, hedge)
+
+	r, err := netserve.NewRouter("127.0.0.1:0", addrs, netserve.RouterConfig{Hedge: hedge})
+	if err != nil {
+		fatalf("router: %v", err)
+	}
+	defer r.Close()
+	c, err := netserve.Dial(r.Addr())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+	bound := c.Bind(model)
+	inputs := buildNetInputs(demo.ImageSize, 256, seed+3)
+
+	// Warm every member's pools and plans before measuring.
+	if res := serve.RunClosedLoop(bound, inputs, clients, 2*clients); res.Err != nil {
+		fatalf("fleet warmup: %v", res.Err)
+	}
+
+	mode := "closed-loop"
+	if rate > 0 {
+		mode = fmt.Sprintf("open-loop %.0f req/s", rate)
+	}
+	fmt.Printf("--- %s through the router: %d requests, %d clients, rolling restart mid-load ---\n",
+		mode, requests, clients)
+	var res serve.LoadResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res = driveLoad(bound, inputs, clients, requests, rate, seed)
+	}()
+	time.Sleep(50 * time.Millisecond) // load is flowing
+	restarted, err := netserve.RollingRestart(r, procs[n-1], func() (*netserve.Proc, error) {
+		return spawn(0)
+	}, 20*time.Second)
+	if err != nil {
+		fatalf("rolling restart: %v", err)
+	}
+	procs[n-1] = restarted
+	<-done
+
+	printLoadResult(res)
+	snap := r.Metrics().Snapshot()
+	fmt.Printf("  router: %s\n", snap.Line())
+	for _, p := range procs {
+		p.Drain(15 * time.Second)
+	}
+	procs = nil
+	if res.Err != nil {
+		fatalf("fleet load: %v", res.Err)
+	}
+	if res.Dropped > 0 {
+		fatalf("rolling restart dropped %d requests", res.Dropped)
+	}
+	fmt.Println("rolling restart: zero dropped requests")
+}
+
+// driveLoad picks the arrival process: closed loop (each client submits
+// the moment its last request completes) or open loop (Poisson arrivals
+// at rate req/s — the honest tail-latency workload).
+func driveLoad(s serve.Submitter, inputs []*serve.LoadInput, clients, total int, rate float64, seed uint64) serve.LoadResult {
+	if rate > 0 {
+		return serve.RunOpenLoop(s, inputs, rate, total, seed)
+	}
+	return serve.RunClosedLoop(s, inputs, clients, total)
+}
+
+func printLoadResult(res serve.LoadResult) {
+	fmt.Printf("  client-observed: %d completed, %d dropped, %.0f req/s, p50 %v  p95 %v  p99 %v\n",
+		res.Requests, res.Dropped, res.Throughput,
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+}
+
+// buildNetInputs renders HEP-shaped request tensors locally — client and
+// fleet modes have no loaded model to take shapes from, only the flags.
+func buildNetInputs(size, n int, seed uint64) []*serve.LoadInput {
+	rng := tensor.NewRNG(seed)
+	ds := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(size), n, 0.5, rng)
+	per := hep.Channels * size * size
+	inputs := make([]*serve.LoadInput, n)
+	for i := range inputs {
+		inputs[i] = &serve.LoadInput{X: tensor.FromSlice(ds.Images.Data[i*per:(i+1)*per], hep.Channels, size, size)}
+	}
+	return inputs
+}

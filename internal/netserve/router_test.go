@@ -1,0 +1,285 @@
+package netserve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"deep15pf/internal/serve"
+)
+
+// startFleet brings up len(delays) backends over one trained checkpoint
+// (delays[i] is backend i's injected slowness) plus a router over all of
+// them.
+func startFleet(t *testing.T, delays []time.Duration, rcfg RouterConfig) (*Router, []*Server, []*serve.Server, []*serve.LoadInput) {
+	t.Helper()
+	lm, inputs := trainAndLoad(t)
+	scfg := serve.Config{MaxBatch: 8, MaxLinger: time.Millisecond, Workers: 2}
+	engines := make([]*serve.Server, len(delays))
+	nss := make([]*Server, len(delays))
+	addrs := make([]string, len(delays))
+	for i, d := range delays {
+		eng, err := serve.NewServer(lm, scfg)
+		if err != nil {
+			t.Fatalf("serve.NewServer %d: %v", i, err)
+		}
+		ns, err := NewServer("127.0.0.1:0", map[string]*serve.Server{"tiny": eng}, ServerConfig{Delay: d})
+		if err != nil {
+			t.Fatalf("netserve.NewServer %d: %v", i, err)
+		}
+		engines[i], nss[i], addrs[i] = eng, ns, ns.Addr()
+		t.Cleanup(func() {
+			ns.Close()
+			eng.Close()
+		})
+	}
+	r, err := NewRouter("127.0.0.1:0", addrs, rcfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(r.Close)
+	return r, nss, engines, inputs
+}
+
+func counterValue(r *Router, name string) int64 {
+	return r.Metrics().Counter(name).Value()
+}
+
+// TestRouterRoundTrip pins the splice path: responses through the router
+// are bitwise identical to direct backend responses, and a load run over
+// the router drops nothing.
+func TestRouterRoundTrip(t *testing.T) {
+	r, _, engines, inputs := startFleet(t, []time.Duration{0, 0}, RouterConfig{})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i, in := range inputs[:8] {
+		want, err := engines[0].Submit(in.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Infer("tiny", in.X)
+		if err != nil {
+			t.Fatalf("routed Infer %d: %v", i, err)
+		}
+		for j := range want.Data {
+			if got.Data[j] != want.Data[j] {
+				t.Fatalf("routed response %d logit %d: %v, direct %v", i, j, got.Data[j], want.Data[j])
+			}
+		}
+	}
+
+	res := serve.RunClosedLoop(c.Bind("tiny"), inputs, 8, 256)
+	if res.Err != nil || res.Dropped != 0 {
+		t.Fatalf("routed closed loop: %d dropped, err %v", res.Dropped, res.Err)
+	}
+	if counterValue(r, "router.routed") < 256 {
+		t.Fatalf("router counted %d routed requests", counterValue(r, "router.routed"))
+	}
+}
+
+// TestRouterStickyDispatch pins the rendezvous policy: an idle fleet
+// routes one model's every request to the same member (cache warmth), and
+// the choice is deterministic.
+func TestRouterStickyDispatch(t *testing.T) {
+	r, _, engines, inputs := startFleet(t, []time.Duration{0, 0}, RouterConfig{})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Infer("tiny", inputs[i%len(inputs)].X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := engines[0].Stats().Requests, engines[1].Stats().Requests
+	if a+b != 16 || (a != 0 && b != 0) {
+		t.Fatalf("idle-fleet dispatch split %d/%d, want all 16 on one member", a, b)
+	}
+}
+
+// TestRouterShedsWithoutBackends pins the admission refusal: a fleet with
+// no eligible members answers with a typed shed error, not a hang.
+func TestRouterShedsWithoutBackends(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", nil, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	lm, inputs := trainAndLoad(t)
+	_ = lm
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var re *RemoteError
+	if _, err := c.Infer("tiny", inputs[0].X); !errors.As(err, &re) || re.Code != CodeShed {
+		t.Fatalf("empty fleet returned %v, want RemoteError{CodeShed}", err)
+	}
+	if counterValue(r, "router.shed") == 0 {
+		t.Fatal("shed counter never moved")
+	}
+}
+
+// TestRouterAdmissionControl pins load shedding on degraded latency: once
+// a backend's sliding p99 exceeds the ceiling and no alternative exists,
+// new requests are shed rather than queued into the collapse.
+func TestRouterAdmissionControl(t *testing.T) {
+	// One backend, 2ms injected delay, 1µs ceiling: every request after
+	// the 32-observation grace window must shed.
+	r, _, _, inputs := startFleet(t, []time.Duration{2 * time.Millisecond},
+		RouterConfig{AdmitP99: time.Microsecond})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var shed int
+	for i := 0; i < 64; i++ {
+		_, err := c.Infer("tiny", inputs[i%len(inputs)].X)
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == CodeShed {
+			shed++
+		} else if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request was shed despite a degraded-past-ceiling backend")
+	}
+	if got := counterValue(r, "router.shed"); got != int64(shed) {
+		t.Fatalf("shed counter %d, clients saw %d", got, shed)
+	}
+}
+
+// TestRouterHedgingWins pins the hedge machinery end to end: with one
+// slow member and one fast one, requests stuck on the slow backend get a
+// second attempt that answers first, the loser is cancelled, and every
+// response is still correct.
+func TestRouterHedgingWins(t *testing.T) {
+	r, nss, engines, inputs := startFleet(t, []time.Duration{0, 0},
+		RouterConfig{Hedge: true, HedgeMin: 2 * time.Millisecond})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Probe to learn which member rendezvous prefers for this model, then
+	// degrade exactly that one — the hedge race is now guaranteed to run.
+	if _, err := c.Infer("tiny", inputs[0].X); err != nil {
+		t.Fatal(err)
+	}
+	preferred := 0
+	if engines[1].Stats().Requests > 0 {
+		preferred = 1
+	}
+	nss[preferred].SetDelay(25 * time.Millisecond)
+
+	want, err := engines[1-preferred].Submit(inputs[0].X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y, err := c.Infer("tiny", inputs[0].X)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := range want.Data {
+				if y.Data[j] != want.Data[j] {
+					errs <- errors.New("hedged response does not match the model")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The preferred member is 25ms slow and the hedge deadline is 2ms:
+	// hedges must have fired, and the fast member must have won races.
+	if counterValue(r, "router.hedged") == 0 {
+		t.Fatal("slow preferred backend but no hedge ever fired")
+	}
+	if counterValue(r, "router.hedge_wins") == 0 {
+		t.Fatal("hedges fired but the fast backend never won the race")
+	}
+}
+
+// TestRouterZeroDropsAcrossBackendDeath pins the retry guarantee: killing
+// a member mid-load (hard close, no goaway) re-dispatches its stranded
+// requests; the client sees every answer.
+func TestRouterZeroDropsAcrossBackendDeath(t *testing.T) {
+	r, nss, _, inputs := startFleet(t, []time.Duration{time.Millisecond, time.Millisecond}, RouterConfig{})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var res serve.LoadResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res = serve.RunClosedLoop(c.Bind("tiny"), inputs, 8, 400)
+	}()
+	time.Sleep(20 * time.Millisecond) // load is flowing through both members
+	nss[0].Close()                    // hard kill: no goaway, stranded in-flight requests
+	<-done
+
+	if res.Err != nil {
+		t.Fatalf("load run failed across backend death: %v", res.Err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("%d requests dropped across backend death, want 0", res.Dropped)
+	}
+	if got := len(r.Backends()); got != 1 {
+		t.Fatalf("router still lists %d backends after one died", got)
+	}
+}
+
+// TestRouterGracefulBackendDrain pins the goaway path router-side: a
+// draining member finishes its in-flight work, the router stops choosing
+// it, and nothing is dropped — the single-process version of the rolling
+// restart.
+func TestRouterGracefulBackendDrain(t *testing.T) {
+	r, nss, _, inputs := startFleet(t, []time.Duration{time.Millisecond, time.Millisecond}, RouterConfig{})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var res serve.LoadResult
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res = serve.RunClosedLoop(c.Bind("tiny"), inputs, 8, 400)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	nss[0].Drain(5 * time.Second) // graceful: goaway, in-flight completes
+	<-done
+
+	if res.Err != nil || res.Dropped != 0 {
+		t.Fatalf("graceful drain dropped %d requests (err %v), want 0", res.Dropped, res.Err)
+	}
+	if got := len(r.Backends()); got != 1 {
+		t.Fatalf("router still lists %d backends after a graceful drain", got)
+	}
+}

@@ -39,13 +39,21 @@ const (
 	PhaseQueue
 	PhaseBatch
 	PhaseInfer
+	// PhaseRoute and PhaseNetWait belong to the network serving tier
+	// (internal/netserve): Route is the router's receive→dispatch interval
+	// for one request (frame parse, backend pick, forward enqueue);
+	// NetWait is the forward→first-response interval — what the request
+	// spent on the wire and inside the backend, the span hedging exists to
+	// cut the tail of.
+	PhaseRoute
+	PhaseNetWait
 	// NumPhases bounds per-phase tables (open-span slots, aggregations).
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
 	"Ingest", "Fwd", "Bwd", "CommWait", "OptApply", "CkptStage",
-	"Queue", "Batch", "Infer",
+	"Queue", "Batch", "Infer", "Route", "NetWait",
 }
 
 // String returns the phase's canonical name (also the trace-event name).

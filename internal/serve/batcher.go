@@ -11,11 +11,16 @@ import (
 // pending is one queued request: the per-sample input, its enqueue time for
 // end-to-end latency accounting, and a one-slot future the owning worker
 // completes. The buffered channel means workers never block on slow
-// clients.
+// clients. Asynchronous submits (SubmitAsync) carry a callback instead:
+// the worker invokes cb(y, ctx) in place of the channel send and recycles
+// the envelope itself, so a network frontend pays no goroutine and no
+// channel hop per request.
 type pending struct {
 	x    *tensor.Tensor
 	enq  time.Time
 	done chan result
+	cb   func(y *tensor.Tensor, ctx any)
+	ctx  any
 }
 
 type result struct {

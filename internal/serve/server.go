@@ -126,21 +126,56 @@ func (s *Server) Submit(x *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	p := pendingPool.Get().(*pending)
 	p.x, p.enq = x, time.Now()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		p.x = nil
-		pendingPool.Put(p)
-		return nil, ErrClosed
+	if err := s.enqueue(p); err != nil {
+		return nil, err
 	}
-	s.inflight.Add(1)
-	s.mu.Unlock()
-	s.queue <- p
 	r := <-p.done
 	s.inflight.Done()
 	p.x = nil
 	pendingPool.Put(p)
 	return r.y, r.err
+}
+
+// SubmitAsync is the submit-by-request-id entry point the network tier
+// (internal/netserve) rides: it enqueues x and returns as soon as the
+// request is accepted; the worker that serves the batch invokes
+// cb(y, ctx) with the response. Unlike Submit, no goroutine is parked per
+// request — a connection reader can pipeline thousands of in-flight
+// requests, keyed by whatever id it stashed in ctx.
+//
+// Contract: cb runs on a worker goroutine, so it must be fast and must
+// not Submit back into the same server (it would deadlock a full queue).
+// x must keep the model's input shape and stays owned by the server until
+// cb fires — the batch assembly copy has happened by then, so cb is the
+// earliest point x may be recycled. A full queue blocks SubmitAsync
+// (backpressure, exactly like Submit); after Close has begun it returns
+// ErrClosed and cb is never invoked.
+func (s *Server) SubmitAsync(x *tensor.Tensor, cb func(y *tensor.Tensor, ctx any), ctx any) error {
+	if x.Len() != s.inLen || !sameShape(x.Shape, s.inShape) {
+		return fmt.Errorf("serve: request shape %v, model wants %v", x.Shape, s.inShape)
+	}
+	if cb == nil {
+		return fmt.Errorf("serve: SubmitAsync needs a completion callback")
+	}
+	p := pendingPool.Get().(*pending)
+	p.x, p.enq, p.cb, p.ctx = x, time.Now(), cb, ctx
+	return s.enqueue(p)
+}
+
+// enqueue admits p to the request queue under the closed check, recycling
+// the envelope on refusal.
+func (s *Server) enqueue(p *pending) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		p.x, p.cb, p.ctx = nil, nil, nil
+		pendingPool.Put(p)
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.queue <- p
+	return nil
 }
 
 // Stats snapshots the serving record so far.

@@ -69,6 +69,16 @@ func (s *Server) worker(rep Model, lane *obs.Lane) {
 		for i, p := range batch {
 			out := tensor.FromSlice(y.Data[i*outLen:(i+1)*outLen:(i+1)*outLen], outShape...)
 			lats = append(lats, done.Sub(p.enq).Seconds())
+			if p.cb != nil {
+				// Async request: complete via callback and recycle the
+				// envelope here — there is no submitter goroutine to do it.
+				cb, ctx := p.cb, p.ctx
+				p.x, p.cb, p.ctx = nil, nil, nil
+				pendingPool.Put(p)
+				cb(out, ctx)
+				s.inflight.Done()
+				continue
+			}
 			p.done <- result{y: out}
 		}
 		s.metrics.recordBatch(n, infer, flopsPerSample*float64(n), lats)
