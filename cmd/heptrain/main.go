@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"deep15pf/internal/ckpt"
@@ -44,6 +45,11 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	metricsEvery := flag.Int("metrics-every", 0, "print a one-line metrics dump every N seconds (0 = off)")
 	kernels := flag.String("kernels", "auto", "compute kernel ISA: auto|scalar|avx2|avx512 (results are bitwise identical across choices)")
+	unlabeledDir := flag.String("unlabeled-dir", "", "directory of pseudo-labeled shards (from labelfactory) to append to the training set")
+	pseudoWeight := flag.Float64("pseudo-weight", 0.5, "loss weight for pseudo-labeled samples (human labels stay at 1)")
+	emitUnlabeled := flag.String("emit-unlabeled", "", "write the held-out -unlabeled-frac of training events to this directory as unlabeled shards, then train on the rest")
+	unlabeledFrac := flag.Float64("unlabeled-frac", 0, "fraction of training events to hold out as the unlabeled pool (with or without -emit-unlabeled)")
+	unlabeledShards := flag.Int("unlabeled-shards", 4, "shard count for -emit-unlabeled")
 	seed := flag.Uint64("seed", 42, "seed")
 	flag.Parse()
 
@@ -75,8 +81,68 @@ func main() {
 	train := hep.GenerateDataset(gen, r, *trainN, 0.5, rng)
 	test := hep.GenerateDataset(gen, r, *testN, 0.5, rng)
 
+	// Pseudo-label flywheel legs (ROADMAP item 1). -unlabeled-frac holds
+	// the tail of the generated events out of supervision; -emit-unlabeled
+	// writes that pool as feature-only shards for the label factory.
+	// Generation is seed-deterministic, so a later run with the same
+	// -seed/-train/-size/-unlabeled-frac regenerates the identical split
+	// and pseudo shards scored in between line up sample-for-sample.
+	if *unlabeledFrac < 0 || *unlabeledFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "heptrain: -unlabeled-frac must be in [0,1)")
+		os.Exit(2)
+	}
+	if *unlabeledFrac > 0 {
+		cut := *trainN - int(float64(*trainN)**unlabeledFrac)
+		if cut < 1 {
+			fmt.Fprintln(os.Stderr, "heptrain: -unlabeled-frac leaves no labeled events")
+			os.Exit(2)
+		}
+		pool := subsetDataset(train, cut, *trainN)
+		train = subsetDataset(train, 0, cut)
+		fmt.Printf("held out %d of %d events as the unlabeled pool\n", len(pool.Labels), *trainN)
+		if *emitUnlabeled != "" {
+			paths, err := pool.SaveShards(*emitUnlabeled, *unlabeledShards)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "heptrain: emit-unlabeled:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("unlabeled pool written to %d shards under %s\n", len(paths), *emitUnlabeled)
+		}
+	} else if *emitUnlabeled != "" {
+		fmt.Fprintln(os.Stderr, "heptrain: -emit-unlabeled needs -unlabeled-frac > 0")
+		os.Exit(2)
+	}
+	var sampleWeights []float32
+	if *unlabeledDir != "" {
+		paths, err := filepath.Glob(filepath.Join(*unlabeledDir, "*.shard"))
+		if err == nil && len(paths) == 0 {
+			err = fmt.Errorf("no *.shard files under %s", *unlabeledDir)
+		}
+		var pseudo *hep.Dataset
+		if err == nil {
+			pseudo, err = hep.LoadShardDataset(paths...)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heptrain: unlabeled-dir:", err)
+			os.Exit(1)
+		}
+		human := len(train.Labels)
+		train = train.Append(pseudo)
+		sampleWeights = make([]float32, len(train.Labels))
+		for i := range sampleWeights {
+			if i < human {
+				sampleWeights[i] = 1
+			} else {
+				sampleWeights[i] = float32(*pseudoWeight)
+			}
+		}
+		fmt.Printf("appended %d pseudo-labeled events at loss weight %g (%d human + %d machine)\n",
+			len(pseudo.Labels), *pseudoWeight, human, len(pseudo.Labels))
+	}
+
 	model := hep.ModelConfig{Name: "heptrain", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
 	problem := hep.NewTrainingProblem(train, model, *seed+1)
+	problem.SampleWeights = sampleWeights
 	cfg := core.Config{
 		Groups: *groups, WorkersPerGroup: *workers, GroupBatch: *batch,
 		Iterations: *iters,
@@ -155,4 +221,19 @@ func main() {
 	if sci.Improvement < 1 {
 		fmt.Fprintln(os.Stderr, "warning: CNN did not beat the baseline at this scale; increase -iters/-train")
 	}
+}
+
+// subsetDataset copies events [lo, hi) of ds into a standalone dataset,
+// truth records included when present.
+func subsetDataset(ds *hep.Dataset, lo, hi int) *hep.Dataset {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	x, labels := ds.Batch(idx)
+	out := &hep.Dataset{Images: x, Labels: labels}
+	if ds.Events != nil {
+		out.Events = append([]hep.Event(nil), ds.Events[lo:hi]...)
+	}
+	return out
 }

@@ -1,0 +1,183 @@
+// Command labelfactory is the offline half of the pseudo-label flywheel
+// (ROADMAP item 1): it scores unlabeled shard files with a trained
+// checkpoint through the throughput-first bulk engine and writes every
+// prediction above the confidence threshold back as pseudo-labeled shards
+// that heptrain -unlabeled-dir trains on.
+//
+// Usage (one flywheel iteration):
+//
+//	heptrain -unlabeled-frac 0.33 -emit-unlabeled pool/ -ckpt-dir store/
+//	labelfactory -in pool/ -out pseudo/ -ckpt-dir store/ -threshold 0.8
+//	heptrain -unlabeled-frac 0.33 -unlabeled-dir pseudo/ -pseudo-weight 0.5
+//
+// With -fleet N the shards are fanned out across N in-process netserve
+// backends through the work-stealing fleet scorer — the single-machine
+// stand-in for N scoring nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"deep15pf/internal/bulk"
+	"deep15pf/internal/ckpt"
+	"deep15pf/internal/data"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/netserve"
+	"deep15pf/internal/serve"
+	"deep15pf/internal/tensor"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "labelfactory: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "directory of unlabeled *.shard files to score")
+	out := flag.String("out", "", "output directory for pseudo-labeled shards")
+	outShards := flag.Int("out-shards", 4, "shard count for the pseudo-labeled output")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint store; the newest version is scored with")
+	weightsPath := flag.String("weights", "", "explicit .d15w weights file (alternative to -ckpt-dir)")
+	size := flag.Int("size", 16, "model image size (must match the training run)")
+	filters := flag.Int("filters", 8, "model conv filters (must match the training run)")
+	units := flag.Int("units", 3, "model conv+pool units (must match the training run)")
+	threshold := flag.Float64("threshold", 0.8, "keep predictions at/above this top-1 confidence (paper's climate cut)")
+	batch := flag.Int("batch", 256, "inference batch size")
+	useInt8 := flag.Bool("int8", false, "score on the int8 quantized datapath (calibrated on the first batch)")
+	fleet := flag.Int("fleet", 0, "fan shards across N in-process netserve backends (0 = direct local engine)")
+	kernels := flag.String("kernels", "auto", "compute kernel ISA: auto|scalar|avx2|avx512")
+	flag.Parse()
+
+	if err := tensor.SetKernels(*kernels); err != nil {
+		fatalf("%v", err)
+	}
+	if *in == "" || *out == "" {
+		fatalf("-in and -out are required")
+	}
+	if (*ckptDir == "") == (*weightsPath == "") {
+		fatalf("exactly one of -ckpt-dir or -weights is required")
+	}
+
+	paths, err := filepath.Glob(filepath.Join(*in, "*.shard"))
+	if err == nil && len(paths) == 0 {
+		err = fmt.Errorf("no *.shard files under %s", *in)
+	}
+	var ss *data.ShardSet
+	if err == nil {
+		ss, err = data.OpenShardSet(paths...)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer ss.Close()
+
+	wpath := *weightsPath
+	if *ckptDir != "" {
+		store, err := ckpt.Open(*ckptDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		m, ok, err := store.Latest()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !ok {
+			fatalf("checkpoint store %s holds no complete version", *ckptDir)
+		}
+		wpath = store.WeightsPath(m.Version)
+		fmt.Printf("scoring with %s v%d (step %d)\n", m.Arch, m.Version, m.Step)
+	}
+
+	reg := serve.NewRegistry()
+	model := hep.ModelConfig{Name: "heptrain", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
+	serve.RegisterHEP(reg, "heptrain", model)
+	prec := serve.Float32
+	if *useInt8 {
+		prec = serve.Int8
+	}
+	lm, err := reg.Load("heptrain", wpath, prec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *useInt8 {
+		n := min(*batch, ss.Count)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		x := tensor.New(n, hep.Channels, *size, *size)
+		if err := ss.ReadBatchInto(idx, x.Data, nil, make([]byte, ss.ScratchLen())); err != nil {
+			fatalf("%v", err)
+		}
+		if err := lm.Calibrate(x); err != nil {
+			fatalf("calibrate: %v", err)
+		}
+	}
+
+	cfg := bulk.Config{Batch: *batch}
+	var p bulk.Predictions
+	if *fleet > 0 {
+		addrs, cleanup := startFleet(lm, *fleet)
+		defer cleanup()
+		cfg.InShape = []int{hep.Channels, *size, *size}
+		res, err := bulk.ScoreFleet(addrs, "heptrain", ss, cfg, &p)
+		if err != nil {
+			fatalf("fleet: %v", err)
+		}
+		fmt.Printf("fleet of %d backends: %d samples in %.2fs (%.0f samples/s, %d requeues)\n",
+			*fleet, res.Samples, res.Seconds, res.SamplesPerSec, res.Requeues)
+	} else {
+		eng, err := bulk.NewEngine(lm, cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := eng.Score(ss, &p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("scored %d samples in %d batches, %.2fs (%.0f samples/s)\n",
+			res.Samples, res.Batches, res.Seconds, res.SamplesPerSec)
+	}
+
+	outPaths, st, err := bulk.WritePseudoShards(*out, *outShards, ss, &p, float32(*threshold))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("threshold %.2f: kept %d of %d (coverage %.1f%%), dropped %d\n",
+		*threshold, st.Kept, st.Total, 100*st.Coverage, st.Total-st.Kept)
+	if len(outPaths) == 0 {
+		fmt.Println("nothing above threshold — no shards written")
+		return
+	}
+	fmt.Printf("wrote %d pseudo-labeled shards under %s\n", len(outPaths), *out)
+}
+
+// startFleet brings up n in-process scoring backends on loopback, each a
+// full serve engine behind a netserve face — the single-machine stand-in
+// for a real scoring fleet.
+func startFleet(lm *serve.LoadedModel, n int) ([]string, func()) {
+	workers := max(1, runtime.NumCPU()/n)
+	addrs := make([]string, n)
+	closers := make([]func(), 0, 2*n)
+	for i := range addrs {
+		eng, err := serve.NewServer(lm, serve.Config{MaxBatch: 64, Workers: workers})
+		if err != nil {
+			fatalf("backend %d: %v", i, err)
+		}
+		ns, err := netserve.NewServer("127.0.0.1:0", map[string]*serve.Server{"heptrain": eng}, netserve.ServerConfig{})
+		if err != nil {
+			fatalf("backend %d: %v", i, err)
+		}
+		addrs[i] = ns.Addr()
+		closers = append(closers, ns.Close, eng.Close)
+	}
+	return addrs, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}

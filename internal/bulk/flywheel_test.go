@@ -1,0 +1,156 @@
+package bulk
+
+import (
+	"testing"
+
+	"deep15pf/internal/ckpt"
+	"deep15pf/internal/core"
+	"deep15pf/internal/hep"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/serve"
+	"deep15pf/internal/tensor"
+)
+
+// subset copies samples [lo, hi) of ds into a standalone Dataset.
+func subset(ds *hep.Dataset, lo, hi int) *hep.Dataset {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	x, labels := ds.Batch(idx)
+	return &hep.Dataset{Images: x, Labels: labels}
+}
+
+// TestFlywheelFullIteration runs one complete pseudo-label cycle through
+// the real subsystems end to end:
+//
+//	train v1 → checkpoint store → Deployment serves v1 → bulk Engine
+//	scores unlabeled shards → WritePseudoShards thresholds → retrain on
+//	labeled + pseudo (discounted via SampleWeights) → store v2 →
+//	PollOnce hot-reloads the deployment.
+//
+// Pseudo-label accuracy is measured against held-back truth, and coverage
+// must fall monotonically as the threshold rises.
+func TestFlywheelFullIteration(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	full := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(8), 96, 0.5, rng)
+	labeled := subset(full, 0, 64)
+	unlabeled := subset(full, 64, 96) // truth labels held back for grading
+
+	// v1: train on human labels only, snapshotting into the store.
+	storeDir := t.TempDir()
+	trainCfg := core.Config{
+		Groups: 1, WorkersPerGroup: 1, GroupBatch: 16, Iterations: 80,
+		Solver: opt.NewSGD(0.1, 0.9), Seed: 3,
+		Checkpoint: core.CheckpointConfig{Dir: storeDir, Every: 80, Arch: "tiny"},
+	}
+	core.TrainSync(hep.NewTrainingProblem(labeled, tinyCfg(), 7), trainCfg)
+
+	reg := serve.NewRegistry()
+	serve.RegisterHEP(reg, "tiny", tinyCfg())
+	store, err := ckpt.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := serve.NewDeployment(reg, "tiny", serve.Float32, store, serve.DeployConfig{
+		Server: serve.Config{MaxBatch: 8, Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if v := d.CurrentVersion(); v != 1 {
+		t.Fatalf("deployment starts at version %d, want 1", v)
+	}
+
+	// Score the unlabeled pool with the deployed weights.
+	ss := unlabeledShards(t, unlabeled, 4)
+	eng, err := NewEngine(d.Loaded(), Config{Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Predictions
+	if _, err := eng.Score(ss, &p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Threshold → pseudo shards; grade survivors against held-back truth.
+	const thr = 0.6
+	pseudoDir := t.TempDir()
+	paths, st, err := WritePseudoShards(pseudoDir, 2, ss, &p, thr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept == 0 {
+		t.Fatal("threshold 0.6 kept nothing — model never exceeds coin-flip confidence")
+	}
+	correct := 0
+	for i, c := range p.Conf {
+		if c >= thr && int(p.Label[i]) == unlabeled.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(st.Kept)
+	t.Logf("pseudo-labels: %d/%d kept (coverage %.2f), accuracy %.2f", st.Kept, st.Total, st.Coverage, acc)
+
+	// Raising the threshold can only shrink coverage.
+	_, stHi, err := WritePseudoShards(t.TempDir(), 2, ss, &p, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stHi.Coverage > st.Coverage {
+		t.Fatalf("coverage rose from %.2f to %.2f as threshold rose 0.6→0.95", st.Coverage, stHi.Coverage)
+	}
+
+	// Retrain on labeled + pseudo, machine labels discounted to 0.5.
+	pseudoDS, err := hep.LoadShardDataset(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pseudoDS.Images.Shape[0] != st.Kept {
+		t.Fatalf("pseudo set reloaded %d samples, wrote %d", pseudoDS.Images.Shape[0], st.Kept)
+	}
+	combined := labeled.Append(pseudoDS)
+	weights := make([]float32, len(combined.Labels))
+	for i := range weights {
+		if i < len(labeled.Labels) {
+			weights[i] = 1
+		} else {
+			weights[i] = 0.5
+		}
+	}
+	problem2 := hep.NewTrainingProblem(combined, tinyCfg(), 7)
+	problem2.SampleWeights = weights
+	core.TrainSync(problem2, trainCfg)
+
+	// The deployment notices v2 on the next poll and hot-swaps.
+	swapped, err := d.PollOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped || d.CurrentVersion() != 2 || d.Swaps() != 1 {
+		t.Fatalf("after retrain: swapped=%v version=%d swaps=%d, want true/2/1",
+			swapped, d.CurrentVersion(), d.Swaps())
+	}
+
+	// The reloaded deployment scores the pool with the NEW weights —
+	// a second engine must produce a different confidence surface.
+	eng2, err := NewEngine(d.Loaded(), Config{Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p2 Predictions
+	if _, err := eng2.Score(ss, &p2); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range p.Conf {
+		if p2.Conf[i] != p.Conf[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("v2 scores are bitwise v1's — the hot reload served stale weights")
+	}
+}

@@ -80,6 +80,21 @@ func (s *ShardSet) locate(i int) (shard, local int) {
 	return lo, i - s.starts[lo]
 }
 
+// Shards returns the number of files in the set. Together with ShardRange
+// it exposes the file boundaries as scheduling units: the bulk-inference
+// fleet steals whole shards, so a shard is the granule that gets requeued
+// when a backend dies mid-scan.
+func (s *ShardSet) Shards() int { return len(s.readers) }
+
+// ShardRange returns the half-open global sample range [lo, hi) that shard
+// k covers. Panics on a shard index outside [0, Shards()).
+func (s *ShardSet) ShardRange(k int) (lo, hi int) {
+	if k < 0 || k >= len(s.readers) {
+		panic(fmt.Sprintf("data: shard %d out of range [0,%d)", k, len(s.readers)))
+	}
+	return s.starts[k], s.starts[k+1]
+}
+
 // ScratchLen returns the byte-scratch size ReadBatchInto needs per caller
 // (one sample's raw encoding; see ShardReader.ScratchLen).
 func (s *ShardSet) ScratchLen() int {

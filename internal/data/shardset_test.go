@@ -235,3 +235,123 @@ func TestWriteShardsRoundTrip(t *testing.T) {
 		t.Fatalf("5-way split of 2 samples wrote %d shards, want 2 non-empty", len(paths))
 	}
 }
+
+// TestPseudoLabeledShardsRoundTrip exercises the pseudo-label factory's
+// write path: confidence-thresholded (features, argmax-label) pairs go out
+// through WriteShards and must come back through OpenShard bit-exact — the
+// labels feed the next training run, so any rounding or reordering here
+// poisons the flywheel. Also pins the empty-after-threshold contract: a
+// threshold that keeps zero samples writes no shard files at all, never a
+// 0-sample file (OpenShard would reject one anyway).
+func TestPseudoLabeledShardsRoundTrip(t *testing.T) {
+	const count, featLen = 11, 3
+	feats := make([]float32, count*featLen)
+	rng := tensor.NewRNG(2)
+	for i := range feats {
+		feats[i] = float32(rng.Norm())
+	}
+	labels := make([]int32, count)
+	for i := range labels {
+		labels[i] = int32(i % 4) // argmax classes, incl. repeated values
+	}
+
+	dir := t.TempDir()
+	paths, err := WriteShards(dir, 4, count, featLen, 1, feats, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("wrote %d shards, want 4", len(paths))
+	}
+
+	// Read each shard file individually through OpenShard (the trainer's
+	// entry point) and compare against the factory's buffers bit for bit.
+	next := 0
+	for _, p := range paths {
+		r, err := OpenShard(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LabLen != 1 || r.FeatLen != featLen {
+			t.Fatalf("%s layout %d/%d, want %d/1", p, r.FeatLen, r.LabLen, featLen)
+		}
+		f := make([]float32, featLen)
+		l := make([]int32, 1)
+		for i := 0; i < r.Count; i++ {
+			if err := r.ReadSampleInto(i, f, l, make([]byte, r.ScratchLen())); err != nil {
+				t.Fatal(err)
+			}
+			if l[0] != labels[next] {
+				t.Fatalf("sample %d: label %d, want %d bit-exact", next, l[0], labels[next])
+			}
+			for j := 0; j < featLen; j++ {
+				if f[j] != feats[next*featLen+j] {
+					t.Fatalf("sample %d feat %d diverged", next, j)
+				}
+			}
+			next++
+		}
+		r.Close()
+	}
+	if next != count {
+		t.Fatalf("shards carried %d samples, want %d", next, count)
+	}
+
+	// Zero survivors: no files written, no 0-sample shard on disk.
+	empty := t.TempDir()
+	paths, err = WriteShards(empty, 4, 0, featLen, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("empty-after-threshold write produced %d files", len(paths))
+	}
+	ents, err := os.ReadDir(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("dir holds %d stray files after empty write", len(ents))
+	}
+}
+
+func TestShardSetShardRange(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	counts := []int{3, 1, 5}
+	for i, n := range counts {
+		p := filepath.Join(dir, strings.Repeat("s", i+1)+".shard")
+		writeTestShard(t, p, n, 2, 0)
+		paths = append(paths, p)
+	}
+	set, err := OpenShardSet(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	if set.Shards() != 3 {
+		t.Fatalf("Shards() = %d", set.Shards())
+	}
+	want := [][2]int{{0, 3}, {3, 4}, {4, 9}}
+	total := 0
+	for k := 0; k < set.Shards(); k++ {
+		lo, hi := set.ShardRange(k)
+		if lo != want[k][0] || hi != want[k][1] {
+			t.Fatalf("ShardRange(%d) = [%d,%d), want %v", k, lo, hi, want[k])
+		}
+		total += hi - lo
+	}
+	if total != set.Count {
+		t.Fatalf("ranges cover %d, Count %d", total, set.Count)
+	}
+	for _, bad := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ShardRange(%d) did not panic", bad)
+				}
+			}()
+			set.ShardRange(bad)
+		}()
+	}
+}

@@ -28,6 +28,12 @@ type TrainingProblem struct {
 	// memory — they are a handful of ints). Safe to share across replicas;
 	// reads are concurrent-safe.
 	Backing *data.ShardSet
+
+	// SampleWeights, when non-nil, weights each sample's loss contribution
+	// (one entry per dataset sample) — the pseudo-labeling flywheel trains
+	// on human labels at weight 1 and machine-generated labels at a
+	// discount. Nil keeps the unweighted loss path, bit for bit.
+	SampleWeights []float32
 }
 
 // NewTrainingProblem builds the adapter.
@@ -51,6 +57,7 @@ func (p *TrainingProblem) NewReplica() core.Replica {
 		plans:     nn.NewPlanCache(net, true, arena),
 		xStage:    tensor.NewStaging(arena, net.InShape...),
 		gradStage: tensor.NewStaging(arena, p.Model.Classes),
+		sampleW:   p.SampleWeights,
 	}
 	if r.backing != nil {
 		r.ioScratch = make([]byte, r.backing.ScratchLen())
@@ -75,6 +82,11 @@ type replica struct {
 	// loss gradient. Grown to the largest batch seen, then stable.
 	xStage, gradStage *tensor.Staging
 	labels            []int
+
+	// sampleW is the problem's per-sample loss weighting (nil =
+	// unweighted); wbuf is its per-batch staging, grown like labels.
+	sampleW []float32
+	wbuf    []float32
 
 	// Streaming ingest (core.PipelineReplica): slots are staged by the
 	// pipeline's background goroutine while the previous batch trains.
@@ -101,10 +113,11 @@ func (r *replica) SetTraceLane(l *obs.Lane) { r.lane = l }
 // hepSlot is one staged batch in the prefetch ring: an arena-backed image
 // tensor plus its labels, pre-sized to the run's largest shard.
 type hepSlot struct {
-	stage  *tensor.Staging
-	x      *tensor.Tensor // view for the staged batch size, set by the stager
-	labels []int
-	n      int
+	stage   *tensor.Staging
+	x       *tensor.Tensor // view for the staged batch size, set by the stager
+	labels  []int
+	weights []float32 // per-batch loss weights; nil when the problem is unweighted
+	n       int
 }
 
 func (r *replica) TrainableLayers() []nn.Layer { return r.net.TrainableLayers() }
@@ -114,7 +127,12 @@ func (r *replica) ZeroGrad()                   { nn.ZeroGrads(r.params) }
 // backing when configured (real file reads) or the in-memory dataset. It is
 // the single staging primitive both the blocking path and the pipeline's
 // prefetch goroutine run, which is what makes the two paths bitwise equal.
-func (r *replica) stageInto(x *tensor.Tensor, labels []int, idx []int) error {
+func (r *replica) stageInto(x *tensor.Tensor, labels []int, weights []float32, idx []int) error {
+	if weights != nil {
+		for bi, i := range idx {
+			weights[bi] = r.sampleW[i]
+		}
+	}
 	if r.backing != nil {
 		if err := r.backing.ReadBatchInto(idx, x.Data, nil, r.ioScratch); err != nil {
 			return err
@@ -126,6 +144,18 @@ func (r *replica) stageInto(x *tensor.Tensor, labels []int, idx []int) error {
 	}
 	r.ds.BatchInto(x, labels, idx)
 	return nil
+}
+
+// batchWeights returns the per-batch weight staging sized n, or nil for an
+// unweighted problem.
+func (r *replica) batchWeights(n int) []float32 {
+	if r.sampleW == nil {
+		return nil
+	}
+	if cap(r.wbuf) < n {
+		r.wbuf = make([]float32, n)
+	}
+	return r.wbuf[:n]
 }
 
 func (r *replica) ComputeGradients(idx []int) float64 {
@@ -144,9 +174,10 @@ func (r *replica) ComputeGradientsStream(idx []int, gradDone func(layer int)) fl
 		r.labels = make([]int, n)
 	}
 	labels := r.labels[:n]
+	weights := r.batchWeights(n)
 	r.lane.Begin(obs.PhaseIngest)
 	t0 := time.Now()
-	if err := r.stageInto(x, labels, idx); err != nil {
+	if err := r.stageInto(x, labels, weights, idx); err != nil {
 		panic("hep: batch staging failed: " + err.Error())
 	}
 	r.lane.End(obs.PhaseIngest)
@@ -155,18 +186,18 @@ func (r *replica) ComputeGradientsStream(idx []int, gradDone func(layer int)) fl
 	r.ingest.Samples += int64(n)
 	r.ingest.StageSeconds += dt
 	r.ingest.WaitSeconds += dt // blocking: staging sits on the critical path
-	return r.computeOn(x, labels, gradDone)
+	return r.computeOn(x, labels, weights, gradDone)
 }
 
 // computeOn is the shared forward/loss/backward over an already-staged
-// batch.
-func (r *replica) computeOn(x *tensor.Tensor, labels []int, gradDone func(layer int)) float64 {
+// batch. A nil weights slice runs the unweighted loss, bit for bit.
+func (r *replica) computeOn(x *tensor.Tensor, labels []int, weights []float32, gradDone func(layer int)) float64 {
 	n := x.Shape[0]
 	grad := r.gradStage.Batch(n)
 	plan := r.plans.Plan(n)
 	r.lane.Begin(obs.PhaseFwd)
 	logits := plan.Forward(x)
-	loss := nn.SoftmaxCrossEntropyInto(logits, labels, grad)
+	loss := nn.SoftmaxCrossEntropyWeightedInto(logits, labels, weights, grad)
 	r.lane.End(obs.PhaseFwd)
 	r.lane.Begin(obs.PhaseBwd)
 	plan.BackwardStream(grad, gradDone)
@@ -197,6 +228,9 @@ func (r *replica) StartIngest(batches [][]int, lookahead int) {
 		st := tensor.NewStaging(r.arena, r.net.InShape...)
 		st.Batch(maxN) // pre-size: all later Batch(n≤maxN) calls are realloc-free
 		slots[i] = &hepSlot{stage: st, labels: make([]int, maxN)}
+		if r.sampleW != nil {
+			slots[i].weights = make([]float32, maxN)
+		}
 	}
 	// The prefetcher gets its own lane: staging spans land beside the
 	// worker's compute spans in the timeline, making prefetch hiding
@@ -211,7 +245,11 @@ func (r *replica) StartIngest(batches [][]int, lookahead int) {
 			ingLane.Begin(obs.PhaseIngest)
 			dst.n = len(idx)
 			dst.x = dst.stage.Batch(dst.n)
-			err := r.stageInto(dst.x, dst.labels[:dst.n], idx)
+			var w []float32
+			if dst.weights != nil {
+				w = dst.weights[:dst.n]
+			}
+			err := r.stageInto(dst.x, dst.labels[:dst.n], w, idx)
 			ingLane.End(obs.PhaseIngest)
 			return err
 		})
@@ -232,7 +270,11 @@ func (r *replica) ComputeStagedStream(gradDone func(layer int)) float64 {
 		}
 		panic("hep: ingest pipeline exhausted before training finished")
 	}
-	return r.computeOn(slot.x, slot.labels[:slot.n], gradDone)
+	var w []float32
+	if slot.weights != nil {
+		w = slot.weights[:slot.n]
+	}
+	return r.computeOn(slot.x, slot.labels[:slot.n], w, gradDone)
 }
 
 // StopIngest implements core.PipelineReplica.

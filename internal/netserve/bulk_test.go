@@ -1,0 +1,133 @@
+package netserve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"deep15pf/internal/serve"
+	"deep15pf/internal/tensor"
+)
+
+// TestNetBulkBatchRoundTrip drives a pre-assembled [N, InShape...] batch
+// through the wire: the server must recognise the batched shape, bypass
+// the dynamic batcher via InferBatch, and answer with [N, OutShape...]
+// logits bitwise identical to per-sample Submit — same checkpoint, so any
+// divergence is a dispatch or copy bug.
+func TestNetBulkBatchRoundTrip(t *testing.T) {
+	ns, eng, inputs := startBackend(t, ServerConfig{}, serve.Config{MaxBatch: 8, MaxLinger: time.Millisecond, Workers: 2})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 6
+	inShape := inputs[0].X.Shape
+	inLen := inputs[0].X.Len()
+	x := tensor.New(append([]int{n}, inShape...)...)
+	for s := 0; s < n; s++ {
+		copy(x.Data[s*inLen:(s+1)*inLen], inputs[s].X.Data)
+	}
+
+	y, err := c.Infer("tiny", x)
+	if err != nil {
+		t.Fatalf("bulk Infer: %v", err)
+	}
+	if y.Shape[0] != n {
+		t.Fatalf("bulk response shape %v, want leading %d", y.Shape, n)
+	}
+	outLen := y.Len() / n
+	for s := 0; s < n; s++ {
+		want, err := eng.Submit(inputs[s].X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < outLen; j++ {
+			if y.Data[s*outLen+j] != want.Data[j] {
+				t.Fatalf("sample %d logit %d: bulk-wire %v, online %v", s, j, y.Data[s*outLen+j], want.Data[j])
+			}
+		}
+	}
+
+	// A batched frame with wrong trailing dims is still a typed refusal,
+	// and the connection survives it.
+	var re *RemoteError
+	bad := tensor.New(append([]int{2, 1}, inShape[1:]...)...)
+	if _, err := c.Infer("tiny", bad); !errors.As(err, &re) || re.Code != CodeBadShape {
+		t.Fatalf("bad bulk shape returned %v, want RemoteError{CodeBadShape}", err)
+	}
+	if _, err := c.Infer("tiny", x); err != nil {
+		t.Fatalf("connection did not survive the refusal: %v", err)
+	}
+}
+
+// TestNetBulkInterleavesWithOnline runs bulk batches and single-sample
+// requests concurrently on one multiplexed connection — the offline and
+// online paths share the socket and the engine but not a code path, and
+// neither may corrupt the other's responses.
+func TestNetBulkInterleavesWithOnline(t *testing.T) {
+	ns, eng, inputs := startBackend(t, ServerConfig{}, serve.Config{MaxBatch: 8, MaxLinger: time.Millisecond, Workers: 2})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	want := make([][]float32, len(inputs))
+	for i, in := range inputs {
+		y, err := eng.Submit(in.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]float32(nil), y.Data...)
+	}
+
+	inLen := inputs[0].X.Len()
+	done := make(chan error, 2)
+	go func() { // bulk lane
+		x := tensor.New(append([]int{4}, inputs[0].X.Shape...)...)
+		for iter := 0; iter < 8; iter++ {
+			for s := 0; s < 4; s++ {
+				copy(x.Data[s*inLen:(s+1)*inLen], inputs[(iter+s)%len(inputs)].X.Data)
+			}
+			y, err := c.Infer("tiny", x)
+			if err != nil {
+				done <- err
+				return
+			}
+			outLen := y.Len() / 4
+			for s := 0; s < 4; s++ {
+				for j := 0; j < outLen; j++ {
+					if y.Data[s*outLen+j] != want[(iter+s)%len(inputs)][j] {
+						done <- errors.New("bulk lane got corrupted logits")
+						return
+					}
+				}
+			}
+		}
+		done <- nil
+	}()
+	go func() { // online lane
+		for iter := 0; iter < 32; iter++ {
+			i := iter % len(inputs)
+			y, err := c.Infer("tiny", inputs[i].X)
+			if err != nil {
+				done <- err
+				return
+			}
+			for j := range want[i] {
+				if y.Data[j] != want[i][j] {
+					done <- errors.New("online lane got corrupted logits")
+					return
+				}
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

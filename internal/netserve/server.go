@@ -236,6 +236,10 @@ func (c *srvConn) handleRequest(h Header, payload []byte, tw *TensorWire) {
 		return
 	}
 	if tw.Elems != me.inLen || !sameDims(tw, me.inShape) {
+		if n, ok := batchDims(tw, me.inShape); ok {
+			c.handleBulk(h.ID, n, me, tw)
+			return
+		}
 		c.reject(h.ID, CodeBadShape, "request shape does not match the model input")
 		return
 	}
@@ -267,6 +271,72 @@ func (c *srvConn) handleRequest(h Header, payload []byte, tw *TensorWire) {
 		netReqPool.Put(nr)
 		c.reject(h.ID, code, msg)
 	}
+}
+
+// handleBulk is the throughput fast path: a [N, InShape...] request frame
+// skips the dynamic batcher (no queue, no linger — the batch arrived
+// pre-assembled) and runs straight through serve.InferBatch on a dedicated
+// goroutine. One goroutine per in-flight *batch* — hundreds of samples —
+// not per request, so the no-goroutine-per-request economics of the online
+// path are preserved where they matter. The input tensor is sized by the
+// request, so it is allocated fresh rather than drawn from the per-sample
+// pool; at bulk batch sizes that is one allocation per several hundred
+// samples.
+func (c *srvConn) handleBulk(id uint64, n int, me *modelEntry, tw *TensorWire) {
+	x := tensor.New(append([]int{n}, me.inShape...)...)
+	if err := tw.DecodeInto(x.Data); err != nil {
+		c.reject(id, CodeBadShape, err.Error())
+		return
+	}
+	nr := netReqPool.Get().(*netReq)
+	nr.c, nr.me, nr.id, nr.x = c, me, id, nil
+	nr.y, nr.errCode, nr.errMsg, nr.goaway = nil, 0, "", false
+	nr.cancelled.Store(false)
+	c.pmu.Lock()
+	c.pend[id] = nr
+	c.pmu.Unlock()
+	c.inflight.Add(1)
+	go func() {
+		y, err := me.srv.InferBatch(x)
+		if err != nil {
+			nr.errCode, nr.errMsg = CodeInternal, err.Error()
+			if errors.Is(err, serve.ErrClosed) {
+				nr.errCode, nr.errMsg = CodeDraining, "backend draining"
+			}
+		} else {
+			nr.y = y
+		}
+		if d := time.Duration(c.s.delay.Load()); d > 0 {
+			time.Sleep(d) // fault injection applies to bulk scoring too
+		}
+		c.wch <- nr
+	}()
+}
+
+// batchDims reports whether tw is a batched request for a model with the
+// given per-sample shape: one extra leading dimension n ∈ [1, MaxBulkBatch],
+// trailing dimensions matching exactly.
+func batchDims(tw *TensorWire, shape []int) (int, bool) {
+	if tw.NDims != len(shape)+1 {
+		return 0, false
+	}
+	n := tw.Dims[0]
+	if n < 1 || n > serve.MaxBulkBatch {
+		return 0, false
+	}
+	for i, d := range shape {
+		if tw.Dims[i+1] != d {
+			return 0, false
+		}
+	}
+	elems := n
+	for _, d := range shape {
+		elems *= d
+	}
+	if tw.Elems != elems {
+		return 0, false
+	}
+	return n, true
 }
 
 // onInfer is the single completion callback every request shares (a

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"deep15pf/internal/tensor"
@@ -59,6 +60,115 @@ func SoftmaxCrossEntropyInto(logits *tensor.Tensor, labels []int, grad *tensor.T
 		}
 	}
 	return loss / float64(n)
+}
+
+// SoftmaxCrossEntropyWeightedInto is SoftmaxCrossEntropyInto with a
+// per-sample weight on each row's contribution — the semi-supervised
+// trainer's knob for discounting pseudo-labeled samples against human
+// labels (Kingma et al.-style loops weight the generated labels below the
+// curated ones). The mean is taken over the weight total, so a batch of
+// all-1 weights matches the unweighted loss in value; weights == nil
+// delegates to the unweighted path outright, bit for bit. A batch whose
+// weights sum to zero contributes nothing (loss 0, zero gradient) rather
+// than dividing by zero.
+func SoftmaxCrossEntropyWeightedInto(logits *tensor.Tensor, labels []int, weights []float32, grad *tensor.Tensor) float64 {
+	if weights == nil {
+		return SoftmaxCrossEntropyInto(logits, labels, grad)
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n || len(weights) != n {
+		panic("nn: SoftmaxCrossEntropy label/weight count mismatch")
+	}
+	if grad.Len() != n*k {
+		panic("nn: SoftmaxCrossEntropy gradient size mismatch")
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("nn: negative sample weight")
+		}
+		wsum += float64(w)
+	}
+	if wsum == 0 {
+		for i := range grad.Data[:n*k] {
+			grad.Data[i] = 0
+		}
+		return 0
+	}
+	invW := float32(1 / wsum)
+	var loss float64
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*k : (s+1)*k]
+		grow := grad.Data[s*k : (s+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logZ := math.Log(sum) + float64(maxv)
+		lab := labels[s]
+		if lab < 0 || lab >= k {
+			panic("nn: label out of range")
+		}
+		w := weights[s]
+		loss += float64(w) * (logZ - float64(row[lab]))
+		scale := w * invW
+		for j := range grow {
+			p := float32(math.Exp(float64(row[j]) - logZ))
+			if j == lab {
+				grow[j] = (p - 1) * scale
+			} else {
+				grow[j] = p * scale
+			}
+		}
+	}
+	return loss / wsum
+}
+
+// SoftmaxTop1 computes each row's argmax class and its softmax
+// probability — the confidence extraction the pseudo-label factory
+// thresholds on. Ties resolve to the lowest class index (strict >
+// comparison), so an all-equal row yields class 0 at confidence 1/k,
+// deterministically. Any non-finite logit (NaN or ±Inf) is rejected with
+// an explicit error naming the sample and class: a scoring pass over
+// millions of unlabeled samples must fail loudly at the poisoned row, not
+// write a garbage label that silently enters the next training run.
+//
+// conf and label must each hold exactly one entry per row. The pass is
+// allocation-free — it runs once per batch on the bulk scoring hot path.
+func SoftmaxTop1(logits *tensor.Tensor, conf []float32, label []int32) error {
+	if logits.Rank() != 2 {
+		return fmt.Errorf("nn: SoftmaxTop1 wants [batch, classes] logits, got shape %v", logits.Shape)
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(conf) != n || len(label) != n {
+		return fmt.Errorf("nn: SoftmaxTop1 destinations hold %d/%d entries for a %d-row batch", len(conf), len(label), n)
+	}
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*k : (s+1)*k]
+		best := 0
+		maxv := row[0]
+		for j, v := range row {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return fmt.Errorf("nn: SoftmaxTop1: non-finite logit %v at sample %d class %d", v, s, j)
+			}
+			if v > maxv {
+				maxv, best = v, j
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		conf[s] = float32(1 / sum) // exp(max−max)/Σexp(v−max)
+		label[s] = int32(best)
+	}
+	return nil
 }
 
 // SoftmaxProbs returns row-wise softmax probabilities, used at inference

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+
+	"deep15pf/internal/tensor"
+)
+
+// MaxBulkBatch caps the leading dimension InferBatch accepts. Plans size
+// their arena slabs to the largest batch bucket they have compiled, so an
+// unbounded batch would let one oversized request pin an arbitrarily large
+// slab for the server's lifetime. 4096 comfortably covers a shard's worth
+// of samples per call while keeping the slab bounded.
+const MaxBulkBatch = 4096
+
+// InferBatch is the offline fast path: it runs a whole [N, InShape...]
+// batch through a dedicated bulk replica, bypassing the dynamic batcher
+// entirely — no queue, no linger timer, no per-request envelopes. The
+// returned [N, OutShape...] tensor is owned by the caller.
+//
+// Bulk replicas live in their own lazily-minted pool (capped at
+// cfg.Workers), so concurrent InferBatch callers — the netserve backend
+// runs one goroutine per in-flight bulk request — scale across replicas
+// without ever touching the latency-serving workers' instances. The call
+// participates in the server's in-flight accounting: Close waits for
+// running InferBatch calls, and calls after Close has begun return
+// ErrClosed.
+func (s *Server) InferBatch(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != len(s.inShape)+1 || x.Shape[0] < 1 {
+		return nil, fmt.Errorf("serve: bulk batch shape %v, model wants [N,%v]", x.Shape, s.inShape)
+	}
+	for i, d := range s.inShape {
+		if x.Shape[i+1] != d {
+			return nil, fmt.Errorf("serve: bulk batch shape %v, model wants [N,%v]", x.Shape, s.inShape)
+		}
+	}
+	if x.Shape[0] > MaxBulkBatch {
+		return nil, fmt.Errorf("serve: bulk batch %d exceeds cap %d", x.Shape[0], MaxBulkBatch)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	rep, err := s.bulkReplica()
+	if err != nil {
+		return nil, err
+	}
+	y := rep.Infer(x)
+	s.bulkPool <- rep
+	return y, nil
+}
+
+// bulkReplica hands out a pooled bulk replica, minting a new one while the
+// pool is below its cap. Past the cap it blocks until a running InferBatch
+// returns one — natural backpressure at cfg.Workers concurrent batches.
+func (s *Server) bulkReplica() (Model, error) {
+	select {
+	case rep := <-s.bulkPool:
+		return rep, nil
+	default:
+	}
+	s.bulkMu.Lock()
+	if s.bulkMinted < cap(s.bulkPool) {
+		s.bulkMinted++
+		s.bulkMu.Unlock()
+		rep, err := s.model.NewReplica()
+		if err != nil {
+			s.bulkMu.Lock()
+			s.bulkMinted--
+			s.bulkMu.Unlock()
+			return nil, err
+		}
+		return rep, nil
+	}
+	s.bulkMu.Unlock()
+	return <-s.bulkPool, nil
+}

@@ -359,6 +359,25 @@ func (m *netModel) Infer(x *tensor.Tensor) *tensor.Tensor {
 	return m.plans.Forward(x).Clone()
 }
 
+// InferShared implements SharedInferer: the planned forward without the
+// defensive output copy. Falls back to the layer-by-layer path (which
+// allocates its own output anyway) when planning is off.
+func (m *netModel) InferShared(x *tensor.Tensor) *tensor.Tensor {
+	if m.prec == Int8 {
+		if m.qplans == nil {
+			m.qplans = nn.NewQuantPlanCache(m.net, m.calib, nil)
+		}
+		return m.qplans.Forward(x)
+	}
+	if !m.planning {
+		return m.net.Infer(x)
+	}
+	if m.plans == nil {
+		m.plans = nn.NewPlanCache(m.net, false, nil)
+	}
+	return m.plans.Forward(x)
+}
+
 // ---- climate.Net adapter (extreme-weather detector) ----
 
 // climateOutChannels is the packed head layout: confidence logit, one

@@ -76,3 +76,21 @@ type Model interface {
 	// rates.
 	FwdFLOPsPerSample() int64
 }
+
+// SharedInferer is the throughput-path extension of Model: InferShared
+// returns the forward pass's plan-owned output directly, valid only until
+// the replica's next forward. Online serving cannot use it — workers slice
+// responses into per-request views that outlive the batch, hence Infer's
+// defensive copy — but offline bulk scoring consumes each batch before
+// submitting the next, so the copy (the online path's one residual
+// per-batch allocation) is pure waste there. Same single-goroutine
+// contract as Model; implemented by replicas whose datapath runs compiled
+// plans (the HEP adapter, fp32 and int8).
+type SharedInferer interface {
+	Model
+	// InferShared runs a [N, InShape...] batch and returns the
+	// [N, OutShape...] output owned by the replica's plan. The caller must
+	// finish with it (or copy) before the next InferShared/Infer call and
+	// must not mutate it.
+	InferShared(x *tensor.Tensor) *tensor.Tensor
+}

@@ -80,6 +80,14 @@ type Server struct {
 	closed   bool
 	inflight sync.WaitGroup
 
+	// Bulk-path replica pool (bulk.go): minted lazily on the first
+	// InferBatch, capped at cfg.Workers, disjoint from the online workers'
+	// replicas so offline scoring never contends for a latency-serving
+	// model instance.
+	bulkPool   chan Model
+	bulkMu     sync.Mutex
+	bulkMinted int
+
 	batcherWG sync.WaitGroup
 	workerWG  sync.WaitGroup
 }
@@ -95,6 +103,7 @@ func NewServer(m *LoadedModel, cfg Config) (*Server, error) {
 		queue:    make(chan *pending, cfg.QueueDepth),
 		dispatch: make(chan []*pending, cfg.Workers),
 		metrics:  newMetrics(cfg.WindowedLatency),
+		bulkPool: make(chan Model, cfg.Workers),
 	}
 	s.inLen = 1
 	for _, d := range s.inShape {
