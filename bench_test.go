@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"deep15pf/internal/astro"
 	"deep15pf/internal/bulk"
 	"deep15pf/internal/ckpt"
 	"deep15pf/internal/cluster"
@@ -852,6 +853,15 @@ type trainBenchReport struct {
 	// confidence threshold against held-back truth, plus one full retrain on
 	// labeled + discounted pseudo labels.
 	Pseudo pseudoBenchBlock `json:"pseudo"`
+
+	// Finetune (PR 10) is the transfer-learning A/B: the astro classifier
+	// warm-started from a trained hep checkpoint (first conv frozen, rest
+	// fine-tuned) versus the identical model trained from scratch, both
+	// measured as updates-to-target-accuracy over a shared budget grid in
+	// the scarce-label regime where transfer earns its keep. The
+	// updates-to-target ordering is deterministic (seeded) and gated; the
+	// frozen conv's wire saving per update is recorded alongside.
+	Finetune finetuneBenchBlock `json:"finetune"`
 }
 
 // tracerBenchReport is the PR 6 tracer-overhead entry.
@@ -1115,6 +1125,7 @@ func TestEmitTrainBenchJSON(t *testing.T) {
 	}
 
 	rep.Pseudo = measurePseudoBench(t)
+	rep.Finetune = measureFinetuneBench(t)
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -1156,6 +1167,30 @@ func TestEmitTrainBenchJSON(t *testing.T) {
 			t.Errorf("pseudo coverage rose %.3f -> %.3f as threshold rose %.2f -> %.2f",
 				lo.PseudoCoverage, hi.PseudoCoverage, lo.Threshold, hi.Threshold)
 		}
+	}
+
+	for i, b := range rep.Finetune.BudgetGrid {
+		t.Logf("finetune A/B budget %2d: finetune %.3f vs scratch %.3f",
+			b, rep.Finetune.FinetuneAccuracy[i], rep.Finetune.ScratchAccuracy[i])
+	}
+	t.Logf("finetune updates-to-%.0f%%: %d vs scratch %d (%.1fx fewer); grads/update %.2f vs %.2f KB (%.2fx less wire)",
+		100*rep.Finetune.TargetAccuracy, rep.Finetune.FinetuneUpdatesToTarget, rep.Finetune.ScratchUpdatesToTarget,
+		rep.Finetune.UpdateAdvantage, rep.Finetune.FinetuneGradKBPerUpdate, rep.Finetune.ScratchGradKBPerUpdate,
+		rep.Finetune.FinetuneWireReduction)
+	// The PR 10 transfer gate, deterministic (seeded data, seeded init,
+	// single-worker synchronous training — no wall-clock anywhere): the
+	// fine-tuned model must reach the target accuracy in measurably fewer
+	// updates than from-scratch training, and the frozen conv must shrink
+	// per-update gradient traffic.
+	if ft := rep.Finetune.FinetuneUpdatesToTarget; ft < 0 {
+		t.Errorf("fine-tune arm never reached %.0f%% accuracy within the budget grid %v",
+			100*rep.Finetune.TargetAccuracy, rep.Finetune.BudgetGrid)
+	} else if sc := rep.Finetune.ScratchUpdatesToTarget; sc >= 0 && ft >= sc {
+		t.Errorf("fine-tuning took %d updates to target vs scratch %d — transfer must be measurably faster", ft, sc)
+	}
+	if rep.Finetune.FinetuneWireReduction <= 1 {
+		t.Errorf("frozen conv must cut per-update gradient bytes: finetune %.2f vs scratch %.2f KB/update",
+			rep.Finetune.FinetuneGradKBPerUpdate, rep.Finetune.ScratchGradKBPerUpdate)
 	}
 
 	if rep.Int8WireReduction < 3 {
@@ -1380,6 +1415,136 @@ type pseudoBenchBlock struct {
 	BaseValAccuracy    float64              `json:"base_val_accuracy"`
 	RetrainValAccuracy float64              `json:"pseudo_retrain_val_accuracy"`
 	RetrainDelta       float64              `json:"pseudo_retrain_delta"`
+}
+
+// ---- Transfer learning A/B (PR 10) ----
+
+// finetuneBenchBlock is the fine-tune-vs-scratch section of
+// trainBenchReport. Both arms share the same 32-cutout astro training set,
+// the same solver and seeds, and the same budget grid; the only difference
+// is initialisation (hep-donor warm start with conv1 frozen vs. fresh
+// random weights). finetune_updates_to_target < scratch_updates_to_target
+// is the PR 10 gate.
+type finetuneBenchBlock struct {
+	DonorUpdates     int       `json:"donor_updates"`
+	LabeledCutouts   int       `json:"labeled_cutouts"`
+	TargetAccuracy   float64   `json:"finetune_target_accuracy"`
+	BudgetGrid       []int     `json:"finetune_budget_grid"`
+	FinetuneAccuracy []float64 `json:"finetune_accuracy_by_budget"`
+	ScratchAccuracy  []float64 `json:"scratch_accuracy_by_budget"`
+	// Updates-to-target: the smallest budget in the grid whose held-out
+	// accuracy reaches TargetAccuracy (-1 = never within the grid).
+	FinetuneUpdatesToTarget int     `json:"finetune_updates_to_target"`
+	ScratchUpdatesToTarget  int     `json:"scratch_updates_to_target"`
+	UpdateAdvantage         float64 `json:"finetune_update_advantage"`
+	// Wire cost per update: the frozen conv pushes zero gradient bytes, so
+	// the fine-tune arm's per-update gradient traffic is strictly smaller.
+	FinetuneGradKBPerUpdate float64 `json:"finetune_grad_kb_per_update"`
+	ScratchGradKBPerUpdate  float64 `json:"scratch_grad_kb_per_update"`
+	FinetuneWireReduction   float64 `json:"finetune_wire_reduction"`
+}
+
+// measureFinetuneBench trains the hep donor, then runs both arms of the
+// astro A/B over the budget grid. Everything is seeded; the numbers are
+// reproducible bit for bit on one host.
+func measureFinetuneBench(t *testing.T) finetuneBenchBlock {
+	t.Helper()
+	const donorIters, donorEvents = 40, 256
+	const trainCutouts, testCutouts = 32, 1024
+	blk := finetuneBenchBlock{
+		DonorUpdates:   donorIters,
+		LabeledCutouts: trainCutouts,
+		TargetAccuracy: 0.45,
+		BudgetGrid:     []int{4, 6, 8, 10, 14, 18, 24},
+	}
+
+	// Donor: a trained hep classifier with the astro backbone's geometry
+	// (16px, 8 filters, 3 conv units — the cmd/heptrain defaults).
+	dcfg := hep.ModelConfig{Name: "bench-donor", ImageSize: 16, Filters: 8, ConvUnits: 3, Classes: 2}
+	drng := tensor.NewRNG(42)
+	dds := hep.GenerateDataset(hep.DefaultGenConfig(), hep.NewRenderer(16), donorEvents, 0.5, drng)
+	dp := hep.NewTrainingProblem(dds, dcfg, 43)
+	dres := core.TrainSync(dp, core.Config{
+		Groups: 1, WorkersPerGroup: 1, GroupBatch: 64, Iterations: donorIters,
+		Solver: opt.NewAdamFull(2e-3, 0.9, 0.999, 1e-8), Seed: 42, Prefetch: 1,
+	})
+	drep := dp.NewReplica()
+	core.InstallWeights(drep, dres.FinalWeights)
+	dpath := filepath.Join(t.TempDir(), "donor.d15w")
+	if err := nn.SaveFile(dpath, hep.ReplicaParams(drep)); err != nil {
+		t.Fatal(err)
+	}
+	donor, err := nn.ReadWeightBlobsFile(dpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared astro data: a scarce labeled set and a large held-out eval set.
+	arng := tensor.NewRNG(42)
+	ar := astro.NewRenderer(16)
+	gen := astro.DefaultGenConfig()
+	train := astro.GenerateDataset(gen, ar, trainCutouts, arng)
+	test := astro.GenerateDataset(gen, ar, testCutouts, arng)
+	model := astro.ModelConfig{Name: "bench-astro", ImageSize: 16, Filters: 8, ConvUnits: 3, Classes: astro.NumClasses}
+	trainCfg := func(budget int) core.Config {
+		return core.Config{
+			Groups: 1, WorkersPerGroup: 1, GroupBatch: 32, Iterations: budget,
+			Solver: opt.NewAdamFull(1e-2, 0.9, 0.999, 1e-8), Seed: 42, Prefetch: 1,
+		}
+	}
+	// Fine-tune arm: conv1 frozen (zero gradient bytes on the wire for that
+	// layer), conv2+ fine-tuned from the donor, fresh 3-class head.
+	freeze := astro.BackboneLayerNames(model.ConvUnits)[:1]
+	for _, budget := range blk.BudgetGrid {
+		ftp, _, err := astro.NewTransferProblem(train, model, 43, donor, freeze)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ftRes := core.TrainSync(ftp, trainCfg(budget))
+		ftRep := ftp.NewReplica()
+		core.InstallWeights(ftRep, ftRes.FinalWeights)
+		blk.FinetuneAccuracy = append(blk.FinetuneAccuracy, astro.EvalAccuracy(ftRep, test, 64))
+
+		scp := astro.NewTrainingProblem(train, model, 43)
+		scRes := core.TrainSync(scp, trainCfg(budget))
+		scRep := scp.NewReplica()
+		core.InstallWeights(scRep, scRes.FinalWeights)
+		blk.ScratchAccuracy = append(blk.ScratchAccuracy, astro.EvalAccuracy(scRep, test, 64))
+	}
+	// Wire cost per update, measured through the hybrid trainer's real
+	// parameter-server exchange (single-worker sync training has no wire).
+	hybridCfg := core.Config{
+		Groups: 2, WorkersPerGroup: 1, GroupBatch: 16, Iterations: 10,
+		Solver: opt.NewAdamFull(1e-2, 0.9, 0.999, 1e-8), Seed: 42, Prefetch: 1,
+	}
+	ftp, _, err := astro.NewTransferProblem(train, model, 43, donor, freeze)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftWire := core.TrainHybrid(ftp, hybridCfg)
+	scWire := core.TrainHybrid(astro.NewTrainingProblem(train, model, 43), hybridCfg)
+	blk.FinetuneGradKBPerUpdate = float64(ftWire.Wire.GradBytes) / float64(len(ftWire.Stats)) / 1024
+	blk.ScratchGradKBPerUpdate = float64(scWire.Wire.GradBytes) / float64(len(scWire.Stats)) / 1024
+	if blk.FinetuneGradKBPerUpdate > 0 {
+		blk.FinetuneWireReduction = blk.ScratchGradKBPerUpdate / blk.FinetuneGradKBPerUpdate
+	}
+	blk.FinetuneUpdatesToTarget = updatesToTarget(blk.BudgetGrid, blk.FinetuneAccuracy, blk.TargetAccuracy)
+	blk.ScratchUpdatesToTarget = updatesToTarget(blk.BudgetGrid, blk.ScratchAccuracy, blk.TargetAccuracy)
+	if blk.FinetuneUpdatesToTarget > 0 && blk.ScratchUpdatesToTarget > 0 {
+		blk.UpdateAdvantage = float64(blk.ScratchUpdatesToTarget) / float64(blk.FinetuneUpdatesToTarget)
+	}
+	return blk
+}
+
+// updatesToTarget returns the smallest budget whose accuracy reaches the
+// target, or -1 if none in the grid does.
+func updatesToTarget(grid []int, accs []float64, target float64) int {
+	for i, b := range grid {
+		if accs[i] >= target {
+			return b
+		}
+	}
+	return -1
 }
 
 func measurePseudoBench(t *testing.T) pseudoBenchBlock {

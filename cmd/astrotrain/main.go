@@ -1,0 +1,241 @@
+// Command astrotrain trains the third science workload: galaxy/star-cluster
+// morphology classification on synthetic survey cutouts (internal/astro).
+// Its headline mode is transfer learning — the PHANGS-HST/DES pattern of
+// §VIII's outlook: -init-from warm-starts the conv backbone from a trained
+// HEP checkpoint store, freezes it, and trains only the fresh 3-class head.
+// Frozen layers hold no gradient buffers, run no backward pass, and push
+// zero gradient bytes through the parameter servers — the wire report at
+// the end shows exactly the head's traffic.
+//
+// Usage:
+//
+//	astrotrain -iters 150 -train 1024                 # from scratch
+//	heptrain -ckpt-dir /tmp/hep -ckpt-every 50        # train the donor
+//	astrotrain -init-from /tmp/hep -iters 60          # fine-tune the head
+//	astrotrain -init-from /tmp/hep -no-freeze         # warm-start, train all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deep15pf/internal/astro"
+	"deep15pf/internal/ckpt"
+	"deep15pf/internal/core"
+	"deep15pf/internal/nn"
+	"deep15pf/internal/obs"
+	"deep15pf/internal/opt"
+	"deep15pf/internal/tensor"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "astrotrain: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	groups := flag.Int("groups", 1, "compute groups (1 = synchronous)")
+	workers := flag.Int("workers", 1, "workers per group")
+	iters := flag.Int("iters", 150, "iterations per group")
+	batch := flag.Int("batch", 64, "samples per group per iteration")
+	trainN := flag.Int("train", 1024, "training cutouts")
+	testN := flag.Int("test", 2048, "test cutouts")
+	size := flag.Int("size", 16, "cutout size (match the donor's -size when fine-tuning)")
+	filters := flag.Int("filters", 8, "conv filters (must match the donor when fine-tuning)")
+	units := flag.Int("units", 3, "conv+pool units (must match the donor when fine-tuning)")
+	lr := flag.Float64("lr", 2e-3, "ADAM learning rate")
+	beta1 := flag.Float64("beta1", 0.9, "ADAM beta1")
+	prefetch := flag.Int("prefetch", 1, "batches of ingest lookahead per worker")
+	initFrom := flag.String("init-from", "", "warm-start the conv backbone from this checkpoint store directory (or a .d15w file)")
+	noFreeze := flag.Bool("no-freeze", false, "with -init-from: leave the transferred backbone trainable instead of freezing it")
+	freezeUnits := flag.Int("freeze-units", -1, "with -init-from: freeze only the first N conv units (-1 = all of them); the rest fine-tune")
+	ckptDir := flag.String("ckpt-dir", "", "checkpoint store directory for this run's own snapshots")
+	ckptEvery := flag.Int("ckpt-every", 10, "snapshot every N iterations (needs -ckpt-dir)")
+	ckptAsync := flag.Bool("ckpt-async", true, "flush snapshots on a background writer")
+	ckptKeep := flag.Int("ckpt-keep", 5, "retain only the newest N versions (0 = keep all)")
+	resume := flag.Bool("resume", false, "resume from the newest snapshot in -ckpt-dir")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	kernels := flag.String("kernels", "auto", "compute kernel ISA: auto|scalar|avx2|avx512")
+	seed := flag.Uint64("seed", 42, "seed")
+	flag.Parse()
+
+	if err := tensor.SetKernels(*kernels); err != nil {
+		fatalf("%v", err)
+	}
+	if *noFreeze && *initFrom == "" {
+		fatalf("-no-freeze needs -init-from")
+	}
+
+	rng := tensor.NewRNG(*seed)
+	r := astro.NewRenderer(*size)
+	gen := astro.DefaultGenConfig()
+	fmt.Printf("generating %d train + %d test cutouts (%dx%dx3 bands, 3 morphology classes)...\n",
+		*trainN, *testN, *size, *size)
+	train := astro.GenerateDataset(gen, r, *trainN, rng)
+	test := astro.GenerateDataset(gen, r, *testN, rng)
+
+	model := astro.ModelConfig{Name: "astrotrain", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: astro.NumClasses}
+
+	var problem *astro.TrainingProblem
+	if *initFrom != "" {
+		donor, source := readDonor(*initFrom)
+		freeze := astro.BackboneLayerNames(*units)
+		if *freezeUnits >= 0 && *freezeUnits < len(freeze) {
+			freeze = freeze[:*freezeUnits]
+		}
+		if *noFreeze {
+			freeze = nil
+		}
+		p, mapped, err := astro.NewTransferProblem(train, model, *seed+1, donor, freeze)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		problem = p
+		fmt.Printf("transfer from %s: %d tensors mapped (%s)\n",
+			source, len(mapped.Mapped), strings.Join(mapped.Mapped, ", "))
+		if len(mapped.Unused) > 0 {
+			fmt.Printf("  donor-only (dropped): %s\n", strings.Join(mapped.Unused, ", "))
+		}
+		if len(mapped.Extra) > 0 {
+			fmt.Printf("  fresh in this model:  %s\n", strings.Join(mapped.Extra, ", "))
+		}
+		if len(freeze) > 0 {
+			fmt.Printf("  frozen backbone: %s — gradients, backward compute and PS traffic skip these layers\n",
+				strings.Join(freeze, ", "))
+		} else {
+			fmt.Println("  backbone left trainable (-no-freeze): warm start only")
+		}
+	} else {
+		problem = astro.NewTrainingProblem(train, model, *seed+1)
+	}
+
+	cfg := core.Config{
+		Groups: *groups, WorkersPerGroup: *workers, GroupBatch: *batch,
+		Iterations: *iters,
+		Solver:     opt.NewAdamFull(*lr, *beta1, 0.999, 1e-8),
+		Seed:       *seed,
+		Prefetch:   *prefetch,
+	}
+	if *traceOut != "" {
+		cfg.Trace = obs.NewTracer(0)
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = core.CheckpointConfig{
+			Dir: *ckptDir, Every: *ckptEvery, Async: *ckptAsync, Keep: *ckptKeep,
+			Arch: "astrotrain", Problem: "astro", SamplesPerEpoch: *trainN, Resume: *resume,
+		}
+	} else if *resume {
+		fatalf("-resume needs -ckpt-dir")
+	}
+
+	var res core.Result
+	if *groups == 1 {
+		fmt.Printf("training synchronously: %d workers, batch %d, %d iterations\n", *workers, *batch, *iters)
+		res = core.TrainSync(problem, cfg)
+	} else {
+		fmt.Printf("training hybrid: %d groups x %d workers, batch %d/group, %d iterations/group\n",
+			*groups, *workers, *batch, *iters)
+		res = core.TrainHybrid(problem, cfg)
+	}
+
+	every := len(res.Stats) / 10
+	if every < 1 {
+		every = 1
+	}
+	for i, s := range res.Stats {
+		if i%every == 0 || i == len(res.Stats)-1 {
+			fmt.Printf("  update %4d  group %d  loss %.4f  staleness %.1f\n", s.Seq, s.Group, s.Loss, s.Staleness)
+		}
+	}
+	fmt.Printf("final loss %.4f, mean staleness %.2f\n", res.FinalLoss, res.MeanStaleness)
+	if w := res.Wire; w.Pushes > 0 {
+		fmt.Printf("wire: %d pushes, %.2f MiB gradients, %.2f MiB weights",
+			w.Pushes, float64(w.GradBytes)/(1<<20), float64(w.WeightBytes)/(1<<20))
+		if *initFrom != "" && !*noFreeze && *freezeUnits != 0 {
+			fmt.Print("  (frozen layers exchanged zero gradient bytes)")
+		}
+		fmt.Println()
+	}
+	if ck := res.Ckpt; ck.Snapshots > 0 {
+		fmt.Printf("ckpt: %d snapshots (latest v%d), %.1f ms exposed to compute\n",
+			ck.Snapshots, ck.LastVersion, ck.ExposedSeconds*1e3)
+	}
+	fmt.Printf("final weight fingerprint %016x\n", ckpt.FingerprintWeights(res.FinalWeights))
+	if cfg.Trace != nil {
+		if err := cfg.Trace.WriteTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "astrotrain: trace:", err)
+		} else {
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+	}
+	fmt.Println()
+
+	// Science evaluation: overall and per-class accuracy on held-out cutouts.
+	rep := problem.NewReplica()
+	core.InstallWeights(rep, res.FinalWeights)
+	start := time.Now()
+	pred := astro.PredictDataset(rep, test, 64)
+	var hits int
+	var perClass, perClassN [astro.NumClasses]int
+	for i, p := range pred {
+		perClassN[test.Labels[i]]++
+		if p == test.Labels[i] {
+			hits++
+			perClass[p]++
+		}
+	}
+	fmt.Printf("test accuracy %.1f%% over %d cutouts (%.0f cutouts/s)\n",
+		100*float64(hits)/float64(len(pred)), len(pred),
+		float64(len(pred))/time.Since(start).Seconds())
+	for c := 0; c < astro.NumClasses; c++ {
+		frac := 0.0
+		if perClassN[c] > 0 {
+			frac = 100 * float64(perClass[c]) / float64(perClassN[c])
+		}
+		fmt.Printf("  %-10s %5.1f%%  (%d cutouts)\n", astro.ClassNames[c], frac, perClassN[c])
+	}
+}
+
+// readDonor loads the warm-start weight blobs from a checkpoint store
+// directory (its newest version, with workload sanity from the manifest) or
+// from a bare .d15w file, returning the blobs and a human-readable source
+// description.
+func readDonor(path string) ([]nn.WeightBlob, string) {
+	st, err := os.Stat(path)
+	if err != nil {
+		fatalf("-init-from: %v", err)
+	}
+	if !st.IsDir() {
+		blobs, err := nn.ReadWeightBlobsFile(path)
+		if err != nil {
+			fatalf("-init-from %s: %v", path, err)
+		}
+		return blobs, path
+	}
+	store, err := ckpt.Open(path)
+	if err != nil {
+		fatalf("-init-from: %v", err)
+	}
+	m, ok, err := store.Latest()
+	if err != nil {
+		fatalf("-init-from: %v", err)
+	}
+	if !ok {
+		fatalf("-init-from: checkpoint store %s holds no complete version", path)
+	}
+	blobs, err := nn.ReadWeightBlobsFile(store.WeightsPath(m.Version))
+	if err != nil {
+		fatalf("-init-from %s v%d: %v", path, m.Version, err)
+	}
+	desc := fmt.Sprintf("%s v%d (step %d", path, m.Version, m.Step)
+	if m.Arch != "" {
+		desc += ", arch " + m.Arch
+	}
+	if m.Problem != "" {
+		desc += ", problem " + m.Problem
+	}
+	return blobs, desc + ")"
+}

@@ -84,7 +84,7 @@ func main() {
 	if *ckptDir != "" {
 		cfg.Checkpoint = core.CheckpointConfig{
 			Dir: *ckptDir, Every: *ckptEvery, Async: *ckptAsync, Keep: *ckptKeep,
-			Arch: "climatetrain", SamplesPerEpoch: *trainN, Resume: *resume,
+			Arch: "climatetrain", Problem: "climate", SamplesPerEpoch: *trainN, Resume: *resume,
 		}
 	} else if *resume {
 		fmt.Fprintln(os.Stderr, "climatetrain: -resume needs -ckpt-dir")

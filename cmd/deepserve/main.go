@@ -26,6 +26,7 @@
 //	deepserve -connect host:7015           # drive load against a remote endpoint
 //	deepserve -connect host:7015 -openloop 3000   # Poisson arrivals at 3000 req/s
 //	deepserve -fleet 2 -hedge              # 2 backend processes + hedging router + rolling restart
+//	deepserve -zoo                         # 3-science model zoo: hep + transfer-learned astro + climate
 package main
 
 import (
@@ -79,6 +80,7 @@ func main() {
 	listen := flag.String("listen", "", "backend mode: serve the model over TCP on this address (prints the listen banner, drains on SIGTERM)")
 	connect := flag.String("connect", "", "client mode: drive load against this remote D15R endpoint instead of an in-process server")
 	fleetN := flag.Int("fleet", 0, "fleet mode: spawn N backend processes, route over them, and rolling-restart one mid-load")
+	zoo := flag.Bool("zoo", false, "model zoo mode: train hep, fine-tune astro from it, add climate; serve all three through one routed fleet with a rolling restart mid-load")
 	hedge := flag.Bool("hedge", false, "with -fleet: hedge tail requests at a second backend (one member is slowed to make the race real)")
 	openloop := flag.Float64("openloop", 0, "open-loop (Poisson) arrival rate in req/s; 0 = closed-loop clients")
 	netDelay := flag.Duration("net-delay", 0, "with -listen: inject this per-request delay (slow-backend fault injection)")
@@ -108,6 +110,10 @@ func main() {
 	demoCfg := hep.ModelConfig{Name: "hep-demo", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
 	serve.RegisterHEP(registry, "hep-demo", demoCfg)
 
+	if *zoo {
+		runZoo(demoCfg, *trainEvents, *trainIters, *lr, *requests, *clients, *seed)
+		return
+	}
 	if *fleetN > 0 {
 		model := *arch
 		if model == "" {

@@ -156,7 +156,7 @@ func main() {
 	if *ckptDir != "" {
 		cfg.Checkpoint = core.CheckpointConfig{
 			Dir: *ckptDir, Every: *ckptEvery, Async: *ckptAsync, Keep: *ckptKeep,
-			Arch: "heptrain", SamplesPerEpoch: *trainN, Resume: *resume,
+			Arch: "heptrain", Problem: "hep", SamplesPerEpoch: *trainN, Resume: *resume,
 		}
 	} else if *resume {
 		fmt.Fprintln(os.Stderr, "heptrain: -resume needs -ckpt-dir")

@@ -76,6 +76,8 @@ func main() {
 	defer ss.Close()
 
 	wpath := *weightsPath
+	var manifest ckpt.Manifest
+	haveManifest := false
 	if *ckptDir != "" {
 		store, err := ckpt.Open(*ckptDir)
 		if err != nil {
@@ -89,12 +91,21 @@ func main() {
 			fatalf("checkpoint store %s holds no complete version", *ckptDir)
 		}
 		wpath = store.WeightsPath(m.Version)
+		manifest, haveManifest = m, true
 		fmt.Printf("scoring with %s v%d (step %d)\n", m.Arch, m.Version, m.Step)
 	}
 
 	reg := serve.NewRegistry()
 	model := hep.ModelConfig{Name: "heptrain", ImageSize: *size, Filters: *filters, ConvUnits: *units, Classes: 2}
 	serve.RegisterHEP(reg, "heptrain", model)
+	if haveManifest {
+		// The scorer only speaks HEP: a checkpoint stamped with a different
+		// workload (climate, astro) must be refused even if its weights would
+		// happen to stream into the architecture.
+		if err := reg.CheckManifest("heptrain", manifest.Arch, manifest.Problem); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	prec := serve.Float32
 	if *useInt8 {
 		prec = serve.Int8

@@ -38,6 +38,13 @@ type Snapshot struct {
 	Epoch int    // completed dataset passes (informational)
 	Arch  string // architecture name (serving compatibility check)
 
+	// Problem is the workload the model was trained for (hep, climate,
+	// astro). Serving consumers refuse to load a checkpoint whose problem
+	// disagrees with the architecture they were asked to serve — the
+	// model-zoo guard against pointing a watcher at the wrong store.
+	// Empty in checkpoints written before the field existed.
+	Problem string
+
 	// Params are the weight blobs in trainable-layer-major order — the
 	// same order core.Replica.TrainableLayers exposes and the same order
 	// the D15W format validates by name.

@@ -24,9 +24,10 @@ type Manifest struct {
 	Step        int    `json:"step"`
 	Epoch       int    `json:"epoch"`
 	Arch        string `json:"arch"`
-	Fingerprint string `json:"fingerprint"` // %016x FNV-1a over the weight bits
-	WeightsCRC  uint32 `json:"weights_crc"` // IEEE CRC-32 of weights.d15w
-	StateCRC    uint32 `json:"state_crc"`   // IEEE CRC-32 of state.bin
+	Problem     string `json:"problem,omitempty"` // workload name (hep/climate/astro); "" in pre-PR-10 stores
+	Fingerprint string `json:"fingerprint"`       // %016x FNV-1a over the weight bits
+	WeightsCRC  uint32 `json:"weights_crc"`       // IEEE CRC-32 of weights.d15w
+	StateCRC    uint32 `json:"state_crc"`         // IEEE CRC-32 of state.bin
 	WeightBytes int64  `json:"weight_bytes"`
 	StateBytes  int64  `json:"state_bytes"`
 	UnixNano    int64  `json:"unix_nano"` // write time (informational)
@@ -235,6 +236,7 @@ func (st *Store) Save(snap *Snapshot) (Manifest, error) {
 		Step:        snap.Step,
 		Epoch:       snap.Epoch,
 		Arch:        snap.Arch,
+		Problem:     snap.Problem,
 		Fingerprint: fmt.Sprintf("%016x", Fingerprint(snap.Params)),
 		WeightsCRC:  crc32.ChecksumIEEE(wbuf.Bytes()),
 		StateCRC:    crc32.ChecksumIEEE(sbuf.Bytes()),

@@ -33,6 +33,10 @@ type CheckpointConfig struct {
 	// Arch names the architecture in the manifest so the serving side can
 	// refuse a checkpoint from the wrong model family. Optional.
 	Arch string
+	// Problem names the workload (hep/climate/astro) in the manifest so the
+	// serving side can refuse a checkpoint from the wrong science problem
+	// even when architectures coincide. Optional.
+	Problem string
 	// SamplesPerEpoch, when set, lets the manifest carry an epoch number
 	// (completed dataset passes) alongside the step.
 	SamplesPerEpoch int
@@ -124,6 +128,7 @@ func newCheckpointer(cfg Config, layers []nn.Layer, fleet *ps.Fleet) *checkpoint
 	staging := []*ckpt.Snapshot{ckpt.NewStaging(params), ckpt.NewStaging(params)}
 	for _, s := range staging {
 		s.Arch = cc.Arch
+		s.Problem = cc.Problem
 		if fleet == nil {
 			s.Solver = &opt.State{}
 			continue
@@ -248,6 +253,9 @@ func resumeInto(cfg Config, params []*nn.Param) *ckpt.Restored {
 	}
 	if cc.Arch != "" && r.Manifest.Arch != "" && cc.Arch != r.Manifest.Arch {
 		panic(fmt.Sprintf("core: resume: checkpoint is arch %q, run wants %q", r.Manifest.Arch, cc.Arch))
+	}
+	if cc.Problem != "" && r.Manifest.Problem != "" && cc.Problem != r.Manifest.Problem {
+		panic(fmt.Sprintf("core: resume: checkpoint is problem %q, run wants %q", r.Manifest.Problem, cc.Problem))
 	}
 	return r
 }

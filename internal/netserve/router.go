@@ -69,6 +69,14 @@ type Router struct {
 	shed      *obs.Counter
 	retries   *obs.Counter
 
+	// perModel shadows the routed/hedged/shed counters per model name, so a
+	// zoo router fronting several workloads can attribute traffic. Entries
+	// materialise lazily on the first request naming a model; lookups on the
+	// dispatch path are a map hit under pcmu (string(model) on a hit does
+	// not allocate).
+	pcmu     sync.Mutex
+	perModel map[string]*modelCounters
+
 	bmu      sync.Mutex
 	backends []*backend
 
@@ -164,6 +172,7 @@ func NewRouter(addr string, backends []string, cfg RouterConfig) (*Router, error
 		hedgeWins: reg.Counter("router.hedge_wins"),
 		shed:      reg.Counter("router.shed"),
 		retries:   reg.Counter("router.retries"),
+		perModel:  make(map[string]*modelCounters),
 		pend:      make(map[uint64]*attempt),
 		conns:     make(map[*rconn]struct{}),
 	}
@@ -187,9 +196,48 @@ func NewRouter(addr string, backends []string, cfg RouterConfig) (*Router, error
 // Addr is the bound client-facing address.
 func (r *Router) Addr() string { return r.ln.Addr().String() }
 
-// Metrics exposes the router's counter registry (routed, hedged,
-// hedge_wins, shed, retries).
+// Metrics exposes the router's counter registry: the fleet-wide counters
+// (routed, hedged, hedge_wins, shed, retries) plus the per-model shadows
+// (router.routed.model.<name>, router.hedged.model.<name>,
+// router.shed.model.<name>) for every model that has sent traffic.
 func (r *Router) Metrics() *obs.Registry { return r.reg }
+
+// modelCounters is one model's routing record: its share of the routed,
+// hedged and shed fleet counters.
+type modelCounters struct {
+	routed *obs.Counter
+	hedged *obs.Counter
+	shed   *obs.Counter
+}
+
+// forModel returns (lazily creating) the named model's counters.
+func (r *Router) forModel(model []byte) *modelCounters {
+	r.pcmu.Lock()
+	defer r.pcmu.Unlock()
+	if mc, ok := r.perModel[string(model)]; ok {
+		return mc
+	}
+	name := string(model)
+	mc := &modelCounters{
+		routed: r.reg.Counter("router.routed.model." + name),
+		hedged: r.reg.Counter("router.hedged.model." + name),
+		shed:   r.reg.Counter("router.shed.model." + name),
+	}
+	r.perModel[name] = mc
+	return mc
+}
+
+// ModelCounts reports one model's routing outcomes — primaries routed,
+// hedges fired, requests shed. Zeroes for a model that never sent traffic.
+func (r *Router) ModelCounts(model string) (routed, hedged, shed int64) {
+	r.pcmu.Lock()
+	mc := r.perModel[model]
+	r.pcmu.Unlock()
+	if mc == nil {
+		return 0, 0, 0
+	}
+	return mc.routed.Value(), mc.hedged.Value(), mc.shed.Value()
+}
 
 // AddBackend dials addr and adds it to the dispatch set — the second half
 // of a make-before-break rolling restart.
@@ -421,6 +469,7 @@ func (r *Router) dispatch(call *routerCall, exclude *backend, hedge bool) {
 			return // no second backend to hedge at; the primary stands
 		}
 		r.shed.Inc()
+		r.forModel(call.model).shed.Inc()
 		call.finish(FrameError, uint16(CodeShed), []byte("no eligible backend"))
 		return
 	}
@@ -445,12 +494,14 @@ func (r *Router) dispatch(call *routerCall, exclude *backend, hedge bool) {
 	r.pmu.Unlock()
 	if !hedge {
 		r.routed.Inc()
+		r.forModel(call.model).routed.Inc()
 		if r.cfg.Hedge {
 			t := time.AfterFunc(r.hedgeDelay(b), func() {
 				if call.state.Load() != 0 {
 					return
 				}
 				r.hedged.Inc()
+				r.forModel(call.model).hedged.Inc()
 				r.dispatch(call, b, true)
 			})
 			r.pmu.Lock()

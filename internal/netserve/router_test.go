@@ -283,3 +283,101 @@ func TestRouterGracefulBackendDrain(t *testing.T) {
 		t.Fatalf("router still lists %d backends after a graceful drain", got)
 	}
 }
+
+// TestRouterPerModelCounters is the satellite-3 regression: two models
+// routed through one router tally routed (and shed) independently, while
+// the fleet-wide counters keep the totals.
+func TestRouterPerModelCounters(t *testing.T) {
+	lm, inputs := trainAndLoad(t)
+	scfg := serve.Config{MaxBatch: 8, MaxLinger: time.Millisecond, Workers: 1}
+	engA, err := serve.NewServer(lm, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := serve.NewServer(lm, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := NewServer("127.0.0.1:0", map[string]*serve.Server{"tiny": engA, "tiny2": engB}, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter("127.0.0.1:0", []string{ns.Addr()}, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		r.Close()
+		ns.Close()
+		engA.Close()
+		engB.Close()
+	})
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := c.Infer("tiny", inputs[i].X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Infer("tiny2", inputs[i].X); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if routed, _, shed := r.ModelCounts("tiny"); routed != 6 || shed != 0 {
+		t.Fatalf("tiny counts routed=%d shed=%d, want 6/0", routed, shed)
+	}
+	if routed, _, shed := r.ModelCounts("tiny2"); routed != 3 || shed != 0 {
+		t.Fatalf("tiny2 counts routed=%d shed=%d, want 3/0", routed, shed)
+	}
+	if got := counterValue(r, "router.routed"); got != 9 {
+		t.Fatalf("fleet-wide routed = %d, want the 9 total", got)
+	}
+	snap := r.Metrics().Snapshot()
+	if snap.Counters["router.routed.model.tiny"] != 6 || snap.Counters["router.routed.model.tiny2"] != 3 {
+		t.Fatalf("registry per-model counters %d/%d, want 6/3",
+			snap.Counters["router.routed.model.tiny"], snap.Counters["router.routed.model.tiny2"])
+	}
+	if routed, hedged, shed := r.ModelCounts("never-sent"); routed != 0 || hedged != 0 || shed != 0 {
+		t.Fatal("unknown model must report zeroes")
+	}
+}
+
+// TestRouterPerModelShed: with no eligible backend, each model's shed
+// counter moves independently.
+func TestRouterPerModelShed(t *testing.T) {
+	r, err := NewRouter("127.0.0.1:0", nil, RouterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, inputs := trainAndLoad(t)
+	c, err := Dial(r.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var re *RemoteError
+	for i := 0; i < 2; i++ {
+		if _, err := c.Infer("m1", inputs[0].X); !errors.As(err, &re) || re.Code != CodeShed {
+			t.Fatalf("want shed, got %v", err)
+		}
+	}
+	if _, err := c.Infer("m2", inputs[0].X); !errors.As(err, &re) || re.Code != CodeShed {
+		t.Fatalf("want shed, got %v", err)
+	}
+	if _, _, shed := r.ModelCounts("m1"); shed != 2 {
+		t.Fatalf("m1 shed = %d, want 2", shed)
+	}
+	if _, _, shed := r.ModelCounts("m2"); shed != 1 {
+		t.Fatalf("m2 shed = %d, want 1", shed)
+	}
+	if got := counterValue(r, "router.shed"); got != 3 {
+		t.Fatalf("fleet-wide shed = %d, want 3", got)
+	}
+}

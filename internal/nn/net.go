@@ -17,6 +17,12 @@ type Network struct {
 	NetName string
 	InShape []int // per-sample, e.g. [3,224,224]
 	Layers  []Layer
+
+	// frozen marks layers excluded from training (see Freeze). Frozen
+	// layers keep their weights but own no gradient accumulators, are
+	// excluded from TrainableLayers, and are skipped entirely by the
+	// backward pass.
+	frozen map[Layer]bool
 }
 
 // NewNetwork creates an empty network for the given per-sample input shape.
@@ -87,6 +93,92 @@ func ReleaseGradients(params []*Param) {
 	}
 }
 
+// Freeze marks the named layers as frozen: their weights stay live for the
+// forward pass but they drop their gradient accumulators, leave
+// TrainableLayers, and the backward pass stops before reaching them. This
+// is the transfer-learning configuration — load a donor checkpoint into the
+// early convolutional backbone, freeze it, and train only the new head; a
+// frozen layer therefore also exchanges zero gradient bytes with the
+// parameter servers, since the exchange tiers pair state with
+// TrainableLayers.
+//
+// Constraint: the frozen parameterised layers must form a prefix of the
+// parameterised layers (every frozen layer precedes every trainable one).
+// The sequential backward pass stops at the first trainable layer, so a
+// frozen layer sandwiched between trainable ones would silently corrupt
+// upstream gradients; Freeze panics rather than allow it. Parameter-free
+// layers (activations, pooling) may be named anywhere — freezing them is a
+// no-op beyond documentation. Unknown names panic.
+func (n *Network) Freeze(names ...string) {
+	if len(names) == 0 {
+		return
+	}
+	want := make(map[string]bool, len(names))
+	for _, nm := range names {
+		want[nm] = true
+	}
+	if n.frozen == nil {
+		n.frozen = make(map[Layer]bool, len(names))
+	}
+	for _, l := range n.Layers {
+		if want[l.Name()] {
+			n.frozen[l] = true
+			delete(want, l.Name())
+		}
+	}
+	if len(want) > 0 {
+		for nm := range want {
+			panic(fmt.Sprintf("nn: Freeze: network %q has no layer %q", n.NetName, nm))
+		}
+	}
+	seenTrainable := false
+	for _, l := range n.Layers {
+		if len(l.Params()) == 0 {
+			continue
+		}
+		if n.frozen[l] {
+			if seenTrainable {
+				panic(fmt.Sprintf("nn: Freeze: frozen layer %q follows a trainable layer; frozen layers must form a prefix", l.Name()))
+			}
+			ReleaseGradients(l.Params())
+		} else {
+			seenTrainable = true
+		}
+	}
+}
+
+// Frozen returns the names of frozen layers in layer order (empty when
+// nothing is frozen).
+func (n *Network) Frozen() []string {
+	if len(n.frozen) == 0 {
+		return nil
+	}
+	var names []string
+	for _, l := range n.Layers {
+		if n.frozen[l] {
+			names = append(names, l.Name())
+		}
+	}
+	return names
+}
+
+// backwardCut returns the index of the first layer the backward pass must
+// reach: the earliest non-frozen parameterised layer. With nothing frozen
+// it is 0 (the full legacy backward, including input gradients). A fully
+// frozen network has no backward to run and panics — inference uses
+// Forward/Infer.
+func (n *Network) backwardCut() int {
+	if len(n.frozen) == 0 {
+		return 0
+	}
+	for i, l := range n.Layers {
+		if len(l.Params()) > 0 && !n.frozen[l] {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("nn: Backward on fully frozen network %q", n.NetName))
+}
+
 // Backward runs all layers in reverse, accumulating parameter gradients,
 // and returns the gradient with respect to the network input.
 func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
@@ -98,16 +190,21 @@ func (n *Network) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // at which point its accumulated gradients are final — gradDone(t) fires on
 // the calling goroutine, in reverse topological order. It is the unplanned
 // counterpart of Plan.BackwardStream; gradDone == nil degrades to Backward.
+//
+// On a network with frozen layers (see Freeze) the pass stops at the first
+// trainable parameterised layer and returns the gradient with respect to
+// that layer's input — the frozen prefix never runs backward at all.
 func (n *Network) BackwardStream(dout *tensor.Tensor, gradDone func(layer int)) *tensor.Tensor {
+	cut := n.backwardCut()
 	trainIdx := -1
 	if gradDone != nil {
 		for _, l := range n.Layers {
-			if len(l.Params()) > 0 {
+			if len(l.Params()) > 0 && !n.frozen[l] {
 				trainIdx++
 			}
 		}
 	}
-	for i := len(n.Layers) - 1; i >= 0; i-- {
+	for i := len(n.Layers) - 1; i >= cut; i-- {
 		l := n.Layers[i]
 		dout = l.Backward(dout)
 		if gradDone != nil && len(l.Params()) > 0 {
@@ -138,7 +235,7 @@ func (n *Network) ForwardTimed(x *tensor.Tensor, train bool) (*tensor.Tensor, []
 // BackwardTimed is Backward with per-layer wall-clock measurement merged
 // into timings (which must come from the matching ForwardTimed call).
 func (n *Network) BackwardTimed(dout *tensor.Tensor, timings []LayerTiming) *tensor.Tensor {
-	for i := len(n.Layers) - 1; i >= 0; i-- {
+	for i := len(n.Layers) - 1; i >= n.backwardCut(); i-- {
 		t0 := time.Now()
 		dout = n.Layers[i].Backward(dout)
 		timings[i].Bwd = time.Since(t0)
@@ -155,17 +252,34 @@ func (n *Network) Params() []*Param {
 	return ps
 }
 
-// TrainableLayers returns the layers that own parameters, in order. The
-// hybrid architecture dedicates one parameter server to each of these
-// (paper §III-E: 6 for HEP, 14 for climate).
+// TrainableLayers returns the non-frozen layers that own parameters, in
+// order. The hybrid architecture dedicates one parameter server to each of
+// these (paper §III-E: 6 for HEP, 14 for climate); because frozen layers
+// (see Freeze) are excluded here, every consumer of this list — solvers,
+// all-reduce, parameter servers, checkpoint staging — skips them without
+// further plumbing.
 func (n *Network) TrainableLayers() []Layer {
 	var ls []Layer
 	for _, l := range n.Layers {
-		if len(l.Params()) > 0 {
+		if len(l.Params()) > 0 && !n.frozen[l] {
 			ls = append(ls, l)
 		}
 	}
 	return ls
+}
+
+// TrainableParams returns the parameters of TrainableLayers in layer order
+// — Params minus the frozen prefix. Training plans validate gradient
+// presence against this set.
+func (n *Network) TrainableParams() []*Param {
+	if len(n.frozen) == 0 {
+		return n.Params()
+	}
+	var ps []*Param
+	for _, l := range n.TrainableLayers() {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
 }
 
 // ZeroGrad clears every parameter gradient accumulator. Released gradients

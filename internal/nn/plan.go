@@ -30,21 +30,23 @@ type Plan struct {
 	train    bool
 	arena    *tensor.Arena
 	steps    []planStep
-	params   []*Param // cached: Backward re-checks gradient presence
+	cut      int      // first step the backward pass reaches (0 unless frozen)
+	params   []*Param // cached trainable params: Backward re-checks gradient presence
 	n        int      // batch size of the most recent Forward
 }
 
 type planStep struct {
 	layer    PlannedLayer
 	st       PlanState
-	trainIdx int   // index into TrainableLayers order, -1 if parameter-free
+	train    bool  // run the training datapath (false for the frozen prefix)
+	trainIdx int   // index into TrainableLayers order, -1 if parameter-free or frozen
 	inShape  []int // per-sample
 	outShape []int // per-sample
 	inPer    int   // per-sample input elements
 	outPer   int   // per-sample output elements
 	ySlab    []float32
 	y        *tensor.Tensor // batch view over ySlab
-	dxSlab   []float32      // training plans only
+	dxSlab   []float32      // training plans only, steps at/after the cut
 	dx       *tensor.Tensor
 }
 
@@ -55,6 +57,14 @@ type planStep struct {
 // inference replicas (see Network.ReleaseGradients). arena == nil gives the
 // plan a private arena; passing a shared arena lets several plans (e.g. a
 // serving replica's per-batch-size cache) recycle each other's slabs.
+//
+// Networks with a frozen prefix (Network.Freeze) compile the prefix steps
+// on the inference datapath even in a training plan: no input-gradient
+// slabs, no retained backward state, no mask/argmax buffers. The eval
+// forward performs the identical floating-point operations in the same
+// order as the train forward (see Conv2D.forwardEval), so the trajectory is
+// bitwise-unchanged — the frozen prefix just stops paying training memory
+// and backward compute.
 func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan {
 	if capacity < 1 {
 		panic("nn: plan capacity must be positive")
@@ -62,8 +72,9 @@ func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan 
 	if arena == nil {
 		arena = tensor.NewArena()
 	}
-	p := &Plan{net: net, capacity: capacity, train: train, arena: arena, params: net.Params()}
+	p := &Plan{net: net, capacity: capacity, train: train, arena: arena, params: net.TrainableParams()}
 	if train {
+		p.cut = net.backwardCut() // panics on a fully frozen network
 		for _, prm := range p.params {
 			if prm.Grad == nil {
 				panic(fmt.Sprintf("nn: training plan for %s: parameter %s has released gradients (ReleaseGradients); compile an inference plan instead", net.NetName, prm.Name))
@@ -81,8 +92,9 @@ func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan 
 		out := l.OutShape(in)
 		s := &p.steps[i]
 		s.layer = pl
+		s.train = train && i >= p.cut
 		s.trainIdx = -1
-		if len(l.Params()) > 0 {
+		if len(l.Params()) > 0 && !net.frozen[l] {
 			s.trainIdx = trainables
 			trainables++
 		}
@@ -92,11 +104,11 @@ func Compile(net *Network, capacity int, train bool, arena *tensor.Arena) *Plan 
 		s.outPer = shapeElems(out)
 		s.ySlab = arena.Get(capacity * s.outPer)
 		s.y = tensor.FromSlice(s.ySlab, append([]int{capacity}, out...)...)
-		if train {
+		if s.train {
 			s.dxSlab = arena.Get(capacity * s.inPer)
 			s.dx = tensor.FromSlice(s.dxSlab, append([]int{capacity}, in...)...)
 		}
-		pl.Reserve(&s.st, arena, capacity, s.inShape, train)
+		pl.Reserve(&s.st, arena, capacity, s.inShape, s.train)
 		in = out
 	}
 	return p
@@ -147,7 +159,7 @@ func (p *Plan) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for i := range p.steps {
 		s := &p.steps[i]
 		y := view(s.y, s.ySlab, n, s.outPer)
-		s.layer.ForwardInto(&s.st, y, cur, p.train)
+		s.layer.ForwardInto(&s.st, y, cur, s.train)
 		cur = y
 	}
 	return cur
@@ -169,7 +181,8 @@ func (p *Plan) Backward(dout *tensor.Tensor) *tensor.Tensor {
 // down to 0. This is the hook the overlapped trainer uses to start
 // exchanging layer t's gradients while the rest of the backward pass is
 // still executing (the paper's §III-E pipelining). gradDone == nil degrades
-// to plain Backward.
+// to plain Backward. Over a network with a frozen prefix the pass stops at
+// the first trainable layer and returns the gradient at that boundary.
 func (p *Plan) BackwardStream(dout *tensor.Tensor, gradDone func(layer int)) *tensor.Tensor {
 	if !p.train {
 		panic("nn: Backward on an inference plan")
@@ -187,7 +200,7 @@ func (p *Plan) BackwardStream(dout *tensor.Tensor, gradDone func(layer int)) *te
 		panic(fmt.Sprintf("nn: plan Backward gradient size %d, want %d", dout.Len(), p.n*last.outPer))
 	}
 	cur := dout
-	for i := len(p.steps) - 1; i >= 0; i-- {
+	for i := len(p.steps) - 1; i >= p.cut; i-- {
 		s := &p.steps[i]
 		dx := view(s.dx, s.dxSlab, p.n, s.inPer)
 		s.layer.BackwardInto(&s.st, dx, cur)

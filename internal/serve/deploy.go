@@ -121,11 +121,14 @@ func NewDeployment(reg *Registry, arch string, prec Precision, store *ckpt.Store
 	return d, nil
 }
 
-// build verifies a manifest's arch and constructs a full server for it —
-// the expensive step that always runs off the serving path.
+// build verifies a manifest's arch and workload label and constructs a full
+// server for it — the expensive step that always runs off the serving path.
 func (d *Deployment) build(m ckpt.Manifest) (*versioned, error) {
 	if m.Arch != "" && m.Arch != d.arch {
 		return nil, fmt.Errorf("serve: checkpoint version %d is arch %q, deployment serves %q", m.Version, m.Arch, d.arch)
+	}
+	if err := d.reg.CheckManifest(d.arch, m.Arch, m.Problem); err != nil {
+		return nil, fmt.Errorf("serve: checkpoint version %d: %w", m.Version, err)
 	}
 	lm, err := d.reg.Load(d.arch, d.store.WeightsPath(m.Version), d.prec)
 	if err != nil {

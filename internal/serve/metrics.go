@@ -52,9 +52,20 @@ type metrics struct {
 	latHist  *obs.Histogram
 	lat      *obs.Reservoir
 	windowed bool
+
+	// Per-model views of the same traffic, named with the architecture the
+	// server serves (serve.requests.model.<arch>, ...). In a one-model
+	// server they duplicate the base instruments; their value is the model
+	// zoo, where registries from several servers are scraped side by side
+	// and the labels keep the workloads apart. Additive: the unlabelled base
+	// names above are a stable interface and never change.
+	mRequests *obs.Counter
+	mBatches  *obs.Counter
+	mInferSec *obs.Gauge
+	mLatHist  *obs.Histogram
 }
 
-func newMetrics(windowed bool) *metrics {
+func newMetrics(windowed bool, model string) *metrics {
 	reg := obs.NewRegistry()
 	m := &metrics{
 		start:    time.Now(),
@@ -67,6 +78,12 @@ func newMetrics(windowed bool) *metrics {
 		peakRate: reg.Gauge("serve.peak_flop_rate"),
 		latHist:  reg.Histogram("serve.latency_s", latencyBuckets),
 		windowed: windowed,
+	}
+	if model != "" {
+		m.mRequests = reg.Counter("serve.requests.model." + model)
+		m.mBatches = reg.Counter("serve.batches.model." + model)
+		m.mInferSec = reg.Gauge("serve.infer_seconds.model." + model)
+		m.mLatHist = reg.Histogram("serve.latency_s.model."+model, latencyBuckets)
 	}
 	m.lat = newLatReservoir(windowed)
 	return m
@@ -92,6 +109,11 @@ func (m *metrics) reset() {
 	m.inferSec.Set(0)
 	m.flops.Set(0)
 	m.peakRate.Set(0)
+	if m.mRequests != nil {
+		m.mRequests.Reset()
+		m.mBatches.Reset()
+		m.mInferSec.Set(0)
+	}
 	m.lat = newLatReservoir(m.windowed) // fresh sample AND fresh observation count
 	m.mu.Unlock()
 }
@@ -109,9 +131,17 @@ func (m *metrics) recordBatch(size int, infer time.Duration, flops float64, lats
 	if sec > 0 {
 		m.peakRate.Max(flops / sec)
 	}
+	if m.mRequests != nil {
+		m.mRequests.Add(int64(size))
+		m.mBatches.Inc()
+		m.mInferSec.Add(sec)
+	}
 	for _, l := range lats {
 		m.lat.Add(l)
 		m.latHist.Observe(l)
+		if m.mLatHist != nil {
+			m.mLatHist.Observe(l)
+		}
 	}
 	m.mu.Unlock()
 }

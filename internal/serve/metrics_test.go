@@ -29,7 +29,7 @@ func TestUniformLatencySamplingIsUnbiased(t *testing.T) {
 		}
 	}
 
-	uni := newMetrics(false)
+	uni := newMetrics(false, "")
 	feed(uni)
 	s := uni.snapshot()
 	if s.Requests != total {
@@ -48,7 +48,7 @@ func TestUniformLatencySamplingIsUnbiased(t *testing.T) {
 
 	// Windowed mode keeps the old semantics on purpose: only the most
 	// recent latWindow completions (all slow) shape the quantiles.
-	win := newMetrics(true)
+	win := newMetrics(true, "")
 	feed(win)
 	if got := win.snapshot().P50.Seconds(); got < 1e-2 {
 		t.Errorf("windowed p50 = %v, want the recent slow value", got)
@@ -59,7 +59,7 @@ func TestUniformLatencySamplingIsUnbiased(t *testing.T) {
 // all restart (including the reservoir's observation count — a stale
 // count would skew Algorithm R's retention probability).
 func TestMetricsResetClearsEverything(t *testing.T) {
-	m := newMetrics(false)
+	m := newMetrics(false, "")
 	m.recordBatch(4, time.Millisecond, 100, []float64{1e-3, 2e-3, 3e-3, 4e-3})
 	m.reset()
 	s := m.snapshot()
@@ -133,5 +133,33 @@ func TestServerTraceRecordsRequestPhases(t *testing.T) {
 	if counts[obs.PhaseQueue] != counts[obs.PhaseInfer] || counts[obs.PhaseBatch] != counts[obs.PhaseInfer] {
 		t.Errorf("span counts diverge per batch: queue=%d batch=%d infer=%d",
 			counts[obs.PhaseQueue], counts[obs.PhaseBatch], counts[obs.PhaseInfer])
+	}
+}
+
+// TestServerRegistryCarriesPerModelLabels: the same traffic is also
+// accounted under architecture-labelled instrument names, so a model zoo
+// scraping several servers' registries can tell the workloads apart. The
+// unlabelled base names stay untouched (the test above pins them).
+func TestServerRegistryCarriesPerModelLabels(t *testing.T) {
+	s, inputs := loadTinyServer(t, Config{MaxBatch: 4, Workers: 1})
+	for _, in := range inputs[:8] {
+		if _, err := s.Submit(in.X); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counters["serve.requests.model.tiny"]; got != 8 {
+		t.Errorf("serve.requests.model.tiny = %d, want 8", got)
+	}
+	if got := snap.Counters["serve.batches.model.tiny"]; got < 2 || got != snap.Counters["serve.batches"] {
+		t.Errorf("serve.batches.model.tiny = %d, want the base count %d",
+			got, snap.Counters["serve.batches"])
+	}
+	if h := snap.Histograms["serve.latency_s.model.tiny"]; h.Count != 8 {
+		t.Errorf("per-model latency histogram count = %d, want 8", h.Count)
+	}
+	s.ResetStats()
+	if got := s.Metrics().Snapshot().Counters["serve.requests.model.tiny"]; got != 0 {
+		t.Errorf("per-model request counter %d after reset, want 0", got)
 	}
 }

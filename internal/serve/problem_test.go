@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"deep15pf/internal/astro"
+	"deep15pf/internal/ckpt"
+)
+
+// TestRegistryModelsAndProblems pins the zoo inventory: every stock
+// architecture is listed, sorted, and carries its workload label.
+func TestRegistryModelsAndProblems(t *testing.T) {
+	r := DefaultRegistry()
+	models := r.Models()
+	want := map[string]string{
+		"astro-paper": "astro", "astro-small": "astro",
+		"climate-paper": "climate", "climate-small": "climate",
+		"hep-paper": "hep", "hep-small": "hep",
+	}
+	if len(models) != len(want) {
+		t.Fatalf("Models() returned %d entries, want %d: %v", len(models), len(want), models)
+	}
+	for i, m := range models {
+		if i > 0 && models[i-1].Arch >= m.Arch {
+			t.Fatalf("Models() not sorted: %q before %q", models[i-1].Arch, m.Arch)
+		}
+		if want[m.Arch] != m.Problem {
+			t.Fatalf("arch %q labelled problem %q, want %q", m.Arch, m.Problem, want[m.Arch])
+		}
+	}
+	if p := r.ProblemOf("astro-small"); p != "astro" {
+		t.Fatalf("ProblemOf(astro-small) = %q", p)
+	}
+	if p := r.ProblemOf("no-such-arch"); p != "" {
+		t.Fatalf("ProblemOf(unknown) = %q, want empty", p)
+	}
+}
+
+// TestRegistryCheckManifest is the satellite-1 contract: a checkpoint whose
+// manifest names a different workload than the architecture's registration
+// is refused with a clear error; empty labels (pre-PR-10 stores, unlabelled
+// registrations) stay permissive.
+func TestRegistryCheckManifest(t *testing.T) {
+	r := NewRegistry()
+	RegisterHEP(r, "tiny", tinyHEP())
+	RegisterAstro(r, "atiny", astro.ModelConfig{Name: "atiny", ImageSize: 8, Filters: 4, ConvUnits: 2, Classes: 3})
+	r.RegisterArch("plain", func(prec Precision) Model { return nil })
+
+	cases := []struct {
+		name                  string
+		arch, mArch, mProblem string
+		wantErr               string
+	}{
+		{"matching problem", "tiny", "tiny", "hep", ""},
+		{"empty manifest problem (old store)", "tiny", "tiny", "", ""},
+		{"empty manifest arch", "tiny", "", "hep", ""},
+		{"unlabelled registration", "plain", "plain", "climate", ""},
+		{"cross-workload model", "tiny", "tiny", "astro", "cross-workload"},
+		{"astro arch fed a hep checkpoint", "atiny", "atiny", "hep", "cross-workload"},
+		{"arch mismatch", "tiny", "other", "hep", `arch "other"`},
+	}
+	for _, tc := range cases {
+		err := r.CheckManifest(tc.arch, tc.mArch, tc.mProblem)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want one containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestDeploymentRefusesCrossProblemCheckpoint is the regression test for the
+// mismatch path end-to-end: a published version stamped with the wrong
+// workload must be rejected by the watcher and never served, while the live
+// version keeps serving.
+func TestDeploymentRefusesCrossProblemCheckpoint(t *testing.T) {
+	d, store := newTinyDeployment(t, DeployConfig{Server: Config{MaxBatch: 4, Workers: 1}})
+	defer d.Close()
+
+	// An astro-stamped checkpoint lands in the hep deployment's store. The
+	// weights would stream into the architecture (same net geometry) — only
+	// the problem label can catch it.
+	net, _ := trainTinyHEP(t, 2)
+	if _, err := store.Save(&ckpt.Snapshot{Step: 2, Arch: "tiny", Problem: "astro", Params: net.Params()}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d.PollOnce()
+	if ok || err == nil || !strings.Contains(err.Error(), "cross-workload") {
+		t.Fatalf("poll accepted a cross-workload checkpoint: ok=%v err=%v", ok, err)
+	}
+	if got := d.Rejected(); got != 1 {
+		t.Fatalf("rejected count %d, want 1", got)
+	}
+	if v := d.CurrentVersion(); v != 1 {
+		t.Fatalf("live version %d after refusal, want 1", v)
+	}
+	if _, err := d.Submit(deployInput(1)); err != nil {
+		t.Fatalf("live version stopped serving after refusal: %v", err)
+	}
+
+	// A correctly stamped successor still cuts over.
+	if _, err := store.Save(&ckpt.Snapshot{Step: 3, Arch: "tiny", Problem: "hep", Params: net.Params()}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := d.PollOnce(); err != nil || !ok {
+		t.Fatalf("correctly labelled version refused: ok=%v err=%v", ok, err)
+	}
+	if v := d.CurrentVersion(); v != 3 {
+		t.Fatalf("live version %d, want 3", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"deep15pf/internal/astro"
 	"deep15pf/internal/climate"
 	"deep15pf/internal/hep"
 	"deep15pf/internal/nn"
@@ -32,19 +33,43 @@ type Builder func(prec Precision) Model
 // architecture*: the registry instantiates the named architecture and
 // streams the D15W blob into its parameters, refusing mismatched names or
 // sizes, so a checkpoint cannot silently serve through the wrong network.
+// Each architecture may also carry a workload (problem) label — hep,
+// climate, astro — which CheckManifest holds against checkpoint manifests
+// so a model zoo cannot route one science problem's weights through
+// another's serving stack even when the architectures happen to coincide.
 type Registry struct {
 	mu    sync.RWMutex
-	archs map[string]Builder
+	archs map[string]archEntry
+}
+
+// archEntry is one registered architecture: its builder plus the workload
+// label ("" for problem-agnostic registrations).
+type archEntry struct {
+	build   Builder
+	problem string
+}
+
+// ModelInfo is one Models() row: an architecture and its workload label.
+type ModelInfo struct {
+	Arch    string
+	Problem string // "" when registered without a workload label
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{archs: make(map[string]Builder)}
+	return &Registry{archs: make(map[string]archEntry)}
 }
 
-// RegisterArch adds a named architecture. Registering a duplicate name
-// panics: two builders disagreeing about one name is a configuration bug.
+// RegisterArch adds a named architecture with no workload label. Registering
+// a duplicate name panics: two builders disagreeing about one name is a
+// configuration bug.
 func (r *Registry) RegisterArch(name string, b Builder) {
+	r.RegisterProblemArch(name, "", b)
+}
+
+// RegisterProblemArch adds a named architecture labelled with the workload
+// it solves. CheckManifest enforces the label against checkpoint manifests.
+func (r *Registry) RegisterProblemArch(name, problem string, b Builder) {
 	if name == "" || b == nil {
 		panic("serve: RegisterArch needs a name and a builder")
 	}
@@ -53,7 +78,7 @@ func (r *Registry) RegisterArch(name string, b Builder) {
 	if _, dup := r.archs[name]; dup {
 		panic(fmt.Sprintf("serve: architecture %q registered twice", name))
 	}
-	r.archs[name] = b
+	r.archs[name] = archEntry{build: b, problem: problem}
 }
 
 // Archs lists the registered architecture names, sorted.
@@ -68,11 +93,60 @@ func (r *Registry) Archs() []string {
 	return names
 }
 
+// Models lists the registered architectures with their workload labels,
+// sorted by architecture name — the zoo inventory a multi-model server
+// prints at startup.
+func (r *Registry) Models() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.archs))
+	for n, e := range r.archs {
+		out = append(out, ModelInfo{Arch: n, Problem: e.problem})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Arch < out[j].Arch })
+	return out
+}
+
+// ProblemOf returns the workload label arch was registered with ("" for an
+// unlabelled or unknown architecture).
+func (r *Registry) ProblemOf(arch string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.archs[arch].problem
+}
+
+// CheckManifest verifies a checkpoint manifest against the named
+// architecture's registration: the manifest's arch must match the name, and
+// its workload label must match the registration's. Empty labels on either
+// side pass — pre-PR-10 stores carry no problem field, and unlabelled
+// registrations opt out — so the guard tightens only where both ends state
+// their workload.
+func (r *Registry) CheckManifest(arch string, manifestArch, manifestProblem string) error {
+	if manifestArch != "" && manifestArch != arch {
+		return fmt.Errorf("serve: checkpoint is arch %q, wanted %q", manifestArch, arch)
+	}
+	if p := r.ProblemOf(arch); p != "" && manifestProblem != "" && p != manifestProblem {
+		return fmt.Errorf("serve: checkpoint is for problem %q, architecture %q serves problem %q — refusing a cross-workload model",
+			manifestProblem, arch, p)
+	}
+	return nil
+}
+
 // RegisterHEP registers the supervised HEP classifier (§III-A) at the given
 // scale under name.
 func RegisterHEP(r *Registry, name string, cfg hep.ModelConfig) {
-	r.RegisterArch(name, func(prec Precision) Model {
+	r.RegisterProblemArch(name, "hep", func(prec Precision) Model {
 		return newNetModel(name, hep.BuildNet(cfg, tensor.NewRNG(0)), prec)
+	})
+}
+
+// RegisterAstro registers the transfer-learned astronomy classifier (the
+// PR 10 workload) at the given scale under name. The astro net is a plain
+// nn.Network like the HEP classifier, so it serves through the same planned
+// (and int8-capable) adapter.
+func RegisterAstro(r *Registry, name string, cfg astro.ModelConfig) {
+	r.RegisterProblemArch(name, "astro", func(prec Precision) Model {
+		return newNetModel(name, astro.BuildNet(cfg, tensor.NewRNG(0)), prec)
 	})
 }
 
@@ -82,19 +156,22 @@ func RegisterHEP(r *Registry, name string, cfg hep.ModelConfig) {
 // training and is dead weight at serving time — but the replica still
 // carries the decoder parameters so checkpoints from training load intact.
 func RegisterClimate(r *Registry, name string, cfg climate.ModelConfig) {
-	r.RegisterArch(name, func(prec Precision) Model {
+	r.RegisterProblemArch(name, "climate", func(prec Precision) Model {
 		return newClimateModel(name, climate.BuildNet(cfg, tensor.NewRNG(0)), prec)
 	})
 }
 
-// DefaultRegistry returns a registry with the four stock architectures:
-// hep-paper, hep-small, climate-paper, climate-small.
+// DefaultRegistry returns a registry with the six stock architectures:
+// hep-paper, hep-small, climate-paper, climate-small, astro-paper,
+// astro-small.
 func DefaultRegistry() *Registry {
 	r := NewRegistry()
 	RegisterHEP(r, "hep-paper", hep.PaperConfig())
 	RegisterHEP(r, "hep-small", hep.SmallConfig())
 	RegisterClimate(r, "climate-paper", climate.PaperConfig())
 	RegisterClimate(r, "climate-small", climate.SmallConfig())
+	RegisterAstro(r, "astro-paper", astro.PaperConfig())
+	RegisterAstro(r, "astro-small", astro.SmallConfig())
 	return r
 }
 
@@ -210,11 +287,12 @@ type weightScaler interface {
 // returned LoadedModel mints additional replicas on demand.
 func (r *Registry) Load(arch, path string, prec Precision) (*LoadedModel, error) {
 	r.mu.RLock()
-	build, ok := r.archs[arch]
+	entry, ok := r.archs[arch]
 	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown architecture %q (have %v)", arch, r.Archs())
 	}
+	build := entry.build
 	ckpt, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading checkpoint: %w", err)

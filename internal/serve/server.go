@@ -102,7 +102,7 @@ func NewServer(m *LoadedModel, cfg Config) (*Server, error) {
 		inShape:  m.InShape(),
 		queue:    make(chan *pending, cfg.QueueDepth),
 		dispatch: make(chan []*pending, cfg.Workers),
-		metrics:  newMetrics(cfg.WindowedLatency),
+		metrics:  newMetrics(cfg.WindowedLatency, m.ModelArch),
 		bulkPool: make(chan Model, cfg.Workers),
 	}
 	s.inLen = 1
